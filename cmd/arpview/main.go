@@ -1,0 +1,148 @@
+// Command arpview renders the Amulet Resource Profiler panel (the paper's
+// Fig 3) for a chosen detector version: memory bars against the hardware
+// budgets, the energy profile, and the battery-life slider.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/amulet/program"
+	"github.com/wiot-security/sift/internal/arp"
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/features"
+	"github.com/wiot-security/sift/internal/fixedpoint"
+	"github.com/wiot-security/sift/internal/physio"
+	"github.com/wiot-security/sift/internal/svm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "arpview:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	versionName := flag.String("version", "Original", "detector version (Original|Simplified|Reduced)")
+	disasm := flag.Bool("disasm", false, "also print the detector firmware disassembly")
+	seed := flag.Int64("seed", 42, "signal seed for the measurement run")
+	flag.Parse()
+
+	var version features.Version
+	for _, v := range features.Versions {
+		if v.String() == *versionName {
+			version = v
+		}
+	}
+	if version == 0 {
+		return fmt.Errorf("unknown version %q", *versionName)
+	}
+
+	// Measure cycles and SRAM on a few real windows, at several window
+	// lengths so the slider reflects the fixed-vs-per-sample cost split.
+	rec, err := physio.Generate(physio.DefaultSubject(), 15, physio.DefaultSampleRate, *seed)
+	if err != nil {
+		return err
+	}
+	cyclesAt, err := measureCycleModel(version, rec)
+	if err != nil {
+		return err
+	}
+	wins, err := dataset.FromRecord(rec, dataset.WindowSec)
+	if err != nil {
+		return err
+	}
+	dim := version.Dim()
+	dev, err := program.NewDeviceDetector(version, nil, unitModel(dim))
+	if err != nil {
+		return err
+	}
+	for _, w := range wins {
+		if _, err := dev.Classify(w); err != nil {
+			return err
+		}
+	}
+
+	prof, err := arp.ProfileDetector(dev.Program(), dev.PeakUsage, dev.AvgCyclesPerWindow(),
+		dataset.WindowSec, 4*(1+3*dim), version != features.Reduced)
+	if err != nil {
+		return err
+	}
+	rep, err := arp.BuildReport(prof, arp.DefaultMemoryModel(), arp.DefaultEnergyModel(), amulet.DefaultSystemSRAM)
+	if err != nil {
+		return err
+	}
+	fmt.Print(arp.RenderView(rep, arp.DefaultEnergyModel(), dev.AvgCyclesPerWindow(), cyclesAt))
+	fmt.Printf("\nfirmware: %d VM bytes (%d B modeled flash), %.0f cycles/window (%.1f ms at 16 MHz)\n",
+		dev.Program().CodeSize(), dev.Program().FootprintBytes(),
+		dev.AvgCyclesPerWindow(), 1000*dev.AvgCyclesPerWindow()/amulet.ClockHz)
+
+	if *disasm {
+		fmt.Println("\ndisassembly:")
+		for _, line := range dev.Program().Disassemble() {
+			fmt.Println("  " + line)
+		}
+	}
+	return nil
+}
+
+// measureCycleModel fits cycles(w) = fixed + perSecond·w from runs at
+// several window lengths.
+func measureCycleModel(version features.Version, rec *physio.Record) (func(float64) float64, error) {
+	dim := version.Dim()
+	model := unitModel(dim)
+	var ws, cs []float64
+	for _, w := range []float64{1, 2, 3} {
+		wins, err := dataset.FromRecord(rec, w)
+		if err != nil {
+			return nil, err
+		}
+		if len(wins) > 4 {
+			wins = wins[:4]
+		}
+		dev, err := program.NewDeviceDetector(version, nil, model)
+		if err != nil {
+			return nil, err
+		}
+		for _, win := range wins {
+			if _, err := dev.Classify(win); err != nil {
+				return nil, err
+			}
+		}
+		ws = append(ws, w)
+		cs = append(cs, dev.AvgCyclesPerWindow())
+	}
+	n := float64(len(ws))
+	var sw, sc, sww, swc float64
+	for i := range ws {
+		sw += ws[i]
+		sc += cs[i]
+		sww += ws[i] * ws[i]
+		swc += ws[i] * cs[i]
+	}
+	slope := (n*swc - sw*sc) / (n*sww - sw*sw)
+	fixed := (sc - slope*sw) / n
+	return func(w float64) float64 {
+		c := fixed + slope*w
+		if c < 0 {
+			return 0
+		}
+		return c
+	}, nil
+}
+
+func unitModel(dim int) *svm.Quantized {
+	model := &svm.Quantized{
+		Weights: make(fixedpoint.Vec, dim),
+		Mean:    make(fixedpoint.Vec, dim),
+		InvStd:  make(fixedpoint.Vec, dim),
+	}
+	for i := 0; i < dim; i++ {
+		model.Weights[i] = fixedpoint.One
+		model.InvStd[i] = fixedpoint.One
+	}
+	return model
+}

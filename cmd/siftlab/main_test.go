@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	err := run([]string{"-quick", "definitely-not-an-experiment"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("err = %v, want unknown-experiment", err)
+	}
+}
+
+func TestRunRequiresExactlyOneArg(t *testing.T) {
+	if err := run([]string{"-quick"}); err == nil {
+		t.Error("no experiment should error")
+	}
+	if err := run([]string{"-quick", "table2", "extra"}); err == nil {
+		t.Error("extra args should error")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunFeaturesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an experiment")
+	}
+	// The cheapest real experiment exercises env construction and the
+	// Table I path end to end.
+	if err := run([]string{"-quick", "features"}); err != nil {
+		t.Fatalf("features experiment failed: %v", err)
+	}
+}
+
+func TestTrainSpans(t *testing.T) {
+	spans := trainSpans(1200)
+	if len(spans) != 5 || spans[len(spans)-1] != 1200 {
+		t.Errorf("full spans = %v", spans)
+	}
+	short := trainSpans(120)
+	for _, s := range short {
+		if s > 120 {
+			t.Errorf("span %v exceeds the training record", s)
+		}
+	}
+	if got := trainSpans(10); len(got) != 1 || got[0] != 10 {
+		t.Errorf("degenerate spans = %v", got)
+	}
+}

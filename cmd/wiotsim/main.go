@@ -1,0 +1,132 @@
+// Command wiotsim runs the end-to-end WIoT environment of Fig 1: a
+// subject's ECG and ABP sensors stream to the base station, a
+// man-in-the-middle hijacks the ECG channel partway through, and the
+// trained SIFT detector on the base station raises alerts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/features"
+	"github.com/wiot-security/sift/internal/physio"
+	"github.com/wiot-security/sift/internal/sift"
+	"github.com/wiot-security/sift/internal/svm"
+	"github.com/wiot-security/sift/internal/wiot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wiotsim:", err)
+		os.Exit(1)
+	}
+}
+
+type hostDetector struct{ d *sift.Detector }
+
+func (h hostDetector) Classify(w dataset.Window) (bool, error) {
+	r, err := h.d.Classify(w)
+	if err != nil {
+		return false, err
+	}
+	return r.Altered, nil
+}
+
+func run() error {
+	seed := flag.Int64("seed", 42, "simulation seed")
+	liveSec := flag.Float64("live", 120, "seconds of live signal to stream")
+	trainSec := flag.Float64("train", 300, "seconds of training signal")
+	versionName := flag.String("version", "Original", "detector version (Original|Simplified|Reduced)")
+	attackAt := flag.Float64("attack-at", 60, "second at which the MITM starts hijacking the ECG channel")
+	flag.Parse()
+
+	version, err := parseVersion(*versionName)
+	if err != nil {
+		return err
+	}
+
+	subjects, err := physio.Cohort(3, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cohort: wearer %s (age %d, %.0f bpm), adversary donor %s (age %d, %.0f bpm)\n",
+		subjects[0].ID, subjects[0].Age, subjects[0].HeartRate,
+		subjects[1].ID, subjects[1].Age, subjects[1].HeartRate)
+
+	gen := func(s physio.Subject, dur float64, offset int64) (*physio.Record, error) {
+		return physio.Generate(s, dur, physio.DefaultSampleRate, *seed+offset)
+	}
+	trainRec, err := gen(subjects[0], *trainSec, 1)
+	if err != nil {
+		return err
+	}
+	donor1, err := gen(subjects[1], *trainSec, 2)
+	if err != nil {
+		return err
+	}
+	donor2, err := gen(subjects[2], *trainSec, 3)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("training %s detector on %.0f s of %s's signals...\n", version, *trainSec, subjects[0].ID)
+	start := time.Now()
+	det, err := sift.TrainForSubject(trainRec, []*physio.Record{donor1, donor2}, sift.Config{
+		Version: version,
+		SVM:     svm.Config{Seed: *seed, MaxIter: 150},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained in %v (%d support vectors)\n\n", time.Since(start).Round(time.Millisecond), det.Model.SupportVectors)
+
+	live, err := gen(subjects[0], *liveSec, 100)
+	if err != nil {
+		return err
+	}
+	donorLive, err := gen(subjects[1], *liveSec, 101)
+	if err != nil {
+		return err
+	}
+	attackFrom := int(*attackAt * live.SampleRate)
+	mitm := &wiot.SubstitutionMITM{Donor: donorLive.ECG, ActiveFrom: attackFrom}
+
+	fmt.Printf("streaming %.0f s live; MITM hijacks ECG at t=%.0f s\n", *liveSec, *attackAt)
+	res, err := wiot.RunScenario(wiot.Scenario{
+		Record:     live,
+		Detector:   hostDetector{det},
+		Attack:     mitm,
+		AttackFrom: attackFrom,
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, a := range res.Alerts {
+		status := "ok     "
+		if a.Altered {
+			status = "ALTERED"
+		}
+		t0 := float64(a.WindowIndex) * dataset.WindowSec
+		attacked := " "
+		if int(t0*live.SampleRate) >= attackFrom {
+			attacked = "*"
+		}
+		fmt.Printf("  t=%5.0f s %s window %2d: %s\n", t0, attacked, a.WindowIndex, status)
+	}
+	fmt.Printf("\n%d windows (%d frames rewritten by MITM): TP=%d FN=%d FP=%d TN=%d accuracy=%.1f%%\n",
+		res.Windows, mitm.Intercepts, res.TruePos, res.FalseNeg, res.FalsePos, res.TrueNeg, 100*res.Accuracy())
+	return nil
+}
+
+func parseVersion(name string) (features.Version, error) {
+	for _, v := range features.Versions {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown version %q (want Original, Simplified, or Reduced)", name)
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestParseVersion(t *testing.T) {
+	for _, name := range []string{"Original", "Simplified", "Reduced"} {
+		v, err := parseVersion(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if v.String() != name {
+			t.Errorf("parseVersion(%q) = %v", name, v)
+		}
+	}
+	if _, err := parseVersion("nope"); err == nil {
+		t.Error("unknown version should error")
+	}
+	if _, err := parseVersion(""); err == nil {
+		t.Error("empty version should error")
+	}
+}

@@ -1,0 +1,104 @@
+// Adaptive security (the paper's Insight #4): a decision engine switches
+// between the three SIFT versions as the battery drains, trading
+// detection fidelity for lifetime instead of dying early or being
+// manually re-flashed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/wiot-security/sift/internal/adaptive"
+	"github.com/wiot-security/sift/internal/amulet/program"
+	"github.com/wiot-security/sift/internal/arp"
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/features"
+	"github.com/wiot-security/sift/internal/fixedpoint"
+	"github.com/wiot-security/sift/internal/physio"
+	"github.com/wiot-security/sift/internal/svm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Measure each version's real per-window cycle cost on the emulated
+	// Amulet (this is the engine's "dynamic constraint" input).
+	rec, err := physio.Generate(physio.DefaultSubject(), 15, physio.DefaultSampleRate, 5)
+	if err != nil {
+		return err
+	}
+	wins, err := dataset.FromRecord(rec, dataset.WindowSec)
+	if err != nil {
+		return err
+	}
+	profiles := make([]adaptive.VersionProfile, 0, 3)
+	fmt.Println("measuring per-version cost on the emulated device:")
+	for _, v := range features.Versions {
+		dev, err := program.NewDeviceDetector(v, nil, unitModel(v.Dim()))
+		if err != nil {
+			return err
+		}
+		for _, w := range wins {
+			if _, err := dev.Classify(w); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("  %-11s %9.0f cycles/window, %4d B FRAM\n",
+			v, dev.AvgCyclesPerWindow(), dev.Program().FootprintBytes())
+		profiles = append(profiles, adaptive.VersionProfile{
+			Version:         v,
+			CyclesPerWindow: dev.AvgCyclesPerWindow(),
+			DetectorFRAM:    dev.Program().FootprintBytes(),
+			NeedsSoftFloat:  v == features.Original,
+			NeedsFixMath:    v != features.Original,
+		})
+	}
+
+	caps := adaptive.StaticConstraints{HasSoftFloat: true, HasFixMath: true}
+	engine, err := adaptive.NewEngine(profiles, caps, adaptive.HysteresisPolicy{}, arp.DefaultEnergyModel(), dataset.WindowSec)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nsimulating a full battery discharge (one row per ~10% drop):")
+	fmt.Printf("  %-8s %-9s %-12s\n", "day", "battery", "version")
+	lastDecile := 11
+	for {
+		alive, err := engine.Step(adaptive.ResourceState{BatteryFrac: engine.BatteryFrac(), CPUBudget: 1})
+		if err != nil {
+			return err
+		}
+		decile := int(engine.BatteryFrac() * 10)
+		if decile < lastDecile {
+			lastDecile = decile
+			fmt.Printf("  %-8.1f %7.0f%%  %-12s\n",
+				engine.ElapsedHr/24, 100*engine.BatteryFrac(), engine.Current())
+		}
+		if !alive {
+			break
+		}
+	}
+	fmt.Printf("\nbattery exhausted after %.1f days with %d version switches\n",
+		engine.ElapsedHr/24, engine.Switches)
+	for _, v := range features.Versions {
+		fmt.Printf("  %-11s ran %d windows\n", v, engine.Windows[v])
+	}
+	return nil
+}
+
+func unitModel(dim int) *svm.Quantized {
+	q := &svm.Quantized{
+		Weights: make(fixedpoint.Vec, dim),
+		Mean:    make(fixedpoint.Vec, dim),
+		InvStd:  make(fixedpoint.Vec, dim),
+	}
+	for i := 0; i < dim; i++ {
+		q.Weights[i] = fixedpoint.One
+		q.InvStd[i] = fixedpoint.One
+	}
+	return q
+}

@@ -1,0 +1,3 @@
+module github.com/wiot-security/sift
+
+go 1.22

@@ -1,0 +1,284 @@
+// Package adaptive implements the paper's Insight #4: an adaptive
+// security model whose decision engine switches between the three SIFT
+// versions based on detected resource constraints.
+//
+// The paper distinguishes *static* constraints (compile-time: available
+// libraries, memory budget) from *dynamic* constraints (run-time: battery
+// level, CPU availability). The engine first filters versions by the
+// static capability set, then a runtime policy picks among the survivors;
+// a hysteresis band keeps the engine from flapping between versions and
+// re-flashing on every sample — the impracticality the paper calls out.
+package adaptive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/wiot-security/sift/internal/arp"
+	"github.com/wiot-security/sift/internal/features"
+)
+
+// StaticConstraints is the compile-time capability set of the platform.
+type StaticConstraints struct {
+	HasSoftFloat bool // platform links a software-float runtime
+	HasFixMath   bool // platform links fixed-point helpers
+	FRAMBudget   int  // bytes available for the detector app
+}
+
+// ResourceState is one sample of the dynamic constraints.
+type ResourceState struct {
+	BatteryFrac float64 // remaining battery, 0..1
+	CPUBudget   float64 // fraction of the window the detector may use, 0..1
+}
+
+// Validate checks the state is well-formed.
+func (s ResourceState) Validate() error {
+	if s.BatteryFrac < 0 || s.BatteryFrac > 1 {
+		return fmt.Errorf("adaptive: battery fraction %.3g outside [0,1]", s.BatteryFrac)
+	}
+	if s.CPUBudget < 0 || s.CPUBudget > 1 {
+		return fmt.Errorf("adaptive: CPU budget %.3g outside [0,1]", s.CPUBudget)
+	}
+	return nil
+}
+
+// VersionProfile describes one detector version's measured resource needs.
+type VersionProfile struct {
+	Version         features.Version
+	CyclesPerWindow float64
+	DetectorFRAM    int
+	NeedsSoftFloat  bool
+	NeedsFixMath    bool
+}
+
+// FilterStatic returns the versions deployable under the static
+// constraints, ordered from most to least capable (Original first).
+func FilterStatic(profiles []VersionProfile, sc StaticConstraints) []VersionProfile {
+	out := make([]VersionProfile, 0, len(profiles))
+	for _, p := range profiles {
+		if p.NeedsSoftFloat && !sc.HasSoftFloat {
+			continue
+		}
+		if p.NeedsFixMath && !sc.HasFixMath {
+			continue
+		}
+		if sc.FRAMBudget > 0 && p.DetectorFRAM > sc.FRAMBudget {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out
+}
+
+// Policy chooses a version index (into the deployable list) from the
+// dynamic state.
+type Policy interface {
+	// Decide picks the version to run for the next window. The previous
+	// choice is provided so policies can implement hysteresis.
+	Decide(s ResourceState, deployable []VersionProfile, prev features.Version) features.Version
+}
+
+// HysteresisPolicy maps battery bands to versions with a switching margin:
+// above High it runs the most capable deployable version, below Low the
+// least capable, in between the middle one (when present). A version
+// switch only happens when the battery has moved Margin past the
+// threshold that would justify it.
+type HysteresisPolicy struct {
+	High   float64 // battery fraction above which the best version runs (default 0.5)
+	Low    float64 // battery fraction below which the cheapest version runs (default 0.2)
+	Margin float64 // hysteresis width (default 0.05)
+}
+
+var _ Policy = (*HysteresisPolicy)(nil)
+
+func (p HysteresisPolicy) fillDefaults() HysteresisPolicy {
+	if p.High == 0 {
+		p.High = 0.5
+	}
+	if p.Low == 0 {
+		p.Low = 0.2
+	}
+	if p.Margin == 0 {
+		p.Margin = 0.05
+	}
+	return p
+}
+
+// Decide implements Policy.
+func (p HysteresisPolicy) Decide(s ResourceState, deployable []VersionProfile, prev features.Version) features.Version {
+	p = p.fillDefaults()
+	if len(deployable) == 0 {
+		return 0
+	}
+	target := p.raw(s.BatteryFrac, deployable)
+	if prev == 0 {
+		return target
+	}
+	// Only switch when the battery is Margin beyond the threshold in the
+	// direction of the new target.
+	current := p.raw(clamp01(s.BatteryFrac+p.directionMargin(target, prev)), deployable)
+	if current == prev {
+		return prev
+	}
+	return target
+}
+
+// raw is the memoryless band decision.
+func (p HysteresisPolicy) raw(battery float64, deployable []VersionProfile) features.Version {
+	best := deployable[0].Version
+	worst := deployable[len(deployable)-1].Version
+	mid := best
+	if len(deployable) >= 2 {
+		mid = deployable[1].Version
+	}
+	switch {
+	case battery >= p.High:
+		return best
+	case battery < p.Low:
+		return worst
+	default:
+		return mid
+	}
+}
+
+// directionMargin biases the battery reading toward keeping prev: if prev
+// is more capable than a raw re-read would pick, pretend the battery is
+// slightly higher, and vice versa.
+func (p HysteresisPolicy) directionMargin(target, prev features.Version) float64 {
+	switch {
+	case target > prev: // moving to a cheaper version (higher enum value)
+		return p.Margin
+	case target < prev:
+		return -p.Margin
+	default:
+		return 0
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Engine simulates the adaptive model over a device's lifetime: each step
+// consumes one detection window of energy at the current version's cost,
+// then consults the policy for the next window.
+type Engine struct {
+	deployable []VersionProfile
+	policy     Policy
+	energy     arp.EnergyModel
+	windowSec  float64
+
+	batterymAh float64
+	remainmAh  float64
+	current    features.Version
+
+	// Telemetry.
+	Switches  int
+	Windows   map[features.Version]int
+	ElapsedHr float64
+}
+
+// NewEngine validates inputs and initializes the simulation at full
+// battery with the policy's first choice.
+func NewEngine(profiles []VersionProfile, sc StaticConstraints, policy Policy, energy arp.EnergyModel, windowSec float64) (*Engine, error) {
+	if policy == nil {
+		return nil, errors.New("adaptive: nil policy")
+	}
+	if windowSec <= 0 {
+		return nil, fmt.Errorf("adaptive: window %.3g s must be positive", windowSec)
+	}
+	deployable := FilterStatic(profiles, sc)
+	if len(deployable) == 0 {
+		return nil, errors.New("adaptive: no deployable versions under the static constraints")
+	}
+	e := &Engine{
+		deployable: deployable,
+		policy:     policy,
+		energy:     energy,
+		windowSec:  windowSec,
+		batterymAh: energy.BatterymAh,
+		remainmAh:  energy.BatterymAh,
+		Windows:    make(map[features.Version]int),
+	}
+	e.current = policy.Decide(ResourceState{BatteryFrac: 1, CPUBudget: 1}, deployable, 0)
+	return e, nil
+}
+
+// Current returns the version selected for the next window.
+func (e *Engine) Current() features.Version { return e.current }
+
+// BatteryFrac returns the remaining battery fraction.
+func (e *Engine) BatteryFrac() float64 {
+	if e.batterymAh == 0 {
+		return 0
+	}
+	return e.remainmAh / e.batterymAh
+}
+
+// Step simulates one detection window: drain energy at the current
+// version's cost, then re-decide. It reports whether the battery still
+// has charge.
+func (e *Engine) Step(state ResourceState) (bool, error) {
+	if err := state.Validate(); err != nil {
+		return false, err
+	}
+	if e.remainmAh <= 0 {
+		return false, nil
+	}
+	prof, err := e.profileOf(e.current)
+	if err != nil {
+		return false, err
+	}
+	avg := e.energy.AvgCurrentmA(prof.CyclesPerWindow, e.windowSec)
+	e.remainmAh -= avg * e.windowSec / 3600
+	e.ElapsedHr += e.windowSec / 3600
+	e.Windows[e.current]++
+
+	state.BatteryFrac = clamp01(e.BatteryFrac())
+	next := e.policy.Decide(state, e.deployable, e.current)
+	if next != e.current {
+		e.Switches++
+		e.current = next
+	}
+	return e.remainmAh > 0, nil
+}
+
+func (e *Engine) profileOf(v features.Version) (VersionProfile, error) {
+	for _, p := range e.deployable {
+		if p.Version == v {
+			return p, nil
+		}
+	}
+	return VersionProfile{}, fmt.Errorf("adaptive: version %v not deployable", v)
+}
+
+// RunToEmpty simulates until the battery dies (with a step bound) and
+// returns the achieved lifetime in days. The step scale compresses time:
+// each simulated step stands for stride windows.
+func (e *Engine) RunToEmpty(maxSteps, stride int) (float64, error) {
+	if stride <= 0 {
+		return 0, fmt.Errorf("adaptive: stride %d must be positive", stride)
+	}
+	for i := 0; i < maxSteps; i++ {
+		alive := true
+		var err error
+		for k := 0; k < stride && alive; k++ {
+			alive, err = e.Step(ResourceState{BatteryFrac: e.BatteryFrac(), CPUBudget: 1})
+			if err != nil {
+				return 0, err
+			}
+		}
+		if !alive {
+			return e.ElapsedHr / 24, nil
+		}
+	}
+	return 0, fmt.Errorf("adaptive: battery still alive after %d steps", maxSteps)
+}

@@ -1,0 +1,211 @@
+package adaptive
+
+import (
+	"testing"
+
+	"github.com/wiot-security/sift/internal/arp"
+	"github.com/wiot-security/sift/internal/features"
+)
+
+func profiles() []VersionProfile {
+	return []VersionProfile{
+		{Version: features.Original, CyclesPerWindow: 2.0e6, DetectorFRAM: 4800, NeedsSoftFloat: true},
+		{Version: features.Simplified, CyclesPerWindow: 1.2e6, DetectorFRAM: 4000, NeedsFixMath: true},
+		{Version: features.Reduced, CyclesPerWindow: 1.7e5, DetectorFRAM: 2500, NeedsFixMath: true},
+	}
+}
+
+func allCaps() StaticConstraints {
+	return StaticConstraints{HasSoftFloat: true, HasFixMath: true}
+}
+
+func TestFilterStatic(t *testing.T) {
+	// No soft float → Original filtered out.
+	got := FilterStatic(profiles(), StaticConstraints{HasFixMath: true})
+	if len(got) != 2 {
+		t.Fatalf("deployable = %d, want 2", len(got))
+	}
+	for _, p := range got {
+		if p.Version == features.Original {
+			t.Error("Original should be filtered without soft float")
+		}
+	}
+	// Tight FRAM budget → only Reduced fits.
+	got = FilterStatic(profiles(), StaticConstraints{HasSoftFloat: true, HasFixMath: true, FRAMBudget: 3000})
+	if len(got) != 1 || got[0].Version != features.Reduced {
+		t.Errorf("tight budget deployable = %v", got)
+	}
+	// Nothing available.
+	if got := FilterStatic(profiles(), StaticConstraints{}); len(got) != 0 {
+		t.Errorf("no capabilities should deploy nothing, got %v", got)
+	}
+}
+
+func TestFilterStaticOrdering(t *testing.T) {
+	got := FilterStatic(profiles(), allCaps())
+	if len(got) != 3 {
+		t.Fatalf("deployable = %d", len(got))
+	}
+	if got[0].Version != features.Original || got[2].Version != features.Reduced {
+		t.Errorf("ordering = %v, %v, %v", got[0].Version, got[1].Version, got[2].Version)
+	}
+}
+
+func TestHysteresisBands(t *testing.T) {
+	p := HysteresisPolicy{}
+	dep := FilterStatic(profiles(), allCaps())
+	cases := []struct {
+		battery float64
+		want    features.Version
+	}{
+		{1.0, features.Original},
+		{0.6, features.Original},
+		{0.4, features.Simplified},
+		{0.25, features.Simplified},
+		{0.1, features.Reduced},
+		{0.0, features.Reduced},
+	}
+	for _, tc := range cases {
+		got := p.Decide(ResourceState{BatteryFrac: tc.battery}, dep, 0)
+		if got != tc.want {
+			t.Errorf("battery %.2f → %v, want %v", tc.battery, got, tc.want)
+		}
+	}
+}
+
+func TestHysteresisAvoidsFlapping(t *testing.T) {
+	p := HysteresisPolicy{High: 0.5, Low: 0.2, Margin: 0.05}
+	dep := FilterStatic(profiles(), allCaps())
+	// Just below the High threshold but within the margin while running
+	// Original: stays on Original.
+	got := p.Decide(ResourceState{BatteryFrac: 0.48}, dep, features.Original)
+	if got != features.Original {
+		t.Errorf("within margin should stay on Original, got %v", got)
+	}
+	// Clearly below the band: switches.
+	got = p.Decide(ResourceState{BatteryFrac: 0.40}, dep, features.Original)
+	if got != features.Simplified {
+		t.Errorf("past margin should switch to Simplified, got %v", got)
+	}
+}
+
+func TestHysteresisEmptyDeployable(t *testing.T) {
+	p := HysteresisPolicy{}
+	if got := p.Decide(ResourceState{BatteryFrac: 1}, nil, 0); got != 0 {
+		t.Errorf("empty deployable should return zero version, got %v", got)
+	}
+}
+
+func TestResourceStateValidate(t *testing.T) {
+	if err := (ResourceState{BatteryFrac: 1.5}).Validate(); err == nil {
+		t.Error("battery > 1 should error")
+	}
+	if err := (ResourceState{CPUBudget: -0.1}).Validate(); err == nil {
+		t.Error("negative CPU should error")
+	}
+	if err := (ResourceState{BatteryFrac: 0.5, CPUBudget: 0.5}).Validate(); err != nil {
+		t.Errorf("valid state errored: %v", err)
+	}
+}
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine(profiles(), allCaps(), HysteresisPolicy{}, arp.DefaultEnergyModel(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineStartsOnBestVersion(t *testing.T) {
+	e := newEngine(t)
+	if e.Current() != features.Original {
+		t.Errorf("fresh battery should run Original, got %v", e.Current())
+	}
+	if e.BatteryFrac() != 1 {
+		t.Errorf("battery should start full, got %v", e.BatteryFrac())
+	}
+}
+
+func TestEngineDegradesOverLifetime(t *testing.T) {
+	e := newEngine(t)
+	days, err := e.RunToEmpty(1_000_000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adaptive switching should land between the always-Original (~23 d)
+	// and always-Reduced (~52 d) lifetimes.
+	if days < 20 || days > 60 {
+		t.Errorf("adaptive lifetime = %.1f days, want within (20,60)", days)
+	}
+	if e.Switches < 2 {
+		t.Errorf("engine switched %d times, want >= 2 (Original→Simplified→Reduced)", e.Switches)
+	}
+	for _, v := range []features.Version{features.Original, features.Simplified, features.Reduced} {
+		if e.Windows[v] == 0 {
+			t.Errorf("version %v never ran", v)
+		}
+	}
+}
+
+func TestEngineOutlivesFixedOriginal(t *testing.T) {
+	adaptiveEngine := newEngine(t)
+	adaptiveDays, err := adaptiveEngine.RunToEmpty(1_000_000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := NewEngine(profiles()[:1], allCaps(), HysteresisPolicy{}, arp.DefaultEnergyModel(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedDays, err := fixed.RunToEmpty(1_000_000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptiveDays <= fixedDays {
+		t.Errorf("adaptive (%.1f d) should outlive fixed Original (%.1f d)", adaptiveDays, fixedDays)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := NewEngine(profiles(), allCaps(), nil, arp.DefaultEnergyModel(), 3); err == nil {
+		t.Error("nil policy should error")
+	}
+	if _, err := NewEngine(profiles(), allCaps(), HysteresisPolicy{}, arp.DefaultEnergyModel(), 0); err == nil {
+		t.Error("zero window should error")
+	}
+	if _, err := NewEngine(profiles(), StaticConstraints{}, HysteresisPolicy{}, arp.DefaultEnergyModel(), 3); err == nil {
+		t.Error("no deployable versions should error")
+	}
+}
+
+func TestEngineStepValidation(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.Step(ResourceState{BatteryFrac: 2}); err == nil {
+		t.Error("invalid state should error")
+	}
+}
+
+func TestEngineStopsWhenEmpty(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.RunToEmpty(1_000_000, 500); err != nil {
+		t.Fatal(err)
+	}
+	alive, err := e.Step(ResourceState{BatteryFrac: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alive {
+		t.Error("dead battery should report not-alive")
+	}
+}
+
+func TestRunToEmptyStrideValidation(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.RunToEmpty(10, 0); err == nil {
+		t.Error("zero stride should error")
+	}
+	if _, err := e.RunToEmpty(1, 1); err == nil {
+		t.Error("tiny step bound should report battery still alive")
+	}
+}

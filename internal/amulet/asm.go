@@ -1,0 +1,149 @@
+package amulet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseAsm assembles textual VM assembly into a Program. The syntax is
+// exactly what Program.Disassemble emits (minus the offsets), plus labels
+// and comments, so firmware can be dumped, inspected, edited, and
+// re-flashed:
+//
+//	; comment             (also //)
+//	loop:                 label definition
+//	  push 65536          32-bit immediate (decimal or 0x hex)
+//	  storel 3            local index
+//	  loadl 3
+//	  jz done             branch to label…
+//	  jmp 0x0004          …or to an absolute code offset
+//	done:
+//	  halt
+func ParseAsm(name, src string, dataWords int) (*Program, error) {
+	b := NewBuilder()
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Offsets from disassembly ("0004: op") are ignored if present.
+		if i := strings.Index(line, ": "); i > 0 && isHex(line[:i]) {
+			line = strings.TrimSpace(line[i+2:])
+		}
+		if strings.HasSuffix(line, ":") {
+			b.Label(strings.TrimSuffix(line, ":"))
+			continue
+		}
+		fields := strings.Fields(line)
+		op, ok := opByName(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("amulet: line %d: unknown mnemonic %q", lineNo+1, fields[0])
+		}
+		operands := fields[1:]
+		if err := emit(b, op, operands); err != nil {
+			return nil, fmt.Errorf("amulet: line %d: %w", lineNo+1, err)
+		}
+	}
+	return b.Assemble(name, dataWords)
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return line
+}
+
+func isHex(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// nameToOp is built lazily from the opcode table.
+var nameToOp = func() map[string]Op {
+	m := make(map[string]Op, int(opCount))
+	for op := Op(0); op < opCount; op++ {
+		if op.Valid() {
+			m[op.String()] = op
+		}
+	}
+	return m
+}()
+
+func opByName(name string) (Op, bool) {
+	op, ok := nameToOp[strings.ToLower(name)]
+	return op, ok
+}
+
+func emit(b *Builder, op Op, operands []string) error {
+	want := 0
+	switch op.OperandBytes() {
+	case 0:
+	default:
+		want = 1
+	}
+	if len(operands) != want {
+		return fmt.Errorf("%v takes %d operand(s), got %d", op, want, len(operands))
+	}
+	switch op.OperandBytes() {
+	case 0:
+		b.Op(op)
+	case 1:
+		idx, err := parseInt(operands[0])
+		if err != nil {
+			return fmt.Errorf("%v operand: %w", op, err)
+		}
+		switch op {
+		case OpLoadL:
+			b.LoadL(int(idx))
+		case OpStoreL:
+			b.StoreL(int(idx))
+		}
+	case 2:
+		target := operands[0]
+		if v, err := parseInt(target); err == nil && strings.HasPrefix(target, "0x") {
+			// Absolute code offset: bind through a synthetic label.
+			label := "@" + target
+			b.BindLabelAt(label, int(v))
+			target = label
+		}
+		switch op {
+		case OpJmp:
+			b.Jmp(target)
+		case OpJz:
+			b.Jz(target)
+		case OpJnz:
+			b.Jnz(target)
+		case OpCall:
+			b.Call(target)
+		}
+	case 4:
+		v, err := parseInt(operands[0])
+		if err != nil {
+			return fmt.Errorf("push operand: %w", err)
+		}
+		b.Push(int32(v))
+	}
+	return nil
+}
+
+func parseInt(s string) (int64, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return strconv.ParseInt(s[2:], 16, 64)
+	}
+	return strconv.ParseInt(s, 10, 64)
+}

@@ -1,0 +1,139 @@
+package amulet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAsmBasicProgram(t *testing.T) {
+	src := `
+; count local 3 down from 7
+  push 7
+  storel 3
+loop:
+  loadl 3
+  push 0
+  gt
+  jz done
+  loadl 3
+  push 1
+  sub
+  storel 3
+  jmp loop
+done:
+  halt
+`
+	p, err := ParseAsm("countdown", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if vm.locals[3] != 0 {
+		t.Errorf("local 3 = %d, want 0", vm.locals[3])
+	}
+}
+
+func TestParseAsmErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "frobnicate"},
+		{"missing operand", "push"},
+		{"extra operand", "halt 3"},
+		{"bad immediate", "push zz"},
+		{"undefined label", "jmp nowhere\nhalt"},
+		{"duplicate label", "a:\na:\nhalt"},
+		{"bad local", "loadl 999"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseAsm("bad", tc.src, 0); err == nil {
+				t.Error("expected parse error")
+			}
+		})
+	}
+}
+
+func TestParseAsmCommentsAndHex(t *testing.T) {
+	src := `
+  push 0x10      ; hex immediate
+  push -3        // negative
+  add
+  drop
+  halt
+`
+	p, err := ParseAsm("hex", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisassembleAssembleRoundTrip is the strongest assembler test: every
+// detector firmware image must survive disassemble → reassemble with
+// byte-identical code.
+func TestDisassembleAssembleRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	b.PushI(5).StoreL(2)
+	b.Label("top").LoadL(2).PushI(0).Op(OpGt).Jz("end")
+	b.PushQ(3 << 16).PushQ(1 << 15).Op(OpMulQ).Op(OpDrop)
+	b.PushF(2).Op(OpFSqrt).Op(OpDrop)
+	b.LoadL(2).PushI(1).Op(OpSub).StoreL(2)
+	b.Jmp("top")
+	b.Label("end").Op(OpHalt)
+	orig, err := b.Assemble("roundtrip", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := strings.Join(orig.Disassemble(), "\n")
+	back, err := ParseAsm(orig.Name, src, orig.DataWords)
+	if err != nil {
+		t.Fatalf("reassemble failed: %v\nsource:\n%s", err, src)
+	}
+	if len(back.Code) != len(orig.Code) {
+		t.Fatalf("code length %d != %d", len(back.Code), len(orig.Code))
+	}
+	for i := range orig.Code {
+		if back.Code[i] != orig.Code[i] {
+			t.Fatalf("code byte %d: %d != %d\nsource:\n%s", i, back.Code[i], orig.Code[i], src)
+		}
+	}
+	if back.UsesSoftFloat != orig.UsesSoftFloat || back.UsesFixMath != orig.UsesFixMath {
+		t.Error("library flags lost in round-trip")
+	}
+}
+
+func TestBindLabelAt(t *testing.T) {
+	b := NewBuilder()
+	b.BindLabelAt("x", 0).BindLabelAt("x", 0) // idempotent rebind
+	b.Jmp("x").Op(OpHalt)
+	if _, err := b.Assemble("bind", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	b = NewBuilder()
+	b.BindLabelAt("x", 0).BindLabelAt("x", 4)
+	if _, err := b.Assemble("conflict", 0); err == nil {
+		t.Error("conflicting rebind should error")
+	}
+
+	b = NewBuilder()
+	b.BindLabelAt("x", -1)
+	if _, err := b.Assemble("neg", 0); err == nil {
+		t.Error("negative offset should error")
+	}
+}

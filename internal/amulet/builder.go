@@ -1,0 +1,277 @@
+package amulet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/wiot-security/sift/internal/fixedpoint"
+)
+
+// Program is an assembled firmware image for the VM: code bytes (stored in
+// FRAM), plus the static library footprint implied by the opcodes used.
+type Program struct {
+	Name string
+	Code []byte
+
+	// DataWords is the size of the FRAM data segment the program expects
+	// (inputs + scratch), in 32-bit words.
+	DataWords int
+
+	// Library dependencies, derived from the opcode mix at assembly time.
+	UsesSoftFloat bool // software IEEE-754 emulation
+	UsesLibm      bool // transcendental routines (sqrt/atan2)
+	UsesFixMath   bool // fixed-point multiply/divide/sqrt helpers
+}
+
+// CodeSize returns the program's VM encoding size in bytes.
+func (p *Program) CodeSize() int { return len(p.Code) }
+
+// FootprintBytes returns the modeled flash footprint of the program as a
+// native MSP430 toolchain would emit it (see Op.FootprintBytes). This is
+// the "detector FRAM" quantity of Table III, together with the program's
+// constant data.
+func (p *Program) FootprintBytes() int {
+	total := 0
+	pc := 0
+	for pc < len(p.Code) {
+		op := Op(p.Code[pc])
+		if !op.Valid() {
+			pc++
+			continue
+		}
+		total += op.FootprintBytes()
+		pc += 1 + op.OperandBytes()
+	}
+	return total
+}
+
+// Builder assembles VM bytecode with labels and forward references.
+// Helpers encode common structured patterns (loops, if/else) so detector
+// programs stay readable.
+type Builder struct {
+	code   []byte
+	labels map[string]int
+	fixups []fixup
+	errs   []error
+
+	usesFloat, usesLibm, usesFix bool
+	autoLabel                    int
+}
+
+type fixup struct {
+	at    int // offset of the 2-byte operand to patch
+	label string
+}
+
+// NewBuilder creates an empty assembler.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int)}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Op emits a zero-operand instruction.
+func (b *Builder) Op(op Op) *Builder {
+	if !op.Valid() || op.OperandBytes() != 0 {
+		b.fail("amulet: op %v cannot be emitted without operands", op)
+		return b
+	}
+	b.note(op)
+	b.code = append(b.code, byte(op))
+	return b
+}
+
+func (b *Builder) note(op Op) {
+	if op.isFloatOp() {
+		b.usesFloat = true
+	}
+	if op.isLibmOp() {
+		b.usesLibm = true
+	}
+	if op.isFixMathOp() {
+		b.usesFix = true
+	}
+}
+
+// Push emits a raw 32-bit immediate push.
+func (b *Builder) Push(v int32) *Builder {
+	b.code = append(b.code, byte(OpPush))
+	b.code = binary.LittleEndian.AppendUint32(b.code, uint32(v))
+	return b
+}
+
+// PushQ pushes a Q16.16 immediate.
+func (b *Builder) PushQ(q fixedpoint.Q) *Builder { return b.Push(q.Raw()) }
+
+// PushF pushes a float32 immediate as its bit pattern.
+func (b *Builder) PushF(f float32) *Builder { return b.Push(int32(f32bits(f))) }
+
+// PushI pushes an integer immediate.
+func (b *Builder) PushI(v int) *Builder { return b.Push(int32(v)) }
+
+// LoadL emits a local load; locals are indexed 0..MaxLocals-1.
+func (b *Builder) LoadL(idx int) *Builder { return b.localOp(OpLoadL, idx) }
+
+// StoreL emits a local store.
+func (b *Builder) StoreL(idx int) *Builder { return b.localOp(OpStoreL, idx) }
+
+func (b *Builder) localOp(op Op, idx int) *Builder {
+	if idx < 0 || idx >= MaxLocals {
+		b.fail("amulet: local index %d outside [0,%d)", idx, MaxLocals)
+		return b
+	}
+	b.code = append(b.code, byte(op), byte(idx))
+	return b
+}
+
+// Label binds a name to the current code offset.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.fail("amulet: duplicate label %q", name)
+		return b
+	}
+	b.labels[name] = len(b.code)
+	return b
+}
+
+// BindLabelAt binds a name to an explicit code offset — used by the text
+// assembler for absolute branch targets. Rebinding to the same offset is
+// a no-op; conflicting rebinds are an error.
+func (b *Builder) BindLabelAt(name string, offset int) *Builder {
+	if prev, dup := b.labels[name]; dup {
+		if prev != offset {
+			b.fail("amulet: label %q rebound from %d to %d", name, prev, offset)
+		}
+		return b
+	}
+	if offset < 0 {
+		b.fail("amulet: label %q bound to negative offset %d", name, offset)
+		return b
+	}
+	b.labels[name] = offset
+	return b
+}
+
+// freshLabel generates a unique internal label.
+func (b *Builder) freshLabel(prefix string) string {
+	b.autoLabel++
+	return fmt.Sprintf("·%s%d", prefix, b.autoLabel)
+}
+
+// Jmp, Jz, Jnz, and Call emit branches to a label (resolved at Assemble).
+func (b *Builder) Jmp(label string) *Builder  { return b.branch(OpJmp, label) }
+func (b *Builder) Jz(label string) *Builder   { return b.branch(OpJz, label) }
+func (b *Builder) Jnz(label string) *Builder  { return b.branch(OpJnz, label) }
+func (b *Builder) Call(label string) *Builder { return b.branch(OpCall, label) }
+
+func (b *Builder) branch(op Op, label string) *Builder {
+	b.code = append(b.code, byte(op))
+	b.fixups = append(b.fixups, fixup{at: len(b.code), label: label})
+	b.code = append(b.code, 0, 0)
+	return b
+}
+
+// ForRange emits a counted loop: for local[i] = 0; local[i] < limit;
+// local[i]++ { body }. limit is read from local[limitL].
+func (b *Builder) ForRange(iL, limitL int, body func(*Builder)) *Builder {
+	top := b.freshLabel("for")
+	done := b.freshLabel("endfor")
+	b.PushI(0).StoreL(iL) // will be overwritten if caller pre-set start — keep simple: always 0
+	b.Label(top)
+	b.LoadL(iL).LoadL(limitL).Op(OpLt).Jz(done)
+	body(b)
+	b.LoadL(iL).PushI(1).Op(OpAdd).StoreL(iL)
+	b.Jmp(top)
+	b.Label(done)
+	return b
+}
+
+// If emits: pop condition; if non-zero run then(), else run otherwise()
+// (otherwise may be nil).
+func (b *Builder) If(then func(*Builder), otherwise func(*Builder)) *Builder {
+	elseL := b.freshLabel("else")
+	endL := b.freshLabel("endif")
+	b.Jz(elseL)
+	then(b)
+	b.Jmp(endL)
+	b.Label(elseL)
+	if otherwise != nil {
+		otherwise(b)
+	}
+	b.Label(endL)
+	return b
+}
+
+// Assemble resolves branches and returns the finished program.
+func (b *Builder) Assemble(name string, dataWords int) (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("amulet: assemble %q: %w", name, b.errs[0])
+	}
+	if dataWords < 0 {
+		return nil, fmt.Errorf("amulet: assemble %q: negative data segment", name)
+	}
+	code := make([]byte, len(b.code))
+	copy(code, b.code)
+	for _, fx := range b.fixups {
+		target, ok := b.labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("amulet: assemble %q: undefined label %q", name, fx.label)
+		}
+		if target > 0xFFFF {
+			return nil, fmt.Errorf("amulet: assemble %q: label %q offset %d exceeds 16-bit range", name, fx.label, target)
+		}
+		binary.LittleEndian.PutUint16(code[fx.at:], uint16(target))
+	}
+	return &Program{
+		Name:          name,
+		Code:          code,
+		DataWords:     dataWords,
+		UsesSoftFloat: b.usesFloat,
+		UsesLibm:      b.usesLibm,
+		UsesFixMath:   b.usesFix,
+	}, nil
+}
+
+// Disassemble renders the program's code as one instruction per line,
+// with offsets — the debugging aid Insight #3 asks constrained platforms
+// to provide.
+func (p *Program) Disassemble() []string {
+	var out []string
+	pc := 0
+	for pc < len(p.Code) {
+		op := Op(p.Code[pc])
+		if !op.Valid() {
+			out = append(out, fmt.Sprintf("%04x: .byte %d", pc, p.Code[pc]))
+			pc++
+			continue
+		}
+		switch op.OperandBytes() {
+		case 0:
+			out = append(out, fmt.Sprintf("%04x: %s", pc, op))
+		case 1:
+			if pc+1 >= len(p.Code) {
+				out = append(out, fmt.Sprintf("%04x: %s <truncated>", pc, op))
+				return out
+			}
+			out = append(out, fmt.Sprintf("%04x: %s %d", pc, op, p.Code[pc+1]))
+		case 2:
+			if pc+2 >= len(p.Code) {
+				out = append(out, fmt.Sprintf("%04x: %s <truncated>", pc, op))
+				return out
+			}
+			v := binary.LittleEndian.Uint16(p.Code[pc+1:])
+			out = append(out, fmt.Sprintf("%04x: %s 0x%04x", pc, op, v))
+		case 4:
+			if pc+4 >= len(p.Code) {
+				out = append(out, fmt.Sprintf("%04x: %s <truncated>", pc, op))
+				return out
+			}
+			v := int32(binary.LittleEndian.Uint32(p.Code[pc+1:]))
+			out = append(out, fmt.Sprintf("%04x: %s %d", pc, op, v))
+		}
+		pc += 1 + op.OperandBytes()
+	}
+	return out
+}

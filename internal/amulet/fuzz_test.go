@@ -1,0 +1,118 @@
+package amulet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRandomBytecodeNeverPanics feeds random byte soup to the interpreter:
+// whatever happens, the VM must either halt cleanly or return an error —
+// a firmware image corrupted past its checksum must not take the
+// emulator (or, on the real device, the OS) down with it.
+func TestRandomBytecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		code := make([]byte, 1+rng.Intn(200))
+		for i := range code {
+			code[i] = byte(rng.Intn(256))
+		}
+		p := &Program{Name: "fuzz", Code: code, DataWords: 16}
+		vm, err := NewVM(p, make([]int32, 16))
+		if err != nil {
+			t.Fatalf("trial %d: NewVM: %v", trial, err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: interpreter panicked on %v: %v", trial, code, r)
+				}
+			}()
+			_ = vm.Run(50_000) // error or clean halt are both fine
+		}()
+	}
+}
+
+// TestRandomValidOpcodesNeverPanic constrains the soup to valid opcodes
+// with well-formed operands, which exercises deeper interpreter paths
+// (the all-random test mostly dies at the first invalid byte).
+func TestRandomValidOpcodesNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ops := make([]Op, 0, int(opCount))
+	for op := Op(0); op < opCount; op++ {
+		if op.Valid() {
+			ops = append(ops, op)
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		b := NewBuilder()
+		steps := 1 + rng.Intn(60)
+		for s := 0; s < steps; s++ {
+			op := ops[rng.Intn(len(ops))]
+			switch op.OperandBytes() {
+			case 0:
+				b.Op(op)
+			case 1:
+				b.localOp(op, rng.Intn(MaxLocals))
+			case 2:
+				// Branch somewhere inside the program (bound later).
+				b.branch(op, "end")
+			case 4:
+				b.Push(int32(rng.Uint32()))
+			}
+		}
+		b.Label("end").Op(OpHalt)
+		p, err := b.Assemble("fuzz-valid", 8)
+		if err != nil {
+			t.Fatalf("trial %d: assemble: %v", trial, err)
+		}
+		vm, err := NewVM(p, make([]int32, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panicked: %v\n%v", trial, r, p.Disassemble())
+				}
+			}()
+			_ = vm.Run(100_000)
+		}()
+	}
+}
+
+// TestQuickUsageNeverExceedsLimits checks the telemetry invariants under
+// random valid programs: reported peaks stay within the configured caps.
+func TestQuickUsageNeverExceedsLimits(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		for s := 0; s < 30; s++ {
+			switch rng.Intn(4) {
+			case 0:
+				b.Push(int32(rng.Intn(100)))
+			case 1:
+				b.localOp(OpLoadL, rng.Intn(MaxLocals))
+			case 2:
+				b.Op(OpDup)
+			case 3:
+				b.localOp(OpStoreL, rng.Intn(MaxLocals))
+			}
+		}
+		b.Op(OpHalt)
+		p, err := b.Assemble("quick", 0)
+		if err != nil {
+			return false
+		}
+		vm, err := NewVM(p, nil)
+		if err != nil {
+			return false
+		}
+		_ = vm.Run(10_000)
+		u := vm.Usage()
+		return u.MaxStack <= MaxStack && u.MaxLocals <= MaxLocals && u.MaxCall <= MaxCallDepth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

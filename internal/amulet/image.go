@@ -1,0 +1,134 @@
+package amulet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Firmware image format. The Amulet Firmware Toolchain merges QM apps
+// into a single installable image; this is the emulator's equivalent: a
+// self-describing, checksummed container for one program, suitable for
+// storage, transfer to a device, and re-flashing by the adaptive engine.
+//
+// Layout (little endian):
+//
+//	magic   uint32  "AMLT"
+//	version uint16  format version (1)
+//	flags   uint16  library-dependency bits
+//	nameLen uint16
+//	name    [nameLen]byte
+//	data    uint32  data segment size in words
+//	codeLen uint32
+//	code    [codeLen]byte
+//	crc     uint32  CRC-32 (IEEE) of everything above
+const (
+	imageMagic   = 0x414D4C54 // "AMLT"
+	imageVersion = 1
+)
+
+// Image flag bits.
+const (
+	flagSoftFloat uint16 = 1 << iota
+	flagLibm
+	flagFixMath
+)
+
+// Image errors.
+var (
+	ErrBadImage      = errors.New("amulet: malformed firmware image")
+	ErrImageChecksum = errors.New("amulet: firmware image checksum mismatch")
+	ErrImageVersion  = errors.New("amulet: unsupported firmware image version")
+)
+
+// EncodeImage serializes a program into a flashable firmware image.
+func EncodeImage(p *Program) ([]byte, error) {
+	if p == nil {
+		return nil, errors.New("amulet: cannot encode nil program")
+	}
+	if p.Name == "" {
+		return nil, errors.New("amulet: program needs a name")
+	}
+	if len(p.Name) > 0xFFFF {
+		return nil, fmt.Errorf("amulet: program name of %d bytes too long", len(p.Name))
+	}
+	var flags uint16
+	if p.UsesSoftFloat {
+		flags |= flagSoftFloat
+	}
+	if p.UsesLibm {
+		flags |= flagLibm
+	}
+	if p.UsesFixMath {
+		flags |= flagFixMath
+	}
+	buf := make([]byte, 0, 20+len(p.Name)+len(p.Code))
+	buf = binary.LittleEndian.AppendUint32(buf, imageMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, imageVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, flags)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.Name)))
+	buf = append(buf, p.Name...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.DataWords))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Code)))
+	buf = append(buf, p.Code...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// DecodeImage parses and verifies a firmware image.
+func DecodeImage(buf []byte) (*Program, error) {
+	const fixedHeader = 4 + 2 + 2 + 2
+	if len(buf) < fixedHeader+4+4+4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadImage, len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf) != imageMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:]); v != imageVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrImageVersion, v)
+	}
+	flags := binary.LittleEndian.Uint16(buf[6:])
+	nameLen := int(binary.LittleEndian.Uint16(buf[8:]))
+	pos := fixedHeader
+	if len(buf) < pos+nameLen+8+4 {
+		return nil, fmt.Errorf("%w: truncated name", ErrBadImage)
+	}
+	name := string(buf[pos : pos+nameLen])
+	pos += nameLen
+	dataWords := int(binary.LittleEndian.Uint32(buf[pos:]))
+	codeLen := int(binary.LittleEndian.Uint32(buf[pos+4:]))
+	pos += 8
+	if len(buf) != pos+codeLen+4 {
+		return nil, fmt.Errorf("%w: %d bytes for %d-byte code section", ErrBadImage, len(buf), codeLen)
+	}
+	body := buf[:pos+codeLen]
+	want := binary.LittleEndian.Uint32(buf[pos+codeLen:])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, ErrImageChecksum
+	}
+	code := make([]byte, codeLen)
+	copy(code, buf[pos:pos+codeLen])
+	return &Program{
+		Name:          name,
+		Code:          code,
+		DataWords:     dataWords,
+		UsesSoftFloat: flags&flagSoftFloat != 0,
+		UsesLibm:      flags&flagLibm != 0,
+		UsesFixMath:   flags&flagFixMath != 0,
+	}, nil
+}
+
+// Flash decodes a firmware image and installs it, replacing any program
+// with the same name — the emulator's equivalent of re-flashing the
+// application chip.
+func (d *Device) Flash(image []byte) (*Program, error) {
+	p, err := DecodeImage(image)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Install(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

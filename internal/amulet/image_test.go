@@ -1,0 +1,167 @@
+package amulet
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func buildFloatProg(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder()
+	b.PushF(2).Op(OpFSqrt).Op(OpDrop)
+	b.PushQ(1).PushQ(2).Op(OpMulQ).Op(OpDrop)
+	b.Op(OpHalt)
+	p, err := b.Assemble("img-test", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	p := buildFloatProg(t)
+	img, err := EncodeImage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || got.DataWords != p.DataWords {
+		t.Errorf("metadata mismatch: %+v", got)
+	}
+	if got.UsesSoftFloat != p.UsesSoftFloat || got.UsesLibm != p.UsesLibm || got.UsesFixMath != p.UsesFixMath {
+		t.Error("library flags lost in round-trip")
+	}
+	if len(got.Code) != len(p.Code) {
+		t.Fatalf("code length %d != %d", len(got.Code), len(p.Code))
+	}
+	for i := range p.Code {
+		if got.Code[i] != p.Code[i] {
+			t.Fatalf("code byte %d differs", i)
+		}
+	}
+}
+
+func TestImageChecksumDetectsCorruption(t *testing.T) {
+	p := buildFloatProg(t)
+	img, err := EncodeImage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)/2] ^= 0xFF
+	if _, err := DecodeImage(img); !errors.Is(err, ErrImageChecksum) && !errors.Is(err, ErrBadImage) {
+		t.Errorf("corrupted image err = %v, want checksum/bad-image", err)
+	}
+}
+
+func TestImageTruncation(t *testing.T) {
+	p := buildFloatProg(t)
+	img, err := EncodeImage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 4, 10, len(img) - 1} {
+		if _, err := DecodeImage(img[:n]); err == nil {
+			t.Errorf("truncation to %d bytes should error", n)
+		}
+	}
+}
+
+func TestImageBadMagicAndVersion(t *testing.T) {
+	p := buildFloatProg(t)
+	img, err := EncodeImage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), img...)
+	bad[0] = 0
+	if _, err := DecodeImage(bad); !errors.Is(err, ErrBadImage) {
+		t.Errorf("bad magic err = %v", err)
+	}
+	bad = append([]byte(nil), img...)
+	bad[4] = 99 // version — checksum will also mismatch, either error is fine
+	if _, err := DecodeImage(bad); err == nil {
+		t.Error("bad version should error")
+	}
+}
+
+func TestEncodeImageValidation(t *testing.T) {
+	if _, err := EncodeImage(nil); err == nil {
+		t.Error("nil program should error")
+	}
+	if _, err := EncodeImage(&Program{}); err == nil {
+		t.Error("unnamed program should error")
+	}
+}
+
+func TestFlash(t *testing.T) {
+	d := NewDevice()
+	img, err := EncodeImage(buildFloatProg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Flash(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Lookup(p.Name); !ok {
+		t.Error("flashed program should be installed")
+	}
+	// Re-flashing the same image replaces, not duplicates.
+	if _, err := d.Flash(img); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Programs()) != 1 {
+		t.Errorf("programs after re-flash = %d", len(d.Programs()))
+	}
+	if _, err := d.Flash([]byte("junk")); err == nil {
+		t.Error("junk image should not flash")
+	}
+}
+
+func TestFlashedProgramRuns(t *testing.T) {
+	d := NewDevice()
+	img, err := EncodeImage(buildFloatProg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Flash(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(p.Name, make([]int32, p.DataWords), 100_000); err != nil {
+		t.Errorf("flashed program failed to run: %v", err)
+	}
+}
+
+func TestQuickImageRoundTripArbitraryCode(t *testing.T) {
+	f := func(code []byte, dataWords uint16, name string) bool {
+		if name == "" {
+			name = "x"
+		}
+		if len(name) > 64 {
+			name = name[:64]
+		}
+		p := &Program{Name: name, Code: code, DataWords: int(dataWords)}
+		img, err := EncodeImage(p)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeImage(img)
+		if err != nil || got.Name != name || got.DataWords != int(dataWords) || len(got.Code) != len(code) {
+			return false
+		}
+		for i := range code {
+			if got.Code[i] != code[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

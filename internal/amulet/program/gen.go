@@ -1,0 +1,505 @@
+package program
+
+import (
+	"fmt"
+
+	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/features"
+	"github.com/wiot-security/sift/internal/fixedpoint"
+)
+
+// Local variable allocation for the detector programs. The count doubles
+// as the measured SRAM locals footprint, so the set is kept tight.
+// The allocation is ordered so the Reduced version only ever touches the
+// low prefix: peak VM locals usage is a *measured* SRAM quantity, and the
+// Reduced detector's smaller working set is part of Table III's story.
+const (
+	lI     = iota // outer loop counter
+	lLimit        // outer loop bound
+	lN            // window sample count
+	lMin          // running minimum (Q raw)
+	lMax          // running maximum (Q raw)
+	lTmp          // scratch (row / x / peak index)
+	lTmp2         // scratch (col / y / address)
+	lAcc          // native accumulator
+	lCount        // peak count for geometric loops
+	lDx           // pair-distance scratch
+	lDy           // pair-distance scratch
+
+	// The Reduced version never materializes normalized arrays: it keeps
+	// per-channel (min, scale) and normalizes peak coordinates on the fly.
+	lMinA   // ABP channel native minimum
+	lScaleA // ABP channel native 1/range
+	lMinE   // ECG channel native minimum
+	lScaleE // ECG channel native 1/range
+
+	// Locals below are only used by the Original/Simplified matrix
+	// pipeline and in-place normalization.
+	lScale  // native 1/range (normalize)
+	lMinNat // native minimum
+	lJ      // inner loop counter
+	lLimit2 // inner loop bound
+	lAcc2   // secondary accumulator
+	lMean   // mean of column averages
+)
+
+// mode abstracts the numeric representation a detector version computes
+// in: Q16.16 fixed point (Simplified, Reduced) or software float32
+// (Original). Stack words hold the native representation; fromQ/toQ
+// convert at the sensor-data and output boundaries.
+type mode struct {
+	add, sub, mul, div amulet.Op
+	min, max           amulet.Op
+	sqrt, atan2        amulet.Op
+	fromI, toI         amulet.Op
+
+	// fromQ converts top-of-stack from Q16.16 input to native; toQ the
+	// reverse. No-ops in fixed-point mode.
+	fromQ func(*amulet.Builder)
+	toQ   func(*amulet.Builder)
+	// imm pushes a native immediate.
+	imm func(*amulet.Builder, float64)
+}
+
+func nopConv(*amulet.Builder) {}
+
+var qMode = mode{
+	add: amulet.OpAdd, sub: amulet.OpSub, mul: amulet.OpMulQ, div: amulet.OpDivQ,
+	min: amulet.OpMin, max: amulet.OpMax,
+	sqrt: amulet.OpSqrtQ, atan2: amulet.OpAtan2Q,
+	fromI: amulet.OpItoQ, toI: amulet.OpQtoI,
+	fromQ: nopConv, toQ: nopConv,
+	imm: func(b *amulet.Builder, v float64) { b.PushQ(fixedpoint.FromFloat(v)) },
+}
+
+var fMode = mode{
+	add: amulet.OpFAdd, sub: amulet.OpFSub, mul: amulet.OpFMul, div: amulet.OpFDiv,
+	min: amulet.OpFMin, max: amulet.OpFMax,
+	sqrt: amulet.OpFSqrt, atan2: amulet.OpFAtan2,
+	fromI: amulet.OpItoF, toI: amulet.OpFtoI,
+	fromQ: func(b *amulet.Builder) { b.Op(amulet.OpQtoF) },
+	toQ:   func(b *amulet.Builder) { b.Op(amulet.OpFtoQ) },
+	imm:   func(b *amulet.Builder, v float64) { b.PushF(float32(v)) },
+}
+
+// Build assembles the detector program for a feature-extractor version.
+func Build(v features.Version) (*amulet.Program, error) {
+	var m mode
+	switch v {
+	case features.Original:
+		m = fMode
+	case features.Simplified, features.Reduced:
+		m = qMode
+	default:
+		return nil, fmt.Errorf("program: unknown version %v", v)
+	}
+	g := &gen{b: amulet.NewBuilder(), m: m, version: v}
+	g.prologue()
+	if v == features.Reduced {
+		// The Reduced detector only needs the portrait coordinates of the
+		// handful of characteristic points, so it computes each channel's
+		// (min, 1/range) once and normalizes peak samples on demand —
+		// skipping two full-array rewrite passes. This is the kind of
+		// rewrite the paper's memory/energy numbers for the Reduced
+		// version reflect.
+		g.minMaxScale(EcgBase, lMinE, lScaleE)
+		g.minMaxScale(AbpBase, lMinA, lScaleA)
+	} else {
+		g.normalize(EcgBase)
+		g.normalize(AbpBase)
+	}
+
+	feat := 0
+	if v != features.Reduced {
+		g.gridCount()
+		g.columnAverages()
+		g.spatialFillingIndex(feat)
+		feat++
+		g.columnSpread(feat, v == features.Original)
+		feat++
+		g.areaUnderCurve(feat)
+		feat++
+	}
+	g.meanAngleOrSlope(feat, RBase, HdrNR)
+	feat++
+	g.meanAngleOrSlope(feat, SBase, HdrNS)
+	feat++
+	g.meanDistOrigin(feat, RBase, HdrNR)
+	feat++
+	g.meanDistOrigin(feat, SBase, HdrNS)
+	feat++
+	g.meanPairDist(feat)
+	feat++
+
+	if feat != v.Dim() {
+		return nil, fmt.Errorf("program: generated %d features for %v, want %d", feat, v, v.Dim())
+	}
+	g.classifier(v.Dim())
+	g.b.Op(amulet.OpHalt)
+	return g.b.Assemble("sift-"+v.String(), DataWords)
+}
+
+// gen carries codegen state.
+type gen struct {
+	b       *amulet.Builder
+	m       mode
+	version features.Version
+}
+
+// loadHdr pushes data[hdr].
+func (g *gen) loadHdr(hdr int) { g.b.PushI(hdr).Op(amulet.OpLoadM) }
+
+// prologue is the PeaksDataCheck state: validate the header; on any
+// violation, store label -1 and halt.
+func (g *gen) prologue() {
+	b := g.b
+	g.loadHdr(HdrN)
+	b.StoreL(lN)
+
+	// ok := N>0 && N<=MaxSamples && nR<=MaxPeaks && nS<=MaxPeaks && nPairs<=MaxPeaks
+	b.LoadL(lN).PushI(0).Op(amulet.OpGt)
+	b.LoadL(lN).PushI(MaxSamples).Op(amulet.OpLe).Op(amulet.OpMulI)
+	g.loadHdr(HdrNR)
+	b.PushI(MaxPeaks).Op(amulet.OpLe).Op(amulet.OpMulI)
+	g.loadHdr(HdrNS)
+	b.PushI(MaxPeaks).Op(amulet.OpLe).Op(amulet.OpMulI)
+	g.loadHdr(HdrNPairs)
+	b.PushI(MaxPeaks).Op(amulet.OpLe).Op(amulet.OpMulI)
+	b.Jnz("checked")
+	b.PushI(HdrLabel).Push(-1).Op(amulet.OpStoreM)
+	b.Op(amulet.OpHalt)
+	b.Label("checked")
+
+	// PeaksDataCheck plausibility rule (matches the host detector): a
+	// window with zero R peaks cannot be a live cardiac signal → flag it
+	// altered immediately with the sanity margin.
+	g.loadHdr(HdrNR)
+	b.PushI(0).Op(amulet.OpGt)
+	b.Jnz("haspeaks")
+	b.PushI(HdrLabel).PushI(1).Op(amulet.OpStoreM)
+	b.PushI(HdrOut).PushQ(fixedpoint.FromFloat(100)).Op(amulet.OpStoreM)
+	b.Op(amulet.OpHalt)
+	b.Label("haspeaks")
+}
+
+// minMaxScaleInto scans data[base..base+N) (Q16.16 input) and leaves the
+// channel's native minimum in dstMin and native 1/range in dstScale. A
+// constant signal gets scale = 0, so (v−min)·scale normalizes it to all
+// zeros — the host reference's convention.
+func (g *gen) minMaxScaleInto(base, dstMin, dstScale int) {
+	b, m := g.b, g.m
+	b.PushI(base).Op(amulet.OpLoadM).StoreL(lMin)
+	b.PushI(base).Op(amulet.OpLoadM).StoreL(lMax)
+	b.LoadL(lN).StoreL(lLimit)
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) {
+		b.PushI(base).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM).StoreL(lTmp)
+		b.LoadL(lMin).LoadL(lTmp).Op(amulet.OpMin).StoreL(lMin)
+		b.LoadL(lMax).LoadL(lTmp).Op(amulet.OpMax).StoreL(lMax)
+	})
+	b.LoadL(lMin)
+	m.fromQ(b)
+	b.StoreL(dstMin)
+	b.LoadL(lMax).LoadL(lMin).Op(amulet.OpSub)
+	b.Op(amulet.OpDup).PushI(0).Op(amulet.OpEq)
+	b.If(func(b *amulet.Builder) {
+		b.Op(amulet.OpDrop)
+		b.PushI(0).StoreL(dstScale)
+	}, func(b *amulet.Builder) {
+		m.fromQ(b)
+		m.imm(b, 1)
+		b.Op(amulet.OpSwap).Op(m.div).StoreL(dstScale)
+	})
+}
+
+// minMaxScale is the Reduced version's lightweight stage: constants only,
+// no array rewrite.
+func (g *gen) minMaxScale(base, dstMin, dstScale int) {
+	g.minMaxScaleInto(base, dstMin, dstScale)
+}
+
+// normalize rescales data[base..base+N) into [0,1], converting from the
+// Q16.16 sensor representation to the mode's native one in place.
+func (g *gen) normalize(base int) {
+	b, m := g.b, g.m
+	g.minMaxScaleInto(base, lMinNat, lScale)
+	b.LoadL(lN).StoreL(lLimit)
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) {
+		b.PushI(base).LoadL(lI).Op(amulet.OpAdd).StoreL(lTmp2) // address
+		b.LoadL(lTmp2)
+		b.LoadL(lTmp2).Op(amulet.OpLoadM)
+		m.fromQ(b)
+		b.LoadL(lMinNat).Op(m.sub).LoadL(lScale).Op(m.mul)
+		b.Op(amulet.OpStoreM)
+	})
+}
+
+// gridCount zeroes the occupancy matrix and bins every trajectory point.
+func (g *gen) gridCount() {
+	b, m := g.b, g.m
+	b.PushI(GridN * GridN).StoreL(lLimit)
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) {
+		b.PushI(MatrixBase).LoadL(lI).Op(amulet.OpAdd).PushI(0).Op(amulet.OpStoreM)
+	})
+
+	b.LoadL(lN).StoreL(lLimit)
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) {
+		// col from ABP (x), row from ECG (y); clamp to [0, GridN-1].
+		bin := func(base int, dst int) {
+			b.PushI(base).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM)
+			m.imm(b, GridN)
+			b.Op(m.mul).Op(m.toI)
+			b.PushI(0).Op(amulet.OpMax).PushI(GridN - 1).Op(amulet.OpMin)
+			b.StoreL(dst)
+		}
+		bin(AbpBase, lTmp2) // column
+		bin(EcgBase, lTmp)  // row
+		// addr = MatrixBase + row*GridN + col
+		b.LoadL(lTmp).PushI(GridN).Op(amulet.OpMulI).LoadL(lTmp2).Op(amulet.OpAdd)
+		b.PushI(MatrixBase).Op(amulet.OpAdd).StoreL(lTmp2)
+		b.LoadL(lTmp2)
+		b.LoadL(lTmp2).Op(amulet.OpLoadM).PushI(1).Op(amulet.OpAdd)
+		b.Op(amulet.OpStoreM)
+	})
+}
+
+// columnAverages computes col[j] = Σ_i C[i][j] / GridN into the column
+// buffer, in native representation.
+func (g *gen) columnAverages() {
+	b, m := g.b, g.m
+	b.PushI(GridN).StoreL(lLimit).PushI(GridN).StoreL(lLimit2)
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) { // j = lI
+		b.PushI(0).StoreL(lAcc)
+		b.ForRange(lJ, lLimit2, func(b *amulet.Builder) { // i = lJ
+			b.LoadL(lJ).PushI(GridN).Op(amulet.OpMulI).LoadL(lI).Op(amulet.OpAdd)
+			b.PushI(MatrixBase).Op(amulet.OpAdd).Op(amulet.OpLoadM)
+			b.LoadL(lAcc).Op(amulet.OpAdd).StoreL(lAcc)
+		})
+		b.PushI(ColBase).LoadL(lI).Op(amulet.OpAdd) // address
+		b.LoadL(lAcc).Op(m.fromI)
+		m.imm(b, GridN)
+		b.Op(m.div)
+		b.Op(amulet.OpStoreM)
+	})
+}
+
+// storeFeat stores top-of-stack (native) into feature slot k.
+func (g *gen) storeFeat(k int) {
+	g.b.PushI(HdrFeat0 + k).Op(amulet.OpSwap).Op(amulet.OpStoreM)
+}
+
+// spatialFillingIndex computes SFI = n²·Σc²/N² exactly: Σc² in integer
+// arithmetic, one division, one multiply — the formulation an MCU
+// implementation uses to avoid per-cell divisions.
+func (g *gen) spatialFillingIndex(k int) {
+	b, m := g.b, g.m
+	b.PushI(GridN * GridN).StoreL(lLimit)
+	b.PushI(0).StoreL(lAcc)
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) {
+		b.PushI(MatrixBase).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM).StoreL(lTmp)
+		b.LoadL(lTmp).LoadL(lTmp).Op(amulet.OpMulI)
+		b.LoadL(lAcc).Op(amulet.OpAdd).StoreL(lAcc)
+	})
+	if g.version == features.Original {
+		// float32: SFI = (Σc² / N²) · n²
+		b.LoadL(lAcc).Op(amulet.OpItoF)
+		b.LoadL(lN).LoadL(lN).Op(amulet.OpMulI).Op(amulet.OpItoF)
+		b.Op(amulet.OpFDiv)
+		m.imm(b, GridN*GridN)
+		b.Op(m.mul)
+	} else {
+		// Q16.16: interpret the integer Σc² and N² words directly as Q
+		// raws — their ratio is scale-free and the division is exact to
+		// one LSB.
+		b.LoadL(lAcc)
+		b.LoadL(lN).LoadL(lN).Op(amulet.OpMulI)
+		b.Op(amulet.OpDivQ)
+		m.imm(b, GridN*GridN)
+		b.Op(m.mul)
+	}
+	g.storeFeat(k)
+}
+
+// columnSpread computes the variance of the column averages (and its
+// square root for the Original version's standard deviation).
+func (g *gen) columnSpread(k int, wantStd bool) {
+	b, m := g.b, g.m
+	b.PushI(GridN).StoreL(lLimit)
+	// mean
+	b.PushI(0).StoreL(lAcc)
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) {
+		b.PushI(ColBase).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM)
+		b.LoadL(lAcc).Op(m.add).StoreL(lAcc)
+	})
+	b.LoadL(lAcc)
+	m.imm(b, GridN)
+	b.Op(m.div).StoreL(lMean)
+	// variance
+	b.PushI(0).StoreL(lAcc2)
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) {
+		b.PushI(ColBase).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM)
+		b.LoadL(lMean).Op(m.sub).StoreL(lTmp)
+		b.LoadL(lTmp).LoadL(lTmp).Op(m.mul)
+		b.LoadL(lAcc2).Op(m.add).StoreL(lAcc2)
+	})
+	b.LoadL(lAcc2)
+	m.imm(b, GridN)
+	b.Op(m.div)
+	if wantStd {
+		b.Op(m.sqrt)
+	}
+	g.storeFeat(k)
+}
+
+// areaUnderCurve integrates the column averages: Σ(col[j]+col[j+1]) · ½.
+func (g *gen) areaUnderCurve(k int) {
+	b, m := g.b, g.m
+	b.PushI(GridN - 1).StoreL(lLimit)
+	b.PushI(0).StoreL(lAcc)
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) {
+		b.PushI(ColBase).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM)
+		b.PushI(ColBase + 1).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM)
+		b.Op(m.add)
+		b.LoadL(lAcc).Op(m.add).StoreL(lAcc)
+	})
+	b.LoadL(lAcc)
+	m.imm(b, 0.5)
+	b.Op(m.mul)
+	g.storeFeat(k)
+}
+
+// pushPeakXY pushes the portrait coordinates (x from ABP, then y from ECG)
+// of the peak whose sample index sits in local lTmp. In the Reduced
+// version, the arrays still hold raw Q samples, so each coordinate is
+// normalized on the fly with the per-channel (min, scale) constants.
+func (g *gen) pushPeakXY() {
+	b, m := g.b, g.m
+	inline := g.version == features.Reduced
+	fetch := func(base, minL, scaleL int) {
+		b.PushI(base).LoadL(lTmp).Op(amulet.OpAdd).Op(amulet.OpLoadM)
+		if inline {
+			m.fromQ(b)
+			b.LoadL(minL).Op(m.sub).LoadL(scaleL).Op(m.mul)
+		}
+	}
+	fetch(AbpBase, lMinA, lScaleA) // x
+	fetch(EcgBase, lMinE, lScaleE) // y
+}
+
+// meanOverCount divides the native accumulator by lCount and stores the
+// feature; a zero count stores 0 (matching the host reference).
+func (g *gen) meanOverCount(k int) {
+	b, m := g.b, g.m
+	b.LoadL(lCount).PushI(0).Op(amulet.OpEq)
+	b.If(func(b *amulet.Builder) {
+		b.PushI(HdrFeat0 + k).PushI(0).Op(amulet.OpStoreM)
+	}, func(b *amulet.Builder) {
+		b.LoadL(lAcc).LoadL(lCount).Op(m.fromI).Op(m.div)
+		g.storeFeat(k)
+	})
+}
+
+// meanAngleOrSlope emits feature: mean over peaks of atan2(y,x) (Original)
+// or the clamped slope y/x (Simplified/Reduced).
+func (g *gen) meanAngleOrSlope(k, peakBase, countHdr int) {
+	b, m := g.b, g.m
+	g.loadHdr(countHdr)
+	b.StoreL(lCount)
+	b.LoadL(lCount).StoreL(lLimit)
+	b.PushI(0).StoreL(lAcc)
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) {
+		b.PushI(peakBase).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM).StoreL(lTmp)
+		g.pushPeakXY() // stack: x y
+		if g.version == features.Original {
+			b.Op(amulet.OpSwap) // atan2 wants [y x]
+			b.Op(m.atan2)
+		} else {
+			// slope = clamp(y/x, ±slopeCap); DivQ saturates on x = 0.
+			b.Op(amulet.OpSwap).Op(m.div)
+			b.PushQ(fixedpoint.FromFloat(128)).Op(amulet.OpMin)
+			b.PushQ(fixedpoint.FromFloat(-128)).Op(amulet.OpMax)
+		}
+		b.LoadL(lAcc).Op(m.add).StoreL(lAcc)
+	})
+	g.meanOverCount(k)
+}
+
+// meanDistOrigin emits mean distance (Original) or squared distance
+// (Simplified/Reduced) of peaks from the portrait origin.
+func (g *gen) meanDistOrigin(k, peakBase, countHdr int) {
+	b, m := g.b, g.m
+	g.loadHdr(countHdr)
+	b.StoreL(lCount)
+	b.LoadL(lCount).StoreL(lLimit)
+	b.PushI(0).StoreL(lAcc)
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) {
+		b.PushI(peakBase).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM).StoreL(lTmp)
+		g.pushPeakXY()
+		b.StoreL(lTmp2) // y
+		b.Op(amulet.OpDup).Op(m.mul)
+		b.LoadL(lTmp2).LoadL(lTmp2).Op(m.mul)
+		b.Op(m.add)
+		if g.version == features.Original {
+			b.Op(m.sqrt)
+		}
+		b.LoadL(lAcc).Op(m.add).StoreL(lAcc)
+	})
+	g.meanOverCount(k)
+}
+
+// meanPairDist emits the mean (squared) distance between each R peak and
+// its corresponding systolic peak.
+func (g *gen) meanPairDist(k int) {
+	b, m := g.b, g.m
+	g.loadHdr(HdrNPairs)
+	b.StoreL(lCount)
+	b.LoadL(lCount).StoreL(lLimit)
+	b.PushI(0).StoreL(lAcc)
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) {
+		// R point.
+		b.PushI(PairRBase).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM).StoreL(lTmp)
+		g.pushPeakXY() // [xR yR]
+		b.StoreL(lDy)  // yR
+		b.StoreL(lDx)  // xR
+		// Systolic point.
+		b.PushI(PairSBase).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM).StoreL(lTmp)
+		g.pushPeakXY()  // [xS yS]
+		b.StoreL(lTmp2) // yS → stack [xS]
+		// dx = xR − xS; dy = yR − yS.
+		b.LoadL(lDx).Op(amulet.OpSwap).Op(m.sub).StoreL(lDx)
+		b.LoadL(lDy).LoadL(lTmp2).Op(m.sub).StoreL(lDy)
+		b.LoadL(lDx).LoadL(lDx).Op(m.mul)
+		b.LoadL(lDy).LoadL(lDy).Op(m.mul)
+		b.Op(m.add)
+		if g.version == features.Original {
+			b.Op(m.sqrt)
+		}
+		b.LoadL(lAcc).Op(m.add).StoreL(lAcc)
+	})
+	g.meanOverCount(k)
+}
+
+// classifier is the MLClassifier state: standardize the feature vector,
+// apply the linear SVM, and store the margin and label. The loop is
+// unrolled — the trained model's dimensionality is fixed at flash time,
+// exactly as the paper's translated-to-C prediction function was.
+func (g *gen) classifier(dim int) {
+	b, m := g.b, g.m
+	b.PushI(modelBias).Op(amulet.OpLoadM).StoreL(lAcc)
+	for j := 0; j < dim; j++ {
+		b.PushI(HdrFeat0 + j).Op(amulet.OpLoadM)
+		b.PushI(modelMean + j).Op(amulet.OpLoadM)
+		b.Op(m.sub)
+		b.PushI(modelInvStd + j).Op(amulet.OpLoadM)
+		b.Op(m.mul)
+		b.PushI(modelW + j).Op(amulet.OpLoadM)
+		b.Op(m.mul)
+		b.LoadL(lAcc).Op(m.add).StoreL(lAcc)
+	}
+	b.LoadL(lAcc)
+	m.toQ(b)
+	b.Op(amulet.OpDup)
+	b.PushI(HdrOut).Op(amulet.OpSwap).Op(amulet.OpStoreM)
+	// label = margin >= 0 (integer compare on the Q raw word).
+	b.PushI(0).Op(amulet.OpGe)
+	b.PushI(HdrLabel).Op(amulet.OpSwap).Op(amulet.OpStoreM)
+}

@@ -1,0 +1,140 @@
+package program
+
+import (
+	"fmt"
+
+	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/fixedpoint"
+)
+
+// The pedometer is the Amulet's canonical companion app: the platform's
+// selling point is running multiple third-party apps on one device, and
+// the co-residency experiment measures what sharing the MCU with a
+// second app costs the SIFT detector. The step counter runs over the
+// accelerometer magnitude with a Schmitt trigger (count a step on each
+// upward crossing of the high threshold after having dropped below the
+// low threshold).
+
+// Pedometer data-segment layout (word addresses).
+const (
+	PedHdrN     = 0 // sample count (int)
+	PedHdrSteps = 1 // OUT: step count (int)
+	PedBase     = 8 // accelerometer magnitude samples (Q16.16 g units)
+	// PedMaxSamples bounds the input buffer (3 s at 50 Hz).
+	PedMaxSamples = 256
+	// PedDataWords is the data segment size.
+	PedDataWords = PedBase + PedMaxSamples
+)
+
+// Schmitt-trigger thresholds in g.
+var (
+	pedHigh = fixedpoint.FromFloat(1.12)
+	pedLow  = fixedpoint.FromFloat(1.02)
+)
+
+// BuildPedometer assembles the step-counter app.
+func BuildPedometer() (*amulet.Program, error) {
+	b := amulet.NewBuilder()
+
+	const (
+		lI     = 0 // loop counter
+		lLimit = 1
+		lSteps = 2
+		lArmed = 3 // 1 when below the low threshold (ready to count)
+		lVal   = 4
+	)
+
+	// N bounds check.
+	b.PushI(PedHdrN).Op(amulet.OpLoadM).StoreL(lLimit)
+	b.LoadL(lLimit).PushI(0).Op(amulet.OpGt)
+	b.LoadL(lLimit).PushI(PedMaxSamples).Op(amulet.OpLe).Op(amulet.OpMulI)
+	b.Jnz("ok")
+	b.PushI(PedHdrSteps).Push(-1).Op(amulet.OpStoreM)
+	b.Op(amulet.OpHalt)
+	b.Label("ok")
+
+	b.PushI(0).StoreL(lSteps)
+	b.PushI(1).StoreL(lArmed) // start armed
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) {
+		b.PushI(PedBase).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM).StoreL(lVal)
+		// if armed && v >= high: step++, disarm
+		b.LoadL(lArmed)
+		b.LoadL(lVal).PushQ(pedHigh).Op(amulet.OpGe)
+		b.Op(amulet.OpMulI)
+		b.If(func(b *amulet.Builder) {
+			b.LoadL(lSteps).PushI(1).Op(amulet.OpAdd).StoreL(lSteps)
+			b.PushI(0).StoreL(lArmed)
+		}, nil)
+		// if v < low: re-arm
+		b.LoadL(lVal).PushQ(pedLow).Op(amulet.OpLt)
+		b.If(func(b *amulet.Builder) {
+			b.PushI(1).StoreL(lArmed)
+		}, nil)
+	})
+	b.PushI(PedHdrSteps).LoadL(lSteps).Op(amulet.OpStoreM)
+	b.Op(amulet.OpHalt)
+	return b.Assemble("pedometer", PedDataWords)
+}
+
+// PedometerInput marshals accelerometer magnitude samples (g units) into
+// a pedometer data segment.
+func PedometerInput(magnitude []float64) ([]int32, error) {
+	if len(magnitude) == 0 || len(magnitude) > PedMaxSamples {
+		return nil, fmt.Errorf("program: pedometer input of %d samples outside (0,%d]", len(magnitude), PedMaxSamples)
+	}
+	data := make([]int32, PedDataWords)
+	data[PedHdrN] = int32(len(magnitude))
+	for i, v := range magnitude {
+		data[PedBase+i] = fixedpoint.FromFloat(v).Raw()
+	}
+	return data, nil
+}
+
+// CountSteps runs the pedometer program on one window of accelerometer
+// magnitude and returns the device-computed step count.
+func CountSteps(dev *amulet.Device, magnitude []float64) (int, error) {
+	if dev == nil {
+		dev = amulet.NewDevice()
+	}
+	p, ok := dev.Lookup("pedometer")
+	if !ok {
+		var err error
+		p, err = BuildPedometer()
+		if err != nil {
+			return 0, err
+		}
+		if err := dev.Install(p); err != nil {
+			return 0, err
+		}
+	}
+	data, err := PedometerInput(magnitude)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := dev.Run(p.Name, data, 10_000_000); err != nil {
+		return 0, err
+	}
+	steps := int(data[PedHdrSteps])
+	if steps < 0 {
+		return 0, fmt.Errorf("program: pedometer rejected the input window")
+	}
+	return steps, nil
+}
+
+// HostSteps is the float64 reference step counter, used to validate the
+// device program.
+func HostSteps(magnitude []float64) int {
+	armed := true
+	steps := 0
+	high, low := pedHigh.Float(), pedLow.Float()
+	for _, v := range magnitude {
+		if armed && v >= high {
+			steps++
+			armed = false
+		}
+		if v < low {
+			armed = true
+		}
+	}
+	return steps
+}

@@ -1,0 +1,244 @@
+package program
+
+import (
+	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/fixedpoint"
+)
+
+// On-device R-peak detection. The paper pre-stores peak indexes on the
+// Amulet "for ease of testing" and notes that computing them at run time
+// is "a simple extension"; this program is that extension, so its cost
+// can be measured instead of assumed. The algorithm is the fixed-point
+// Pan–Tompkins skeleton:
+//
+//  1. band-pass as a difference of two exponential moving averages,
+//  2. two-sample derivative, squared,
+//  3. moving-window integration (0.15 s),
+//  4. adaptive threshold at 35 % of the window's integrated maximum with
+//     a 0.25 s refractory, each candidate refined to the ECG maximum in
+//     its neighbourhood.
+//
+// Data-segment layout (word addresses):
+const (
+	RpkHdrN     = 0 // sample count (int)
+	RpkHdrCount = 1 // OUT: number of peaks found (int; -1 = rejected)
+	RpkOut      = 4 // OUT: peak indices (int), RpkOut .. RpkOut+MaxPeaks-1
+	RpkEcg      = RpkOut + MaxPeaks
+	rpkSquares  = RpkEcg + MaxSamples     // squared-derivative buffer
+	rpkInteg    = rpkSquares + MaxSamples // moving-integration buffer
+	// RpkDataWords is the data-segment size.
+	RpkDataWords = rpkInteg + MaxSamples
+)
+
+// Filter and detector constants (Q16.16). The EMA coefficients give a
+// rough 5–15 Hz pass band at 360 Hz; the exact shape matters less than
+// suppressing baseline wander below and noise above the QRS band.
+var (
+	rpkAlphaFast = fixedpoint.FromFloat(0.45)
+	rpkAlphaSlow = fixedpoint.FromFloat(0.08)
+	rpkThrFrac   = fixedpoint.FromFloat(0.35)
+)
+
+const (
+	rpkIntegrate  = 54 // 0.15 s at 360 Hz
+	rpkRefractory = 90 // 0.25 s at 360 Hz
+)
+
+// BuildRPeakDetector assembles the runtime R-peak detector app.
+func BuildRPeakDetector() (*amulet.Program, error) {
+	b := amulet.NewBuilder()
+
+	const (
+		lI      = 0
+		lLimit  = 1
+		lN      = 2
+		lFast   = 3  // fast EMA state
+		lSlow   = 4  // slow EMA state
+		lPrev1  = 5  // band[n-1]
+		lPrev2  = 6  // band[n-2]
+		lSum    = 7  // moving integration sum
+		lMax    = 8  // max integrated value
+		lThr    = 9  // detection threshold
+		lLast   = 10 // index of last accepted peak
+		lCount  = 11 // peaks found
+		lVal    = 12 // scratch value
+		lBand   = 13 // current band-pass output
+		lJ      = 14 // refinement loop counter
+		lJLim   = 15 // refinement loop bound
+		lBest   = 16 // refinement argmax index
+		lBestV  = 17 // refinement max value
+		lCand   = 18 // candidate index
+		lSquare = 19 // squared derivative
+	)
+
+	// Header check.
+	b.PushI(RpkHdrN).Op(amulet.OpLoadM).StoreL(lN)
+	b.LoadL(lN).PushI(rpkIntegrate + 2).Op(amulet.OpGt)
+	b.LoadL(lN).PushI(MaxSamples).Op(amulet.OpLe).Op(amulet.OpMulI)
+	b.Jnz("ok")
+	b.PushI(RpkHdrCount).Push(-1).Op(amulet.OpStoreM)
+	b.Op(amulet.OpHalt)
+	b.Label("ok")
+
+	// Pass 1: band-pass, derivative, square → scratch[i]; EMA states
+	// seeded from the first sample to avoid a startup step.
+	b.PushI(RpkEcg).Op(amulet.OpLoadM).StoreL(lFast)
+	b.PushI(RpkEcg).Op(amulet.OpLoadM).StoreL(lSlow)
+	b.PushI(0).StoreL(lPrev1).PushI(0).StoreL(lPrev2)
+	b.LoadL(lN).StoreL(lLimit)
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) {
+		b.PushI(RpkEcg).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM).StoreL(lVal)
+		// fast += αF·(x − fast); slow += αS·(x − slow)
+		b.LoadL(lVal).LoadL(lFast).Op(amulet.OpSub).PushQ(rpkAlphaFast).Op(amulet.OpMulQ)
+		b.LoadL(lFast).Op(amulet.OpAdd).StoreL(lFast)
+		b.LoadL(lVal).LoadL(lSlow).Op(amulet.OpSub).PushQ(rpkAlphaSlow).Op(amulet.OpMulQ)
+		b.LoadL(lSlow).Op(amulet.OpAdd).StoreL(lSlow)
+		// band = fast − slow; deriv = band − band[n−2]; square.
+		b.LoadL(lFast).LoadL(lSlow).Op(amulet.OpSub).StoreL(lBand)
+		b.LoadL(lBand).LoadL(lPrev2).Op(amulet.OpSub).StoreL(lSquare)
+		b.LoadL(lSquare).LoadL(lSquare).Op(amulet.OpMulQ).StoreL(lSquare)
+		b.LoadL(lPrev1).StoreL(lPrev2)
+		b.LoadL(lBand).StoreL(lPrev1)
+		b.PushI(rpkSquares).LoadL(lI).Op(amulet.OpAdd).LoadL(lSquare).Op(amulet.OpStoreM)
+	})
+
+	// Pass 2: integ[i] = Σ squares[i−W+1 .. i] with a running sum, plus
+	// the global maximum for the adaptive threshold.
+	b.PushI(0).StoreL(lSum).PushI(0).StoreL(lMax)
+	b.LoadL(lN).StoreL(lLimit)
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) {
+		b.PushI(rpkSquares).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM)
+		b.LoadL(lSum).Op(amulet.OpAdd).StoreL(lSum)
+		b.LoadL(lI).PushI(rpkIntegrate).Op(amulet.OpGe)
+		b.If(func(b *amulet.Builder) {
+			b.PushI(rpkSquares - rpkIntegrate).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM).StoreL(lVal)
+			b.LoadL(lSum).LoadL(lVal).Op(amulet.OpSub).StoreL(lSum)
+		}, nil)
+		b.PushI(rpkInteg).LoadL(lI).Op(amulet.OpAdd).LoadL(lSum).Op(amulet.OpStoreM)
+		b.LoadL(lMax).LoadL(lSum).Op(amulet.OpMax).StoreL(lMax)
+	})
+
+	// Threshold.
+	b.LoadL(lMax).PushQ(rpkThrFrac).Op(amulet.OpMulQ).StoreL(lThr)
+
+	// Pass 3: candidate peaks = local maxima of the integrated signal
+	// above the threshold, separated by the refractory, each refined to
+	// the raw-ECG argmax within ±W.
+	b.PushI(0).StoreL(lCount)
+	b.Push(-int32(rpkRefractory)).StoreL(lLast)
+	b.LoadL(lN).PushI(1).Op(amulet.OpSub).StoreL(lLimit)
+	b.ForRange(lI, lLimit, func(b *amulet.Builder) {
+		// Skip i = 0 (needs a left neighbour) and full output buffers.
+		b.LoadL(lI).PushI(1).Op(amulet.OpGe)
+		b.LoadL(lCount).PushI(MaxPeaks).Op(amulet.OpLt).Op(amulet.OpMulI)
+		b.If(func(b *amulet.Builder) {
+			b.PushI(rpkInteg).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM).StoreL(lVal)
+			// cond: v ≥ thr && v ≥ integ[i−1] && v > integ[i+1] && i−last ≥ refractory
+			b.LoadL(lVal).LoadL(lThr).Op(amulet.OpGe)
+			b.LoadL(lVal).PushI(rpkInteg - 1).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM).Op(amulet.OpGe).Op(amulet.OpMulI)
+			b.LoadL(lVal).PushI(rpkInteg + 1).LoadL(lI).Op(amulet.OpAdd).Op(amulet.OpLoadM).Op(amulet.OpGt).Op(amulet.OpMulI)
+			b.LoadL(lI).LoadL(lLast).Op(amulet.OpSub).PushI(rpkRefractory).Op(amulet.OpGe).Op(amulet.OpMulI)
+			b.If(func(b *amulet.Builder) {
+				b.LoadL(lI).StoreL(lLast)
+				b.LoadL(lI).StoreL(lCand)
+				// Refine: argmax of raw ECG in [cand−W, cand+W] ∩ [0, N).
+				b.LoadL(lCand).PushI(rpkIntegrate).Op(amulet.OpSub)
+				b.PushI(0).Op(amulet.OpMax).StoreL(lJ)
+				b.LoadL(lCand).PushI(rpkIntegrate).Op(amulet.OpAdd).PushI(1).Op(amulet.OpAdd)
+				b.LoadL(lN).Op(amulet.OpMin).StoreL(lJLim)
+				b.LoadL(lJ).StoreL(lBest)
+				b.PushI(RpkEcg).LoadL(lJ).Op(amulet.OpAdd).Op(amulet.OpLoadM).StoreL(lBestV)
+				b.Label("rpkRefineTop")
+				b.LoadL(lJ).LoadL(lJLim).Op(amulet.OpLt)
+				b.Jz("rpkRefineDone")
+				b.PushI(RpkEcg).LoadL(lJ).Op(amulet.OpAdd).Op(amulet.OpLoadM).StoreL(lVal)
+				b.LoadL(lVal).LoadL(lBestV).Op(amulet.OpGt)
+				b.If(func(b *amulet.Builder) {
+					b.LoadL(lVal).StoreL(lBestV)
+					b.LoadL(lJ).StoreL(lBest)
+				}, nil)
+				b.LoadL(lJ).PushI(1).Op(amulet.OpAdd).StoreL(lJ)
+				b.Jmp("rpkRefineTop")
+				b.Label("rpkRefineDone")
+				// Store the refined peak.
+				b.PushI(RpkOut).LoadL(lCount).Op(amulet.OpAdd).LoadL(lBest).Op(amulet.OpStoreM)
+				b.LoadL(lCount).PushI(1).Op(amulet.OpAdd).StoreL(lCount)
+			}, nil)
+		}, nil)
+	})
+
+	b.PushI(RpkHdrCount).LoadL(lCount).Op(amulet.OpStoreM)
+	b.Op(amulet.OpHalt)
+	return b.Assemble("rpeak-detect", RpkDataWords)
+}
+
+// RPeakInput marshals an ECG window (millivolts) into the detector's data
+// segment.
+func RPeakInput(ecg []float64) ([]int32, error) {
+	if len(ecg) <= rpkIntegrate+2 || len(ecg) > MaxSamples {
+		return nil, errBadRPeakInput(len(ecg))
+	}
+	data := make([]int32, RpkDataWords)
+	data[RpkHdrN] = int32(len(ecg))
+	for i, v := range ecg {
+		data[RpkEcg+i] = fixedpoint.FromFloat(v).Raw()
+	}
+	return data, nil
+}
+
+type rpkInputError int
+
+func (e rpkInputError) Error() string {
+	return "program: R-peak input length out of range"
+}
+
+func errBadRPeakInput(n int) error { return rpkInputError(n) }
+
+// ReadRPeaks decodes the detector's output. A rejected input returns
+// ok = false.
+func ReadRPeaks(data []int32) (peaks []int, ok bool) {
+	count := int(data[RpkHdrCount])
+	if count < 0 {
+		return nil, false
+	}
+	if count > MaxPeaks {
+		count = MaxPeaks
+	}
+	out := make([]int, count)
+	for i := 0; i < count; i++ {
+		out[i] = int(data[RpkOut+i])
+	}
+	return out, true
+}
+
+// DetectRPeaksOnDevice runs the bytecode detector on one ECG window and
+// returns the peak indices plus the run telemetry.
+func DetectRPeaksOnDevice(dev *amulet.Device, ecg []float64) ([]int, amulet.Usage, error) {
+	if dev == nil {
+		dev = amulet.NewDevice()
+	}
+	p, found := dev.Lookup("rpeak-detect")
+	if !found {
+		var err error
+		p, err = BuildRPeakDetector()
+		if err != nil {
+			return nil, amulet.Usage{}, err
+		}
+		if err := dev.Install(p); err != nil {
+			return nil, amulet.Usage{}, err
+		}
+	}
+	data, err := RPeakInput(ecg)
+	if err != nil {
+		return nil, amulet.Usage{}, err
+	}
+	res, err := dev.Run(p.Name, data, MaxCycles)
+	if err != nil {
+		return nil, amulet.Usage{}, err
+	}
+	peaks, ok := ReadRPeaks(data)
+	if !ok {
+		return nil, res.Usage, errBadRPeakInput(len(ecg))
+	}
+	return peaks, res.Usage, nil
+}

@@ -1,0 +1,132 @@
+package program
+
+import (
+	"testing"
+
+	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/peaks"
+	"github.com/wiot-security/sift/internal/physio"
+)
+
+func TestDeviceRPeaksAgainstGroundTruth(t *testing.T) {
+	rec, err := physio.Generate(physio.DefaultSubject(), 30, physio.DefaultSampleRate, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins, err := dataset.FromRecord(rec, dataset.WindowSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := amulet.NewDevice()
+	var hits, misses, extras int
+	tol := int(0.06 * rec.SampleRate)
+	for _, w := range wins {
+		got, _, err := DetectRPeaksOnDevice(dev, w.ECG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, m, e := peaks.MatchStats(got, w.RPeaks, tol)
+		hits += h
+		misses += m
+		extras += e
+	}
+	total := hits + misses
+	if total == 0 {
+		t.Fatal("no ground-truth peaks")
+	}
+	if sens := float64(hits) / float64(total); sens < 0.85 {
+		t.Errorf("device R-peak sensitivity = %.3f (hits %d misses %d extras %d), want >= 0.85",
+			sens, hits, misses, extras)
+	}
+	if extras > total/5 {
+		t.Errorf("device detector too trigger-happy: %d extras for %d truth peaks", extras, total)
+	}
+}
+
+func TestDeviceRPeaksAcrossCohort(t *testing.T) {
+	subjects, err := physio.Cohort(3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := amulet.NewDevice()
+	for _, s := range subjects {
+		rec, err := physio.Generate(s, 12, physio.DefaultSampleRate, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins, err := dataset.FromRecord(rec, dataset.WindowSec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hits, misses int
+		tol := int(0.06 * rec.SampleRate)
+		for _, w := range wins {
+			got, _, err := DetectRPeaksOnDevice(dev, w.ECG)
+			if err != nil {
+				t.Fatalf("%s: %v", s.ID, err)
+			}
+			h, m, _ := peaks.MatchStats(got, w.RPeaks, tol)
+			hits += h
+			misses += m
+		}
+		if sens := float64(hits) / float64(hits+misses); sens < 0.75 {
+			t.Errorf("%s: device sensitivity %.3f < 0.75", s.ID, sens)
+		}
+	}
+}
+
+func TestDeviceRPeaksFlatline(t *testing.T) {
+	flat := make([]float64, 1080)
+	got, _, err := DetectRPeaksOnDevice(nil, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("flat ECG yielded %d peaks, want 0", len(got))
+	}
+}
+
+func TestRPeakInputValidation(t *testing.T) {
+	if _, err := RPeakInput(make([]float64, 10)); err == nil {
+		t.Error("too-short input should error")
+	}
+	if _, err := RPeakInput(make([]float64, MaxSamples+1)); err == nil {
+		t.Error("too-long input should error")
+	}
+}
+
+func TestDeviceRPeaksRejectBadHeader(t *testing.T) {
+	p, err := BuildRPeakDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := amulet.NewDevice()
+	if err := dev.Install(p); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]int32, RpkDataWords)
+	data[RpkHdrN] = 5 // below the integration window
+	if _, err := dev.Run(p.Name, data, MaxCycles); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ReadRPeaks(data); ok {
+		t.Error("short window should be rejected")
+	}
+}
+
+func TestDeviceRPeakCycleCost(t *testing.T) {
+	rec, err := physio.Generate(physio.DefaultSubject(), 3, physio.DefaultSampleRate, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, usage, err := DetectRPeaksOnDevice(nil, rec.ECG[:1080])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must fit comfortably inside the 3 s window at 16 MHz, but it is
+	// real work — six-figure cycles, not free.
+	if usage.Cycles < 100_000 || usage.Cycles > 10_000_000 {
+		t.Errorf("runtime peak detection cost %d cycles, outside the plausible band", usage.Cycles)
+	}
+}

@@ -1,0 +1,408 @@
+package amulet
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/wiot-security/sift/internal/fixedpoint"
+)
+
+// runProg assembles with the builder, runs, and returns the VM.
+func runProg(t *testing.T, build func(*Builder), dataWords int, data []int32) *VM {
+	t.Helper()
+	b := NewBuilder()
+	build(b)
+	b.Op(OpHalt)
+	p, err := b.Assemble("test", dataWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+// top returns the value left on top of the stack after a run.
+func top(t *testing.T, vm *VM) int32 {
+	t.Helper()
+	v, err := vm.pop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestPushAddQ(t *testing.T) {
+	vm := runProg(t, func(b *Builder) {
+		b.PushQ(fixedpoint.FromFloat(1.5)).PushQ(fixedpoint.FromFloat(2.25)).Op(OpAdd)
+	}, 0, nil)
+	if got := fixedpoint.FromRaw(top(t, vm)).Float(); got != 3.75 {
+		t.Errorf("1.5 + 2.25 = %v", got)
+	}
+}
+
+func TestQArithmetic(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(*Builder)
+		want  float64
+		tol   float64
+	}{
+		{"mulq", func(b *Builder) { b.PushQ(fixedpoint.FromFloat(3)).PushQ(fixedpoint.FromFloat(0.5)).Op(OpMulQ) }, 1.5, 1e-4},
+		{"divq", func(b *Builder) { b.PushQ(fixedpoint.FromFloat(3)).PushQ(fixedpoint.FromFloat(2)).Op(OpDivQ) }, 1.5, 1e-4},
+		{"sub", func(b *Builder) { b.PushQ(fixedpoint.FromFloat(1)).PushQ(fixedpoint.FromFloat(4)).Op(OpSub) }, -3, 1e-9},
+		{"neg", func(b *Builder) { b.PushQ(fixedpoint.FromFloat(2)).Op(OpNeg) }, -2, 1e-9},
+		{"abs", func(b *Builder) { b.PushQ(fixedpoint.FromFloat(-2)).Op(OpAbs) }, 2, 1e-9},
+		{"min", func(b *Builder) { b.PushQ(fixedpoint.FromFloat(2)).PushQ(fixedpoint.FromFloat(-1)).Op(OpMin) }, -1, 1e-9},
+		{"max", func(b *Builder) { b.PushQ(fixedpoint.FromFloat(2)).PushQ(fixedpoint.FromFloat(-1)).Op(OpMax) }, 2, 1e-9},
+		{"sqrtq", func(b *Builder) { b.PushQ(fixedpoint.FromFloat(9)).Op(OpSqrtQ) }, 3, 1e-3},
+		{"atan2q", func(b *Builder) { b.PushQ(fixedpoint.FromFloat(1)).PushQ(fixedpoint.FromFloat(1)).Op(OpAtan2Q) }, math.Pi / 4, 0.01},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vm := runProg(t, tc.build, 0, nil)
+			got := fixedpoint.FromRaw(top(t, vm)).Float()
+			if math.Abs(got-tc.want) > tc.tol {
+				t.Errorf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestIntegerOps(t *testing.T) {
+	vm := runProg(t, func(b *Builder) {
+		b.PushI(7).PushI(6).Op(OpMulI)
+	}, 0, nil)
+	if got := top(t, vm); got != 42 {
+		t.Errorf("7*6 = %d", got)
+	}
+	vm = runProg(t, func(b *Builder) {
+		b.PushI(42).PushI(5).Op(OpDivI)
+	}, 0, nil)
+	if got := top(t, vm); got != 8 {
+		t.Errorf("42/5 = %d", got)
+	}
+	vm = runProg(t, func(b *Builder) {
+		b.PushI(1).PushI(0).Op(OpDivI)
+	}, 0, nil)
+	if got := top(t, vm); got != math.MaxInt32 {
+		t.Errorf("1/0 = %d, want saturation", got)
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(*Builder)
+		want  float64
+		tol   float64
+	}{
+		{"fadd", func(b *Builder) { b.PushF(1.5).PushF(2.25).Op(OpFAdd) }, 3.75, 1e-6},
+		{"fsub", func(b *Builder) { b.PushF(1).PushF(4).Op(OpFSub) }, -3, 1e-6},
+		{"fmul", func(b *Builder) { b.PushF(3).PushF(0.5).Op(OpFMul) }, 1.5, 1e-6},
+		{"fdiv", func(b *Builder) { b.PushF(3).PushF(2).Op(OpFDiv) }, 1.5, 1e-6},
+		{"fsqrt", func(b *Builder) { b.PushF(16).Op(OpFSqrt) }, 4, 1e-6},
+		{"fatan2", func(b *Builder) { b.PushF(1).PushF(1).Op(OpFAtan2) }, math.Pi / 4, 1e-6},
+		{"fmin", func(b *Builder) { b.PushF(2).PushF(-3).Op(OpFMin) }, -3, 1e-6},
+		{"fmax", func(b *Builder) { b.PushF(2).PushF(-3).Op(OpFMax) }, 2, 1e-6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vm := runProg(t, tc.build, 0, nil)
+			got := float64(f32frombits(uint32(top(t, vm))))
+			if math.Abs(got-tc.want) > tc.tol {
+				t.Errorf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFloatEdgeConventions(t *testing.T) {
+	vm := runProg(t, func(b *Builder) { b.PushF(-4).Op(OpFSqrt) }, 0, nil)
+	if got := f32frombits(uint32(top(t, vm))); got != 0 {
+		t.Errorf("fsqrt(-4) = %v, want 0", got)
+	}
+	vm = runProg(t, func(b *Builder) { b.PushF(1).PushF(0).Op(OpFDiv) }, 0, nil)
+	if got := f32frombits(uint32(top(t, vm))); got != math.MaxFloat32 {
+		t.Errorf("1/0 = %v, want MaxFloat32", got)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	vm := runProg(t, func(b *Builder) { b.PushI(3).Op(OpItoQ) }, 0, nil)
+	if got := fixedpoint.FromRaw(top(t, vm)).Float(); got != 3 {
+		t.Errorf("itoq(3) = %v", got)
+	}
+	vm = runProg(t, func(b *Builder) { b.PushQ(fixedpoint.FromFloat(2.9)).Op(OpQtoI) }, 0, nil)
+	if got := top(t, vm); got != 2 {
+		t.Errorf("qtoi(2.9) = %d", got)
+	}
+	vm = runProg(t, func(b *Builder) { b.PushI(7).Op(OpItoF) }, 0, nil)
+	if got := f32frombits(uint32(top(t, vm))); got != 7 {
+		t.Errorf("itof(7) = %v", got)
+	}
+	vm = runProg(t, func(b *Builder) { b.PushF(7.9).Op(OpFtoI) }, 0, nil)
+	if got := top(t, vm); got != 7 {
+		t.Errorf("ftoi(7.9) = %d", got)
+	}
+	vm = runProg(t, func(b *Builder) { b.PushQ(fixedpoint.FromFloat(1.25)).Op(OpQtoF) }, 0, nil)
+	if got := f32frombits(uint32(top(t, vm))); got != 1.25 {
+		t.Errorf("qtof(1.25) = %v", got)
+	}
+	vm = runProg(t, func(b *Builder) { b.PushF(1.25).Op(OpFtoQ) }, 0, nil)
+	if got := fixedpoint.FromRaw(top(t, vm)).Float(); got != 1.25 {
+		t.Errorf("ftoq(1.25) = %v", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int32
+		want int32
+	}{
+		{OpEq, 3, 3, 1}, {OpEq, 3, 4, 0},
+		{OpNe, 3, 4, 1}, {OpNe, 3, 3, 0},
+		{OpLt, 2, 3, 1}, {OpLt, 3, 3, 0},
+		{OpLe, 3, 3, 1}, {OpLe, 4, 3, 0},
+		{OpGt, 4, 3, 1}, {OpGt, 3, 3, 0},
+		{OpGe, 3, 3, 1}, {OpGe, 2, 3, 0},
+	}
+	for _, tc := range cases {
+		vm := runProg(t, func(b *Builder) { b.Push(tc.a).Push(tc.b).Op(tc.op) }, 0, nil)
+		if got := top(t, vm); got != tc.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestStackManipulation(t *testing.T) {
+	vm := runProg(t, func(b *Builder) { b.PushI(1).PushI(2).Op(OpSwap).Op(OpDrop) }, 0, nil)
+	if got := top(t, vm); got != 2 {
+		t.Errorf("swap/drop left %d, want 2", got)
+	}
+	vm = runProg(t, func(b *Builder) { b.PushI(1).PushI(2).Op(OpOver).Op(OpAdd).Op(OpAdd) }, 0, nil)
+	if got := top(t, vm); got != 4 { // 1 + (2+1)
+		t.Errorf("over/add = %d, want 4", got)
+	}
+	vm = runProg(t, func(b *Builder) { b.PushI(5).Op(OpDup).Op(OpAdd) }, 0, nil)
+	if got := top(t, vm); got != 10 {
+		t.Errorf("dup/add = %d, want 10", got)
+	}
+}
+
+func TestLocalsAndMemory(t *testing.T) {
+	data := make([]int32, 8)
+	data[3] = 99
+	vm := runProg(t, func(b *Builder) {
+		b.PushI(3).Op(OpLoadM).StoreL(5) // local5 = data[3]
+		b.PushI(4).LoadL(5).Op(OpStoreM) // data[4] = local5
+	}, 8, data)
+	if data[4] != 99 {
+		t.Errorf("data[4] = %d, want 99", data[4])
+	}
+	if vm.Usage().MaxLocals != 6 {
+		t.Errorf("MaxLocals = %d, want 6", vm.Usage().MaxLocals)
+	}
+}
+
+func TestForRangeLoop(t *testing.T) {
+	// Sum 0..9 into local 2 using ForRange.
+	vm := runProg(t, func(b *Builder) {
+		b.PushI(10).StoreL(1) // limit
+		b.PushI(0).StoreL(2)  // acc
+		b.ForRange(0, 1, func(b *Builder) {
+			b.LoadL(2).LoadL(0).Op(OpAdd).StoreL(2)
+		})
+		b.LoadL(2)
+	}, 0, nil)
+	if got := top(t, vm); got != 45 {
+		t.Errorf("sum 0..9 = %d, want 45", got)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	build := func(cond int32) func(*Builder) {
+		return func(b *Builder) {
+			b.Push(cond)
+			b.If(func(b *Builder) { b.PushI(100) }, func(b *Builder) { b.PushI(200) })
+		}
+	}
+	vm := runProg(t, build(1), 0, nil)
+	if got := top(t, vm); got != 100 {
+		t.Errorf("if(true) = %d", got)
+	}
+	vm = runProg(t, build(0), 0, nil)
+	if got := top(t, vm); got != 200 {
+		t.Errorf("if(false) = %d", got)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := NewBuilder()
+	b.PushI(21).Call("double").Op(OpHalt)
+	b.Label("double").Op(OpDup).Op(OpAdd).Op(OpRet)
+	p, err := b.Assemble("callret", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := top(t, vm); got != 42 {
+		t.Errorf("double(21) = %d", got)
+	}
+	if vm.Usage().MaxCall != 1 {
+		t.Errorf("MaxCall = %d, want 1", vm.Usage().MaxCall)
+	}
+}
+
+func TestRetAtDepthZeroHalts(t *testing.T) {
+	b := NewBuilder()
+	b.PushI(1).Op(OpRet)
+	p, err := b.Assemble("ret0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(100); err != nil {
+		t.Errorf("ret at depth 0 should halt cleanly: %v", err)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	run := func(build func(*Builder), data []int32, words int) error {
+		b := NewBuilder()
+		build(b)
+		b.Op(OpHalt)
+		p, err := b.Assemble("err", words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm, err := NewVM(p, data)
+		if err != nil {
+			return err
+		}
+		return vm.Run(100_000)
+	}
+
+	if err := run(func(b *Builder) { b.Op(OpDrop) }, nil, 0); !errors.Is(err, ErrStackUnderflow) {
+		t.Errorf("drop on empty = %v, want underflow", err)
+	}
+	if err := run(func(b *Builder) { b.PushI(50).Op(OpLoadM) }, make([]int32, 4), 4); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("bad load = %v, want bad address", err)
+	}
+	if err := run(func(b *Builder) { b.PushI(-1).PushI(0).Op(OpStoreM) }, make([]int32, 4), 4); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("negative store = %v, want bad address", err)
+	}
+	if err := run(func(b *Builder) {
+		for i := 0; i < MaxStack+1; i++ {
+			b.PushI(1)
+		}
+	}, nil, 0); !errors.Is(err, ErrStackOverflow) {
+		t.Errorf("overflow = %v, want stack overflow", err)
+	}
+}
+
+func TestCycleBudgetEnforced(t *testing.T) {
+	b := NewBuilder()
+	b.Label("spin").Jmp("spin")
+	p, err := b.Assemble("spin", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(1000); !errors.Is(err, ErrOutOfCycles) {
+		t.Errorf("infinite loop err = %v, want out of cycles", err)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	b := NewBuilder()
+	b.Label("rec").Call("rec")
+	p, err := b.Assemble("rec", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(100_000); !errors.Is(err, ErrCallDepth) {
+		t.Errorf("infinite recursion err = %v, want call depth", err)
+	}
+}
+
+func TestBadOpcode(t *testing.T) {
+	p := &Program{Name: "bad", Code: []byte{250}}
+	vm, err := NewVM(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(100); !errors.Is(err, ErrBadOpcode) {
+		t.Errorf("err = %v, want bad opcode", err)
+	}
+}
+
+func TestUsageTelemetry(t *testing.T) {
+	vm := runProg(t, func(b *Builder) {
+		b.PushI(1).PushI(2).PushI(3).Op(OpAdd).Op(OpAdd).StoreL(7)
+	}, 0, nil)
+	u := vm.Usage()
+	if u.MaxStack != 3 {
+		t.Errorf("MaxStack = %d, want 3", u.MaxStack)
+	}
+	if u.MaxLocals != 8 {
+		t.Errorf("MaxLocals = %d, want 8", u.MaxLocals)
+	}
+	if u.Cycles == 0 || u.Instrs == 0 {
+		t.Error("cycles/instrs should be counted")
+	}
+	if u.SRAMBytes() <= 0 {
+		t.Error("SRAM footprint should be positive")
+	}
+}
+
+func TestQuickVMQArithMatchesFixedpoint(t *testing.T) {
+	f := func(a, b int32) bool {
+		qa, qb := fixedpoint.Q(a%(1<<22)), fixedpoint.Q(b%(1<<22))
+		bld := NewBuilder()
+		bld.PushQ(qa).PushQ(qb).Op(OpMulQ).Op(OpHalt)
+		p, err := bld.Assemble("q", 0)
+		if err != nil {
+			return false
+		}
+		vm, err := NewVM(p, nil)
+		if err != nil {
+			return false
+		}
+		if err := vm.Run(100); err != nil {
+			return false
+		}
+		got, err := vm.pop()
+		if err != nil {
+			return false
+		}
+		return fixedpoint.FromRaw(got) == fixedpoint.Mul(qa, qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+package arp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/amulet/program"
+	"github.com/wiot-security/sift/internal/features"
+)
+
+func buildProfile(t *testing.T, v features.Version, cycles float64) *AppProfile {
+	t.Helper()
+	p, err := program.Build(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage := amulet.Usage{MaxStack: 10, MaxLocals: 19, MaxCall: 0}
+	prof, err := ProfileDetector(p, usage, cycles, 3, 4*(1+3*v.Dim()), v != features.Reduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestProfileDetectorValidation(t *testing.T) {
+	if _, err := ProfileDetector(nil, amulet.Usage{}, 0, 3, 0, false); err == nil {
+		t.Error("nil program should error")
+	}
+	p, err := program.Build(features.Reduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProfileDetector(p, amulet.Usage{}, 0, 0, 0, false); err == nil {
+		t.Error("zero window should error")
+	}
+	if _, err := ProfileDetector(p, amulet.Usage{}, -1, 3, 0, false); err == nil {
+		t.Error("negative cycles should error")
+	}
+	if _, err := ProfileDetector(p, amulet.Usage{}, 1, 3, -1, false); err == nil {
+		t.Error("negative constants should error")
+	}
+}
+
+func TestSystemFRAMOrdering(t *testing.T) {
+	mem := DefaultMemoryModel()
+	orig := mem.SystemFRAM(buildProfile(t, features.Original, 2e6))
+	simp := mem.SystemFRAM(buildProfile(t, features.Simplified, 1e6))
+	red := mem.SystemFRAM(buildProfile(t, features.Reduced, 1e5))
+	if !(orig > simp && simp > red) {
+		t.Errorf("system FRAM ordering violated: %d / %d / %d", orig, simp, red)
+	}
+	// Paper band: roughly 56–78 KB.
+	for name, v := range map[string]int{"orig": orig, "simp": simp, "red": red} {
+		if v < 50*1024 || v > 85*1024 {
+			t.Errorf("%s system FRAM %d B outside the plausible band", name, v)
+		}
+	}
+}
+
+func TestDetectorFRAMOrdering(t *testing.T) {
+	orig := buildProfile(t, features.Original, 0).DetectorFRAM()
+	simp := buildProfile(t, features.Simplified, 0).DetectorFRAM()
+	red := buildProfile(t, features.Reduced, 0).DetectorFRAM()
+	if !(orig > simp && simp > red) {
+		t.Errorf("detector FRAM ordering violated: %d / %d / %d", orig, simp, red)
+	}
+}
+
+func TestEnergyModelBasics(t *testing.T) {
+	e := DefaultEnergyModel()
+	if d := e.DutyCycle(0, 3); d != 0 {
+		t.Errorf("idle duty = %v", d)
+	}
+	if d := e.DutyCycle(3*e.ClockHz, 3); d != 1 {
+		t.Errorf("saturated duty = %v, want 1", d)
+	}
+	if d := e.DutyCycle(1e15, 3); d != 1 {
+		t.Errorf("overloaded duty = %v, want clamp to 1", d)
+	}
+	idle := e.LifetimeDays(0, 3)
+	busy := e.LifetimeDays(2e6, 3)
+	if idle <= busy {
+		t.Errorf("idle lifetime %.1f should exceed busy lifetime %.1f", idle, busy)
+	}
+	// The system baseline alone should allow ~55+ days on 110 mAh.
+	if idle < 50 || idle > 70 {
+		t.Errorf("idle lifetime = %.1f days, want ≈58", idle)
+	}
+}
+
+func TestLifetimeDegenerate(t *testing.T) {
+	e := EnergyModel{}
+	if e.LifetimeDays(100, 3) != 0 {
+		t.Error("zero-current model should yield zero lifetime")
+	}
+	if e.DutyCycle(100, 0) != 0 {
+		t.Error("zero window duty should be 0")
+	}
+}
+
+func TestLifetimeOrderingAcrossVersions(t *testing.T) {
+	// With measured-like cycle counts, lifetimes must order Reduced >
+	// Simplified > Original (Table III's shape).
+	e := DefaultEnergyModel()
+	orig := e.LifetimeDays(2.0e6, 3)
+	simp := e.LifetimeDays(1.2e6, 3)
+	red := e.LifetimeDays(1.7e5, 3)
+	if !(red > simp && simp > orig) {
+		t.Errorf("lifetime ordering violated: %.1f / %.1f / %.1f", orig, simp, red)
+	}
+	if orig < 15 || orig > 35 {
+		t.Errorf("Original lifetime %.1f days outside the paper's band (≈23)", orig)
+	}
+	if red < 40 || red > 70 {
+		t.Errorf("Reduced lifetime %.1f days outside the paper's band (≈55)", red)
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	prof := buildProfile(t, features.Simplified, 1e6)
+	rep, err := BuildReport(prof, DefaultMemoryModel(), DefaultEnergyModel(), amulet.DefaultSystemSRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.App == "" || rep.SystemFRAM == 0 || rep.DetectorFRAM == 0 {
+		t.Errorf("incomplete report: %+v", rep)
+	}
+	if rep.LifetimeDays <= 0 {
+		t.Error("report lifetime should be positive")
+	}
+	if _, err := BuildReport(nil, DefaultMemoryModel(), DefaultEnergyModel(), 0); err == nil {
+		t.Error("nil profile should error")
+	}
+}
+
+func TestRenderView(t *testing.T) {
+	prof := buildProfile(t, features.Original, 2e6)
+	rep, err := BuildReport(prof, DefaultMemoryModel(), DefaultEnergyModel(), amulet.DefaultSystemSRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := RenderView(rep, DefaultEnergyModel(), 2e6, nil)
+	for _, want := range []string{"Amulet Resource Profiler", "FRAM", "SRAM", "battery life", "w =  3.0"} {
+		if !strings.Contains(view, want) {
+			t.Errorf("view missing %q:\n%s", want, view)
+		}
+	}
+	// Longer windows amortize compute → the 10 s slider row must show a
+	// longer life than the 1 s row.
+	if !(strings.Count(view, "days") >= 6) {
+		t.Errorf("slider table incomplete:\n%s", view)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := bar(5, 10, 10); !strings.HasPrefix(got, "[█████") {
+		t.Errorf("bar(5,10) = %q", got)
+	}
+	if got := bar(20, 10, 10); strings.Contains(got, "·") {
+		t.Errorf("overfull bar should be solid: %q", got)
+	}
+	if bar(1, 0, 10) != "" {
+		t.Error("zero capacity should render empty")
+	}
+}
+
+func TestDutyCycleMonotonicInCycles(t *testing.T) {
+	e := DefaultEnergyModel()
+	prev := -1.0
+	for _, c := range []float64{0, 1e4, 1e5, 1e6, 1e7, 1e8} {
+		d := e.DutyCycle(c, 3)
+		if d < prev {
+			t.Errorf("duty cycle not monotonic at %g", c)
+		}
+		if d < 0 || d > 1 {
+			t.Errorf("duty cycle %v out of range", d)
+		}
+		prev = d
+	}
+}
+
+func TestLifetimeVsWindowTradeoff(t *testing.T) {
+	// For fixed per-sample cost, larger windows mean the same average
+	// compute but fewer per-window overheads; in this simple model cycles
+	// scale linearly with w, so lifetime should be flat. Sanity-check the
+	// math stays consistent rather than drifting.
+	e := DefaultEnergyModel()
+	perSec := 4e5
+	l3 := e.LifetimeDays(perSec*3, 3)
+	l6 := e.LifetimeDays(perSec*6, 6)
+	if math.Abs(l3-l6) > 1e-9 {
+		t.Errorf("linear scaling should keep lifetime constant: %.3f vs %.3f", l3, l6)
+	}
+}

@@ -1,0 +1,67 @@
+package arp
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/wiot-security/sift/internal/amulet"
+)
+
+// RenderView draws the ARP-view panel for one app — the textual analog of
+// the paper's Fig 3: memory bars against the hardware budgets, the energy
+// profile, and the battery-life readout. The slider table shows the
+// battery-life impact of adjusting the app's window parameter, which is
+// exactly what ARP-view's sliders let developers explore. cyclesAt, when
+// non-nil, supplies measured cycles per window at a given window length;
+// otherwise cycles are assumed to scale linearly with w (no fixed
+// per-window overhead).
+func RenderView(r Report, energy EnergyModel, cyclesPerWindow float64, cyclesAt func(wSec float64) float64) string {
+	if cyclesAt == nil {
+		cyclesAt = func(w float64) float64 { return cyclesPerWindow * w / 3.0 }
+	}
+	var sb strings.Builder
+	width := 58
+	line := strings.Repeat("─", width)
+
+	fmt.Fprintf(&sb, "┌%s┐\n", line)
+	title := fmt.Sprintf(" Amulet Resource Profiler — %s ", r.App)
+	fmt.Fprintf(&sb, "│%-*s│\n", width, title)
+	fmt.Fprintf(&sb, "├%s┤\n", line)
+
+	framTotal := r.SystemFRAM + r.DetectorFRAM
+	fmt.Fprintf(&sb, "│ FRAM  %7.2f KB system + %5.2f KB app  %-15s│\n",
+		float64(r.SystemFRAM)/1024, float64(r.DetectorFRAM)/1024,
+		bar(framTotal, amulet.FRAMBytes, 14))
+	sramTotal := r.SystemSRAM + r.DetectorSRAM
+	fmt.Fprintf(&sb, "│ SRAM  %7d B  system + %5d B  app  %-15s│\n",
+		r.SystemSRAM, r.DetectorSRAM,
+		bar(sramTotal, amulet.SRAMBytes, 14))
+	fmt.Fprintf(&sb, "├%s┤\n", line)
+	fmt.Fprintf(&sb, "│ avg current %8.3f mA    battery life %6.1f days     │\n",
+		r.AvgCurrentmA, r.LifetimeDays)
+	fmt.Fprintf(&sb, "├%s┤\n", line)
+	fmt.Fprintf(&sb, "│ window slider (battery-life impact)%*s│\n", width-36, "")
+	for _, w := range []float64{1, 2, 3, 5, 10} {
+		days := energy.LifetimeDays(cyclesAt(w), w)
+		marker := " "
+		if w == 3 {
+			marker = "▶"
+		}
+		fmt.Fprintf(&sb, "│ %s w = %4.1f s → %6.1f days %*s│\n", marker, w, days, width-28, "")
+	}
+	fmt.Fprintf(&sb, "└%s┘\n", line)
+	return sb.String()
+}
+
+// bar renders a usage bar of the given width for used/capacity.
+func bar(used, capacity, width int) string {
+	if capacity <= 0 {
+		return ""
+	}
+	frac := float64(used) / float64(capacity)
+	if frac > 1 {
+		frac = 1
+	}
+	filled := int(frac * float64(width))
+	return "[" + strings.Repeat("█", filled) + strings.Repeat("·", width-filled) + "]"
+}

@@ -1,0 +1,182 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/svm"
+)
+
+func blobs(seed int64, n int, sep float64) (x [][]float64, y []svm.Label) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		x = append(x, []float64{-sep + rng.NormFloat64(), -sep + rng.NormFloat64()})
+		y = append(y, svm.Negative)
+	}
+	for i := 0; i < n; i++ {
+		x = append(x, []float64{sep + rng.NormFloat64(), sep + rng.NormFloat64()})
+		y = append(y, svm.Positive)
+	}
+	return x, y
+}
+
+func accuracy(c Classifier, x [][]float64, y []svm.Label) float64 {
+	correct := 0
+	for i := range x {
+		if c.Predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+func TestAllClassifiersLearnSeparableData(t *testing.T) {
+	x, y := blobs(1, 60, 3)
+	tx, ty := blobs(2, 30, 3)
+	for _, c := range All(svm.Config{Seed: 1}) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			if err := c.Fit(x, y); err != nil {
+				t.Fatal(err)
+			}
+			if acc := accuracy(c, tx, ty); acc < 0.95 {
+				t.Errorf("held-out accuracy = %.3f, want >= 0.95", acc)
+			}
+		})
+	}
+}
+
+func TestAllClassifiersHandleOverlap(t *testing.T) {
+	x, y := blobs(3, 100, 0.7)
+	for _, c := range All(svm.Config{Seed: 3}) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			if err := c.Fit(x, y); err != nil {
+				t.Fatal(err)
+			}
+			if acc := accuracy(c, x, y); acc < 0.6 {
+				t.Errorf("training accuracy on overlapping blobs = %.3f", acc)
+			}
+		})
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	for _, c := range All(svm.Config{}) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			if err := c.Fit(nil, nil); err == nil {
+				t.Error("empty fit should error")
+			}
+			if err := c.Fit([][]float64{{1}}, []svm.Label{svm.Positive, svm.Negative}); err == nil {
+				t.Error("mismatched lengths should error")
+			}
+			oneClass := [][]float64{{1}, {2}}
+			if err := c.Fit(oneClass, []svm.Label{svm.Positive, svm.Positive}); !errors.Is(err, svm.ErrNoData) {
+				t.Errorf("single-class fit err = %v, want ErrNoData", err)
+			}
+			if err := c.Fit([][]float64{{1}, {2, 3}}, []svm.Label{svm.Positive, svm.Negative}); err == nil {
+				t.Error("ragged matrix should error")
+			}
+			if err := c.Fit([][]float64{{1}, {2}}, []svm.Label{svm.Positive, svm.Label(7)}); err == nil {
+				t.Error("bad label should error")
+			}
+		})
+	}
+}
+
+func TestUnfittedScoreIsNeutral(t *testing.T) {
+	for _, c := range []Classifier{&KNN{}, &Logistic{}, &NearestCentroid{}, &SVM{}, &RBFSVM{}} {
+		if got := c.Score([]float64{1, 2}); got != 0 {
+			t.Errorf("%s unfitted score = %v, want 0", c.Name(), got)
+		}
+	}
+}
+
+func TestKNNNeighborhood(t *testing.T) {
+	// Three negatives around the origin, two positives far away: a point
+	// at the origin must be negative for k=3.
+	x := [][]float64{{0, 0}, {0.1, 0}, {0, 0.1}, {5, 5}, {5.1, 5}}
+	y := []svm.Label{svm.Negative, svm.Negative, svm.Negative, svm.Positive, svm.Positive}
+	k := &KNN{K: 3}
+	if err := k.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if k.Predict([]float64{0.05, 0.05}) != svm.Negative {
+		t.Error("origin point should be negative")
+	}
+	if k.Predict([]float64{5, 5.05}) != svm.Positive {
+		t.Error("far point should be positive")
+	}
+	if k.Name() != "kNN(k=3)" {
+		t.Errorf("Name = %q", k.Name())
+	}
+}
+
+func TestKNNDefaultK(t *testing.T) {
+	k := &KNN{}
+	if k.Name() != "kNN(k=5)" {
+		t.Errorf("default Name = %q", k.Name())
+	}
+}
+
+func TestLogisticScoresAreMonotone(t *testing.T) {
+	x, y := blobs(5, 60, 2)
+	l := &Logistic{}
+	if err := l.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// Moving in the positive direction must raise the score.
+	low := l.Score([]float64{-3, -3})
+	hi := l.Score([]float64{3, 3})
+	if low >= hi {
+		t.Errorf("score not monotone: %.3f vs %.3f", low, hi)
+	}
+}
+
+func TestNearestCentroidSymmetric(t *testing.T) {
+	x := [][]float64{{-1, 0}, {-1.2, 0}, {1, 0}, {1.2, 0}}
+	y := []svm.Label{svm.Negative, svm.Negative, svm.Positive, svm.Positive}
+	c := &NearestCentroid{}
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if c.Predict([]float64{-0.9, 0}) != svm.Negative {
+		t.Error("left point should be negative")
+	}
+	if c.Predict([]float64{0.9, 0}) != svm.Positive {
+		t.Error("right point should be positive")
+	}
+}
+
+func TestSVMAdapterMatchesDirectModel(t *testing.T) {
+	x, y := blobs(6, 40, 2)
+	adapter := &SVM{Config: svm.Config{Seed: 6}}
+	if err := adapter.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := svm.Train(x, y, svm.Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if adapter.Predict(x[i]) != direct.Predict(x[i]) {
+			t.Fatal("adapter disagrees with direct model")
+		}
+	}
+}
+
+func TestAllReturnsFiveAlgorithms(t *testing.T) {
+	cs := All(svm.Config{})
+	if len(cs) != 5 {
+		t.Fatalf("All returned %d classifiers", len(cs))
+	}
+	names := map[string]bool{}
+	for _, c := range cs {
+		if names[c.Name()] {
+			t.Errorf("duplicate name %q", c.Name())
+		}
+		names[c.Name()] = true
+	}
+}

@@ -1,0 +1,239 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/wiot-security/sift/internal/physio"
+)
+
+func genRecord(t *testing.T, id string, dur float64, seed int64) *physio.Record {
+	t.Helper()
+	s := physio.DefaultSubject()
+	s.ID = id
+	rec, err := physio.Generate(s, dur, physio.DefaultSampleRate, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestFromRecordWindowCount(t *testing.T) {
+	rec := genRecord(t, "A", 120, 1) // 2 minutes
+	wins, err := FromRecord(rec, WindowSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: 2 minutes of 3-second snippets → 40 test examples.
+	if len(wins) != 40 {
+		t.Errorf("window count = %d, want 40", len(wins))
+	}
+	wlen := int(WindowSec * rec.SampleRate)
+	for i, w := range wins {
+		if w.Len() != wlen {
+			t.Errorf("window %d length = %d, want %d", i, w.Len(), wlen)
+		}
+		if w.Index != i {
+			t.Errorf("window %d index = %d", i, w.Index)
+		}
+		if w.Altered {
+			t.Errorf("window %d should start unaltered", i)
+		}
+	}
+}
+
+func TestFromRecordPeaksRebased(t *testing.T) {
+	rec := genRecord(t, "A", 30, 2)
+	wins, err := FromRecord(rec, WindowSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range wins {
+		for _, p := range w.RPeaks {
+			if p < 0 || p >= w.Len() {
+				t.Fatalf("R peak %d out of window range", p)
+			}
+		}
+		for _, pr := range w.Pairs {
+			if pr[1] <= pr[0] {
+				t.Errorf("pair %v not ordered", pr)
+			}
+		}
+	}
+}
+
+func TestFromRecordDiscardsPartialTail(t *testing.T) {
+	rec := genRecord(t, "A", 10, 3) // 10 s → 3 full 3-s windows + 1 s tail
+	wins, err := FromRecord(rec, WindowSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 3 {
+		t.Errorf("window count = %d, want 3", len(wins))
+	}
+}
+
+func TestFromRecordErrors(t *testing.T) {
+	if _, err := FromRecord(nil, 3); err == nil {
+		t.Error("nil record should error")
+	}
+	rec := genRecord(t, "A", 5, 4)
+	if _, err := FromRecord(rec, 0); err == nil {
+		t.Error("zero window should error")
+	}
+	if _, err := FromRecord(rec, 100); err == nil {
+		t.Error("window longer than record should error")
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	a := genRecord(t, "A", 12, 5)
+	b := genRecord(t, "B", 12, 6)
+	aw, err := FromRecord(a, WindowSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := FromRecord(b, WindowSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, err := Substitute(aw[0], bw[0], a.SampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alt.Altered || alt.Attack != "substitution" {
+		t.Errorf("altered flags = %v %q", alt.Altered, alt.Attack)
+	}
+	if alt.SubjectID != "A" {
+		t.Errorf("altered window subject = %s, want victim A", alt.SubjectID)
+	}
+	// ECG comes from the donor, ABP from the victim.
+	for i := range alt.ECG {
+		if alt.ECG[i] != bw[0].ECG[i] {
+			t.Fatal("ECG should be the donor's")
+		}
+		if alt.ABP[i] != aw[0].ABP[i] {
+			t.Fatal("ABP should be the victim's")
+		}
+	}
+}
+
+func TestSubstituteLengthMismatch(t *testing.T) {
+	a := genRecord(t, "A", 12, 5)
+	aw, _ := FromRecord(a, WindowSec)
+	short := aw[0]
+	short.ECG = short.ECG[:10]
+	if _, err := Substitute(aw[1], short, a.SampleRate); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestBuildTrainingBalance(t *testing.T) {
+	subj := genRecord(t, "A", 60, 7)
+	donors := []*physio.Record{genRecord(t, "B", 60, 8), genRecord(t, "C", 60, 9)}
+	set, err := BuildTraining(subj, donors, WindowSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	altered, unaltered := set.Counts()
+	if altered != unaltered {
+		t.Errorf("training set should be balanced: %d altered, %d unaltered", altered, unaltered)
+	}
+	if unaltered != 20 { // 60 s / 3 s
+		t.Errorf("negatives = %d, want 20", unaltered)
+	}
+	// Positives must carry donor ECG: at least one window should differ
+	// from the subject's own ECG at sample 0.
+	foundDonor := false
+	for _, w := range set.Windows {
+		if w.Altered && w.Attack == "substitution" {
+			foundDonor = true
+		}
+	}
+	if !foundDonor {
+		t.Error("no substitution windows found in training set")
+	}
+}
+
+func TestBuildTrainingNoDonors(t *testing.T) {
+	subj := genRecord(t, "A", 30, 7)
+	if _, err := BuildTraining(subj, nil, WindowSec); err == nil {
+		t.Error("no donors should error")
+	}
+}
+
+func TestBuildTestProtocol(t *testing.T) {
+	subj := genRecord(t, "A", TestSec, 10)
+	donors := []*physio.Record{genRecord(t, "B", TestSec, 11)}
+	set, err := BuildTest(subj, donors, WindowSec, TestAlteredFrac, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Windows) != 40 {
+		t.Errorf("test windows = %d, want 40", len(set.Windows))
+	}
+	altered, unaltered := set.Counts()
+	if altered != 20 || unaltered != 20 {
+		t.Errorf("altered/unaltered = %d/%d, want 20/20", altered, unaltered)
+	}
+}
+
+func TestBuildTestDeterministicSeed(t *testing.T) {
+	subj := genRecord(t, "A", 60, 10)
+	donors := []*physio.Record{genRecord(t, "B", 60, 11)}
+	a, err := BuildTest(subj, donors, WindowSec, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildTest(subj, donors, WindowSec, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Windows {
+		if a.Windows[i].Altered != b.Windows[i].Altered {
+			t.Fatal("alteration positions differ across identical seeds")
+		}
+	}
+	c, err := BuildTest(subj, donors, WindowSec, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Windows {
+		if a.Windows[i].Altered != c.Windows[i].Altered {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should alter different positions")
+	}
+}
+
+func TestBuildTestValidation(t *testing.T) {
+	subj := genRecord(t, "A", 30, 10)
+	donors := []*physio.Record{genRecord(t, "B", 30, 11)}
+	if _, err := BuildTest(subj, donors, WindowSec, -0.1, 1); err == nil {
+		t.Error("negative fraction should error")
+	}
+	if _, err := BuildTest(subj, donors, WindowSec, 1.1, 1); err == nil {
+		t.Error("fraction > 1 should error")
+	}
+	if _, err := BuildTest(subj, nil, WindowSec, 0.5, 1); err == nil {
+		t.Error("no donors should error")
+	}
+}
+
+func TestWindowPortrait(t *testing.T) {
+	rec := genRecord(t, "A", 12, 12)
+	wins, err := FromRecord(rec, WindowSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := wins[0].Portrait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != wins[0].Len() {
+		t.Errorf("portrait length = %d, want %d", p.Len(), wins[0].Len())
+	}
+}

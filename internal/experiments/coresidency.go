@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/amulet/program"
+	"github.com/wiot-security/sift/internal/arp"
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/features"
+	"github.com/wiot-security/sift/internal/sensors"
+)
+
+// CoResidencyRow is one deployment mix in the multi-app study.
+type CoResidencyRow struct {
+	Apps            string
+	CyclesPerWindow float64
+	MCUUtilization  float64 // fraction of each 3 s window the MCU is active
+	LifetimeDays    float64
+	DeadlineOK      bool // all apps finish within the window
+}
+
+// CoResidency measures the Amulet's multi-app story: the SIFT detector
+// and a pedometer flashed on one device, each running once per 3 s
+// window. Cycle costs are measured from the emulated firmware; the
+// energy model then prices each deployment mix.
+func CoResidency(env *Env, version features.Version) ([]CoResidencyRow, error) {
+	energy := arp.DefaultEnergyModel()
+	windowBudget := energy.ClockHz * dataset.WindowSec
+
+	// Measure the detector.
+	detTel, err := measureVersion(env, version)
+	if err != nil {
+		return nil, err
+	}
+
+	// Measure the pedometer on walk-activity windows.
+	accel, err := sensors.Generate([]sensors.Episode{
+		{Activity: sensors.Walk, StartSec: 0, EndSec: 15},
+	}, 15, 50, env.Config.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pedProg, err := program.BuildPedometer()
+	if err != nil {
+		return nil, err
+	}
+	dev := amulet.NewDevice()
+	if err := dev.Install(pedProg); err != nil {
+		return nil, err
+	}
+	mag := accel.Magnitude()
+	perWindow := int(dataset.WindowSec * 50)
+	var pedCycles uint64
+	var pedWindows int
+	for lo := 0; lo+perWindow <= len(mag); lo += perWindow {
+		data, err := program.PedometerInput(mag[lo : lo+perWindow])
+		if err != nil {
+			return nil, err
+		}
+		res, err := dev.Run(pedProg.Name, data, 10_000_000)
+		if err != nil {
+			return nil, err
+		}
+		pedCycles += res.Usage.Cycles
+		pedWindows++
+	}
+	pedPerWindow := float64(pedCycles) / float64(pedWindows)
+
+	mk := func(apps string, cycles float64) CoResidencyRow {
+		return CoResidencyRow{
+			Apps:            apps,
+			CyclesPerWindow: cycles,
+			MCUUtilization:  cycles / windowBudget,
+			LifetimeDays:    energy.LifetimeDays(cycles, dataset.WindowSec),
+			DeadlineOK:      cycles <= windowBudget,
+		}
+	}
+	return []CoResidencyRow{
+		mk("sift-"+version.String(), detTel.CyclesPerWindow),
+		mk("pedometer", pedPerWindow),
+		mk("sift-"+version.String()+" + pedometer", detTel.CyclesPerWindow+pedPerWindow),
+	}, nil
+}
+
+// FormatCoResidency renders the study.
+func FormatCoResidency(rows []CoResidencyRow) string {
+	var sb strings.Builder
+	sb.WriteString("Multi-app co-residency (per 3 s window)\n")
+	sb.WriteString(fmt.Sprintf("%-28s %14s %9s %10s %9s\n", "Apps", "cycles/window", "MCU util", "lifetime", "deadline"))
+	for _, r := range rows {
+		ok := "met"
+		if !r.DeadlineOK {
+			ok = "MISSED"
+		}
+		sb.WriteString(fmt.Sprintf("%-28s %14.0f %8.2f%% %8.1f d %9s\n",
+			r.Apps, r.CyclesPerWindow, 100*r.MCUUtilization, r.LifetimeDays, ok))
+	}
+	return sb.String()
+}

@@ -1,0 +1,104 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation, plus the extension studies DESIGN.md lists. Each experiment
+// returns typed rows and can format itself the way the paper prints it.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/physio"
+)
+
+// EnvConfig sizes the experimental environment.
+type EnvConfig struct {
+	Subjects int     // cohort size (paper: 12)
+	TrainSec float64 // training span Δ (paper: 20 min)
+	TestSec  float64 // test span (paper: 2 min)
+	Donors   int     // donors per subject for the positive class (default 3)
+	Seed     int64
+}
+
+// DefaultConfig is the paper's protocol.
+func DefaultConfig() EnvConfig {
+	return EnvConfig{
+		Subjects: physio.CohortSize,
+		TrainSec: dataset.TrainSec,
+		TestSec:  dataset.TestSec,
+		Donors:   3,
+		Seed:     42,
+	}
+}
+
+// QuickConfig is a scaled-down protocol for tests and smoke runs: fewer
+// subjects and shorter spans, same structure.
+func QuickConfig() EnvConfig {
+	return EnvConfig{
+		Subjects: 4,
+		TrainSec: 120,
+		TestSec:  dataset.TestSec,
+		Donors:   2,
+		Seed:     42,
+	}
+}
+
+// Env holds the generated cohort and per-subject records.
+type Env struct {
+	Config    EnvConfig
+	Subjects  []physio.Subject
+	TrainRecs []*physio.Record
+	TestRecs  []*physio.Record
+}
+
+// NewEnv synthesizes the cohort and its training/test recordings. Test
+// records use different noise seeds than training records, so test data is
+// unseen, as the paper requires.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	if cfg.Subjects < 2 {
+		return nil, fmt.Errorf("experiments: need at least 2 subjects, got %d", cfg.Subjects)
+	}
+	if cfg.Donors < 1 || cfg.Donors >= cfg.Subjects {
+		return nil, fmt.Errorf("experiments: donors %d must be in [1, subjects)", cfg.Donors)
+	}
+	if cfg.TrainSec < 2*dataset.WindowSec || cfg.TestSec < 2*dataset.WindowSec {
+		return nil, fmt.Errorf("experiments: spans too short (train %.0f s, test %.0f s)", cfg.TrainSec, cfg.TestSec)
+	}
+	subjects, err := physio.Cohort(cfg.Subjects, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{Config: cfg, Subjects: subjects}
+	for i, s := range subjects {
+		train, err := physio.Generate(s, cfg.TrainSec, physio.DefaultSampleRate, cfg.Seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: train record %s: %w", s.ID, err)
+		}
+		test, err := physio.Generate(s, cfg.TestSec, physio.DefaultSampleRate, cfg.Seed+1000+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: test record %s: %w", s.ID, err)
+		}
+		env.TrainRecs = append(env.TrainRecs, train)
+		env.TestRecs = append(env.TestRecs, test)
+	}
+	return env, nil
+}
+
+// DonorsFor returns the donor training records for subject i (the next
+// cfg.Donors subjects cyclically — "several different users").
+func (e *Env) DonorsFor(i int) []*physio.Record {
+	out := make([]*physio.Record, 0, e.Config.Donors)
+	for k := 1; k <= e.Config.Donors; k++ {
+		out = append(out, e.TrainRecs[(i+k)%len(e.TrainRecs)])
+	}
+	return out
+}
+
+// TestDonorsFor returns donor *test* records for subject i, used to build
+// the altered test windows from unseen data.
+func (e *Env) TestDonorsFor(i int) []*physio.Record {
+	out := make([]*physio.Record, 0, e.Config.Donors)
+	for k := 1; k <= e.Config.Donors; k++ {
+		out = append(out, e.TestRecs[(i+k)%len(e.TestRecs)])
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/features"
+	"github.com/wiot-security/sift/internal/svm"
+)
+
+// quickEnv builds the scaled-down environment shared by the tests.
+func quickEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := NewEnv(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// quickSVM keeps the trainer bounded for tests.
+func quickSVM() svm.Config { return svm.Config{Seed: 7, MaxIter: 60} }
+
+func TestNewEnvValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*EnvConfig)
+	}{
+		{"one subject", func(c *EnvConfig) { c.Subjects = 1 }},
+		{"zero donors", func(c *EnvConfig) { c.Donors = 0 }},
+		{"too many donors", func(c *EnvConfig) { c.Donors = 10 }},
+		{"short train", func(c *EnvConfig) { c.TrainSec = 1 }},
+		{"short test", func(c *EnvConfig) { c.TestSec = 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := QuickConfig()
+			tc.mutate(&cfg)
+			if _, err := NewEnv(cfg); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestEnvDonorsRotate(t *testing.T) {
+	env := quickEnv(t)
+	d0 := env.DonorsFor(0)
+	if len(d0) != env.Config.Donors {
+		t.Fatalf("donors = %d", len(d0))
+	}
+	for _, d := range d0 {
+		if d.SubjectID == env.TrainRecs[0].SubjectID {
+			t.Error("subject must not donate to itself")
+		}
+	}
+	td := env.TestDonorsFor(0)
+	for _, d := range td {
+		if d.SubjectID == env.TestRecs[0].SubjectID {
+			t.Error("test donor must differ from the subject")
+		}
+	}
+}
+
+func TestTable2QuickProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 2 is slow")
+	}
+	env := quickEnv(t)
+	res, err := Table2(env, quickSVM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 versions × 2 platforms)", len(res.Rows))
+	}
+	accuracy := map[features.Version]map[Platform]float64{}
+	for _, row := range res.Rows {
+		if row.Summary.N != env.Config.Subjects {
+			t.Errorf("%v/%s summarized %d subjects", row.Version, row.Platform, row.Summary.N)
+		}
+		if row.Summary.AvgAcc < 0.6 {
+			t.Errorf("%v/%s accuracy %.2f implausibly low", row.Version, row.Platform, row.Summary.AvgAcc)
+		}
+		if accuracy[row.Version] == nil {
+			accuracy[row.Version] = map[Platform]float64{}
+		}
+		accuracy[row.Version][row.Platform] = row.Summary.AvgAcc
+	}
+	// Device and host must agree closely (the paper's Amulet ≈ MATLAB).
+	for v, m := range accuracy {
+		diff := m[PlatformAmulet] - m[PlatformHost]
+		if diff < -0.12 || diff > 0.12 {
+			t.Errorf("%v device/host accuracy gap = %.3f, want within ±0.12", v, diff)
+		}
+	}
+	// Telemetry collected for all versions, ordered by cost.
+	if len(res.Telemetry) != 3 {
+		t.Fatalf("telemetry for %d versions", len(res.Telemetry))
+	}
+	if !(res.Telemetry[features.Original].CyclesPerWindow > res.Telemetry[features.Simplified].CyclesPerWindow) {
+		t.Error("Original should cost more cycles than Simplified")
+	}
+	if !(res.Telemetry[features.Simplified].CyclesPerWindow > res.Telemetry[features.Reduced].CyclesPerWindow) {
+		t.Error("Simplified should cost more cycles than Reduced")
+	}
+
+	out := res.Format()
+	for _, want := range []string{"TABLE II", "Original", "Simplified", "Reduced", "Amulet", "MATLAB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q", want)
+		}
+	}
+}
+
+func TestTable3FromMeasurement(t *testing.T) {
+	env := quickEnv(t)
+	res, err := Table3(env, nil) // no telemetry → measure here
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	get := func(v features.Version) Table3Row {
+		for _, r := range res.Rows {
+			if r.Version == v {
+				return r
+			}
+		}
+		t.Fatalf("missing row %v", v)
+		return Table3Row{}
+	}
+	o, s, r := get(features.Original), get(features.Simplified), get(features.Reduced)
+	if !(o.Report.DetectorFRAM > s.Report.DetectorFRAM && s.Report.DetectorFRAM > r.Report.DetectorFRAM) {
+		t.Errorf("detector FRAM ordering: %d / %d / %d",
+			o.Report.DetectorFRAM, s.Report.DetectorFRAM, r.Report.DetectorFRAM)
+	}
+	if !(o.Report.SystemFRAM > s.Report.SystemFRAM && s.Report.SystemFRAM > r.Report.SystemFRAM) {
+		t.Errorf("system FRAM ordering: %d / %d / %d",
+			o.Report.SystemFRAM, s.Report.SystemFRAM, r.Report.SystemFRAM)
+	}
+	if !(r.Report.LifetimeDays > s.Report.LifetimeDays && s.Report.LifetimeDays > o.Report.LifetimeDays) {
+		t.Errorf("lifetime ordering: %.1f / %.1f / %.1f",
+			o.Report.LifetimeDays, s.Report.LifetimeDays, r.Report.LifetimeDays)
+	}
+	// Paper bands: Original ≈ 23 days, Reduced ≈ 55 days.
+	if o.Report.LifetimeDays < 15 || o.Report.LifetimeDays > 35 {
+		t.Errorf("Original lifetime %.1f days outside the paper band (≈23)", o.Report.LifetimeDays)
+	}
+	if r.Report.LifetimeDays < 40 || r.Report.LifetimeDays > 70 {
+		t.Errorf("Reduced lifetime %.1f days outside the paper band (≈55)", r.Report.LifetimeDays)
+	}
+	if r.Report.DetectorSRAM >= s.Report.DetectorSRAM {
+		t.Errorf("Reduced SRAM %d should be below Simplified %d", r.Report.DetectorSRAM, s.Report.DetectorSRAM)
+	}
+
+	out := res.Format()
+	for _, want := range []string{"TABLE III", "FRAM", "SRAM", "Lifetime"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q", want)
+		}
+	}
+}
+
+func TestFig3Renders(t *testing.T) {
+	env := quickEnv(t)
+	view, err := Fig3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(view, "Amulet Resource Profiler") || !strings.Contains(view, "sift-Original") {
+		t.Errorf("Fig 3 view unexpected:\n%s", view)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	env := quickEnv(t)
+	if _, err := SweepWindow(env, features.Reduced, []float64{0}, quickSVM()); err == nil {
+		t.Error("zero window should error")
+	}
+	if _, err := SweepGrid(env, features.Reduced, []int{0}, quickSVM()); err == nil {
+		t.Error("zero grid should error")
+	}
+	if _, err := SweepTraining(env, features.Reduced, []float64{1}, quickSVM()); err == nil {
+		t.Error("tiny training span should error")
+	}
+	if _, err := PrecisionSweep(env, features.Reduced, []int{0}, quickSVM()); err == nil {
+		t.Error("zero fractional bits should error")
+	}
+}
+
+func TestSweepGridRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	env := quickEnv(t)
+	pts, err := SweepGrid(env, features.Simplified, []int{10, 50}, quickSVM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Accuracy < 0.5 || p.Accuracy > 1 {
+			t.Errorf("grid %v accuracy %.2f implausible", p.Param, p.Accuracy)
+		}
+	}
+	if out := FormatSweep("grid sweep", "n", pts); !strings.Contains(out, "Acc") {
+		t.Error("sweep formatting broken")
+	}
+}
+
+func TestROCCurvesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ROC study is slow")
+	}
+	env := quickEnv(t)
+	results, err := ROCCurves(env, quickSVM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.AUC < 0.6 {
+			t.Errorf("%v AUC = %.3f, implausibly low", r.Version, r.AUC)
+		}
+	}
+	if out := FormatROC(results); !strings.Contains(out, "AUC") {
+		t.Error("ROC formatting broken")
+	}
+}
+
+func TestAttackGeneralizationQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generalization study is slow")
+	}
+	cfg := QuickConfig()
+	cfg.Subjects = 2
+	cfg.Donors = 1
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := AttackGeneralization(env, quickSVM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 attacks", len(rows))
+	}
+	bySubst := map[string]float64{}
+	for _, r := range rows {
+		bySubst[r.Attack] = r.DetectRate
+		if r.DetectRate < 0 || r.DetectRate > 1 {
+			t.Errorf("%s rate %.2f out of range", r.Attack, r.DetectRate)
+		}
+	}
+	if bySubst["substitution"] < 0.5 {
+		t.Errorf("substitution (the trained attack) detected only %.2f", bySubst["substitution"])
+	}
+	if out := FormatGeneralization(rows); !strings.Contains(out, "substitution") {
+		t.Error("generalization formatting broken")
+	}
+}
+
+func TestAdaptiveStudy(t *testing.T) {
+	tel := map[features.Version]DeviceTelemetry{
+		features.Original:   {CyclesPerWindow: 2.0e6},
+		features.Simplified: {CyclesPerWindow: 1.2e6},
+		features.Reduced:    {CyclesPerWindow: 1.7e5},
+	}
+	rows, err := AdaptiveStudy(tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byPolicy := map[string]float64{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r.LifetimeDays
+	}
+	if byPolicy["adaptive-hysteresis"] <= byPolicy["fixed-Original"] {
+		t.Errorf("adaptive (%.1f) should outlive fixed Original (%.1f)",
+			byPolicy["adaptive-hysteresis"], byPolicy["fixed-Original"])
+	}
+	if out := FormatAdaptive(rows); !strings.Contains(out, "adaptive") {
+		t.Error("adaptive formatting broken")
+	}
+	if _, err := AdaptiveStudy(nil); err == nil {
+		t.Error("missing telemetry should error")
+	}
+}

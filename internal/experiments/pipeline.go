@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/amulet/program"
+	"github.com/wiot-security/sift/internal/arp"
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/features"
+)
+
+// PipelineRow is one sensor-pipeline configuration's cost.
+type PipelineRow struct {
+	Pipeline        string
+	CyclesPerWindow float64
+	LifetimeDays    float64
+}
+
+// PipelineStudy prices the paper's "simple extension to perform these
+// tasks at run-time": the evaluation pre-stored peak indexes on the
+// Amulet, so what would computing them on-device cost? Both
+// configurations run the same Simplified detector; the runtime row adds
+// the bytecode Pan–Tompkins pass per window.
+func PipelineStudy(env *Env) ([]PipelineRow, error) {
+	energy := arp.DefaultEnergyModel()
+
+	detTel, err := measureVersion(env, features.Simplified)
+	if err != nil {
+		return nil, err
+	}
+
+	// Measure the on-device peak detector over real windows.
+	wins, err := dataset.FromRecord(env.TestRecs[0], dataset.WindowSec)
+	if err != nil {
+		return nil, err
+	}
+	if len(wins) > 5 {
+		wins = wins[:5]
+	}
+	dev := amulet.NewDevice()
+	var cycles uint64
+	for _, w := range wins {
+		_, usage, err := program.DetectRPeaksOnDevice(dev, w.ECG)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: device peak detection: %w", err)
+		}
+		cycles += usage.Cycles
+	}
+	rpeakPerWindow := float64(cycles) / float64(len(wins))
+
+	mk := func(name string, c float64) PipelineRow {
+		return PipelineRow{
+			Pipeline:        name,
+			CyclesPerWindow: c,
+			LifetimeDays:    energy.LifetimeDays(c, dataset.WindowSec),
+		}
+	}
+	return []PipelineRow{
+		mk("pre-stored peaks (paper setup)", detTel.CyclesPerWindow),
+		mk("runtime R-peak detection", detTel.CyclesPerWindow+rpeakPerWindow),
+	}, nil
+}
+
+// FormatPipeline renders the study.
+func FormatPipeline(rows []PipelineRow) string {
+	var sb strings.Builder
+	sb.WriteString("Sensor-pipeline study: pre-stored vs runtime peak detection (Simplified detector)\n")
+	sb.WriteString(fmt.Sprintf("%-34s %14s %10s\n", "Pipeline", "cycles/window", "lifetime"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-34s %14.0f %8.1f d\n", r.Pipeline, r.CyclesPerWindow, r.LifetimeDays))
+	}
+	return sb.String()
+}

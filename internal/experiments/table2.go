@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/wiot-security/sift/internal/amulet/program"
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/features"
+	"github.com/wiot-security/sift/internal/metrics"
+	"github.com/wiot-security/sift/internal/sift"
+	"github.com/wiot-security/sift/internal/svm"
+)
+
+// Platform identifies which implementation classified the windows.
+type Platform string
+
+const (
+	// PlatformAmulet is the emulated device running fixed-point/softfloat
+	// bytecode (the paper's "Amulet" rows).
+	PlatformAmulet Platform = "Amulet"
+	// PlatformHost is the float64 reference (the paper's "MATLAB" rows).
+	PlatformHost Platform = "Host (MATLAB)"
+)
+
+// Table2Row is one row of the paper's Table II.
+type Table2Row struct {
+	Version  features.Version
+	Platform Platform
+	Summary  metrics.Summary
+}
+
+// DeviceTelemetry captures the measured device-side costs per version.
+type DeviceTelemetry struct {
+	CyclesPerWindow float64
+	PeakSRAMBytes   int
+	ModelConstBytes int
+}
+
+// Table2Result is the full Table II reproduction.
+type Table2Result struct {
+	Rows      []Table2Row
+	Telemetry map[features.Version]DeviceTelemetry
+}
+
+// Table2 trains a per-subject model for every version and evaluates the
+// paper's 2-minute, 50 %-altered test protocol on both platforms.
+func Table2(env *Env, svmCfg svm.Config) (*Table2Result, error) {
+	res := &Table2Result{Telemetry: make(map[features.Version]DeviceTelemetry)}
+	for _, v := range features.Versions {
+		hostCMs := make([]metrics.Confusion, 0, len(env.Subjects))
+		devCMs := make([]metrics.Confusion, 0, len(env.Subjects))
+		var cycles float64
+		var windows int
+		var peakSRAM, constBytes int
+
+		for i := range env.Subjects {
+			det, err := sift.TrainForSubject(env.TrainRecs[i], env.DonorsFor(i), sift.Config{
+				Version: v,
+				SVM:     svmCfg,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: train %s/%v: %w", env.Subjects[i].ID, v, err)
+			}
+			testSet, err := dataset.BuildTest(env.TestRecs[i], env.TestDonorsFor(i),
+				dataset.WindowSec, dataset.TestAlteredFrac, env.Config.Seed+2000+int64(i))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: test set %s: %w", env.Subjects[i].ID, err)
+			}
+
+			hostCM, err := det.Evaluate(testSet)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: host eval %s/%v: %w", env.Subjects[i].ID, v, err)
+			}
+			hostCMs = append(hostCMs, hostCM)
+
+			q, err := det.Quantize()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: quantize %s/%v: %w", env.Subjects[i].ID, v, err)
+			}
+			dev, err := program.NewDeviceDetector(v, nil, q)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: device %s/%v: %w", env.Subjects[i].ID, v, err)
+			}
+			var devCM metrics.Confusion
+			for wi, w := range testSet.Windows {
+				out, err := dev.Classify(w)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: device window %d (%s/%v): %w", wi, env.Subjects[i].ID, v, err)
+				}
+				devCM.Add(w.Altered, out.Altered)
+			}
+			devCMs = append(devCMs, devCM)
+			cycles += float64(dev.TotalCycles)
+			windows += dev.Windows
+			if s := dev.PeakUsage.SRAMBytes(); s > peakSRAM {
+				peakSRAM = s
+			}
+			constBytes = 4 * (1 + 3*v.Dim())
+		}
+
+		hostSummary, err := metrics.Summarize(hostCMs)
+		if err != nil {
+			return nil, err
+		}
+		devSummary, err := metrics.Summarize(devCMs)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows,
+			Table2Row{Version: v, Platform: PlatformAmulet, Summary: devSummary},
+			Table2Row{Version: v, Platform: PlatformHost, Summary: hostSummary},
+		)
+		if windows > 0 {
+			res.Telemetry[v] = DeviceTelemetry{
+				CyclesPerWindow: cycles / float64(windows),
+				PeakSRAMBytes:   peakSRAM,
+				ModelConstBytes: constBytes,
+			}
+		}
+	}
+	return res, nil
+}
+
+// Format renders the result in the paper's Table II layout.
+func (r *Table2Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("TABLE II: Performance Evaluation for Three Versions of Detector\n")
+	sb.WriteString(fmt.Sprintf("%-11s %-14s %9s %9s %16s %9s\n",
+		"Version", "Platform", "Avg. FP", "Avg. FN", "Avg. Acc (±σ)", "Avg. F1"))
+	for _, row := range r.Rows {
+		s := row.Summary
+		sb.WriteString(fmt.Sprintf("%-11s %-14s %8.2f%% %8.2f%% %9.2f%%±%4.1f %8.2f%%\n",
+			row.Version, row.Platform,
+			100*s.AvgFP, 100*s.AvgFN, 100*s.AvgAcc, 100*s.StdAcc, 100*s.AvgF1))
+	}
+	return sb.String()
+}

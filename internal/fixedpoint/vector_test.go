@@ -1,0 +1,104 @@
+package fixedpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecFromFloatsRoundTrip(t *testing.T) {
+	in := []float64{0, 1.5, -2.25, 100}
+	v := VecFromFloats(in)
+	out := v.Floats()
+	for i := range in {
+		if math.Abs(out[i]-in[i]) > 1e-4 {
+			t.Errorf("element %d: %v != %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := VecFromFloats([]float64{1, 2, 3})
+	b := VecFromFloats([]float64{4, 5, 6})
+	if got := Dot(a, b).Float(); math.Abs(got-32) > 1e-3 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotUnequalLengths(t *testing.T) {
+	a := VecFromFloats([]float64{1, 2, 3})
+	b := VecFromFloats([]float64{10})
+	if got := Dot(a, b).Float(); math.Abs(got-10) > 1e-3 {
+		t.Errorf("Dot over common prefix = %v, want 10", got)
+	}
+}
+
+func TestSumMean(t *testing.T) {
+	v := VecFromFloats([]float64{1, 2, 3, 4})
+	if got := Sum(v).Float(); got != 10 {
+		t.Errorf("Sum = %v, want 10", got)
+	}
+	if got := Mean(v).Float(); math.Abs(got-2.5) > 1e-4 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if Mean(Vec{}) != 0 {
+		t.Error("Mean of empty should be 0")
+	}
+}
+
+func TestVariance(t *testing.T) {
+	v := VecFromFloats([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// Population variance of this classic set is 4.
+	if got := Variance(v).Float(); math.Abs(got-4) > 0.01 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if Variance(Vec{}) != 0 {
+		t.Error("Variance of empty should be 0")
+	}
+}
+
+func TestScaleAddVec(t *testing.T) {
+	v := VecFromFloats([]float64{1, -2})
+	s := v.Scale(FromInt(3))
+	if got := s.Floats(); math.Abs(got[0]-3) > 1e-4 || math.Abs(got[1]+6) > 1e-4 {
+		t.Errorf("Scale = %v", got)
+	}
+	sum := AddVec(v, s)
+	if got := sum.Floats(); math.Abs(got[0]-4) > 1e-4 || math.Abs(got[1]+8) > 1e-4 {
+		t.Errorf("AddVec = %v", got)
+	}
+}
+
+func TestQuickVarianceNonNegative(t *testing.T) {
+	f := func(raw []int32) bool {
+		v := make(Vec, len(raw))
+		for i, r := range raw {
+			v[i] = smallQ(r)
+		}
+		return Variance(v) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMeanWithinBounds(t *testing.T) {
+	f := func(raw []int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make(Vec, len(raw))
+		lo, hi := Max, Min
+		for i, r := range raw {
+			v[i] = smallQ(r)
+			lo, hi = MinQ(lo, v[i]), MaxQ(hi, v[i])
+		}
+		m := Mean(v)
+		// Allow one LSB of rounding slack per element.
+		slack := Q(len(raw))
+		return m >= Sub(lo, slack) && m <= Add(hi, slack)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

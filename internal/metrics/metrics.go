@@ -1,0 +1,215 @@
+// Package metrics computes the detection-quality measures the paper
+// reports: false positive rate, false negative rate, accuracy, and F1, plus
+// ROC analysis for the extension experiments.
+//
+// Conventions follow the paper: a *positive* is an altered window, so a
+// false positive is an unaltered window flagged as altered, and a false
+// negative is an altered window that slips through.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP int // altered, flagged
+	FP int // unaltered, flagged
+	TN int // unaltered, passed
+	FN int // altered, passed
+}
+
+// Add accumulates one labeled prediction.
+func (c *Confusion) Add(actualAltered, predictedAltered bool) {
+	switch {
+	case actualAltered && predictedAltered:
+		c.TP++
+	case actualAltered && !predictedAltered:
+		c.FN++
+	case !actualAltered && predictedAltered:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Merge adds another confusion matrix into c.
+func (c *Confusion) Merge(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+}
+
+// Total returns the number of accumulated predictions.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// FPRate is the fraction of unaltered windows misclassified as altered.
+// It returns 0 when there are no unaltered windows.
+func (c Confusion) FPRate() float64 {
+	n := c.FP + c.TN
+	if n == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(n)
+}
+
+// FNRate is the fraction of altered windows misclassified as unaltered.
+func (c Confusion) FNRate() float64 {
+	n := c.FN + c.TP
+	if n == 0 {
+		return 0
+	}
+	return float64(c.FN) / float64(n)
+}
+
+// Accuracy is the fraction of windows classified correctly.
+func (c Confusion) Accuracy() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(n)
+}
+
+// Precision is TP / (TP + FP); 0 when nothing was flagged.
+func (c Confusion) Precision() float64 {
+	n := c.TP + c.FP
+	if n == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(n)
+}
+
+// Recall is TP / (TP + FN); 0 when there were no altered windows.
+func (c Confusion) Recall() float64 {
+	n := c.TP + c.FN
+	if n == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(n)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d acc=%.2f%% F1=%.2f%%",
+		c.TP, c.FP, c.TN, c.FN, 100*c.Accuracy(), 100*c.F1())
+}
+
+// Summary aggregates per-subject confusion matrices into the averaged
+// rates the paper's Table II reports (averaging rates across subjects, not
+// pooling counts).
+type Summary struct {
+	AvgFP  float64
+	AvgFN  float64
+	AvgAcc float64
+	AvgF1  float64
+	StdAcc float64 // population std of per-subject accuracy
+	N      int
+}
+
+// Summarize averages the per-subject rates. It returns an error for an
+// empty input.
+func Summarize(perSubject []Confusion) (Summary, error) {
+	if len(perSubject) == 0 {
+		return Summary{}, errors.New("metrics: no confusion matrices to summarize")
+	}
+	var s Summary
+	for _, c := range perSubject {
+		s.AvgFP += c.FPRate()
+		s.AvgFN += c.FNRate()
+		s.AvgAcc += c.Accuracy()
+		s.AvgF1 += c.F1()
+	}
+	n := float64(len(perSubject))
+	s.AvgFP /= n
+	s.AvgFN /= n
+	s.AvgAcc /= n
+	s.AvgF1 /= n
+	var varAcc float64
+	for _, c := range perSubject {
+		d := c.Accuracy() - s.AvgAcc
+		varAcc += d * d
+	}
+	s.StdAcc = math.Sqrt(varAcc / n)
+	s.N = len(perSubject)
+	return s, nil
+}
+
+// ROCPoint is one operating point on a receiver operating characteristic.
+type ROCPoint struct {
+	Threshold float64
+	FPR       float64 // false positive rate
+	TPR       float64 // true positive rate
+}
+
+// ROC computes the ROC curve from decision scores (higher = more likely
+// altered) and ground-truth labels. The curve is sorted by descending
+// threshold and always includes the (0,0) and (1,1) endpoints.
+func ROC(scores []float64, altered []bool) ([]ROCPoint, error) {
+	if len(scores) != len(altered) {
+		return nil, fmt.Errorf("metrics: %d scores but %d labels", len(scores), len(altered))
+	}
+	if len(scores) == 0 {
+		return nil, errors.New("metrics: empty ROC input")
+	}
+	var pos, neg int
+	for _, a := range altered {
+		if a {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, errors.New("metrics: ROC needs both classes")
+	}
+
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	points := []ROCPoint{{Threshold: scores[idx[0]] + 1, FPR: 0, TPR: 0}}
+	tp, fp := 0, 0
+	for k := 0; k < len(idx); {
+		th := scores[idx[k]]
+		for k < len(idx) && scores[idx[k]] == th {
+			if altered[idx[k]] {
+				tp++
+			} else {
+				fp++
+			}
+			k++
+		}
+		points = append(points, ROCPoint{
+			Threshold: th,
+			FPR:       float64(fp) / float64(neg),
+			TPR:       float64(tp) / float64(pos),
+		})
+	}
+	return points, nil
+}
+
+// AUC integrates a ROC curve with the trapezoid rule.
+func AUC(curve []ROCPoint) float64 {
+	var area float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}

@@ -1,0 +1,233 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionAdd(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FN
+	c.Add(false, true)  // FP
+	c.Add(false, false) // TN
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Errorf("confusion = %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Errorf("Total = %d", c.Total())
+	}
+}
+
+func TestRates(t *testing.T) {
+	c := Confusion{TP: 8, FN: 2, FP: 1, TN: 9}
+	if got := c.FPRate(); got != 0.1 {
+		t.Errorf("FPRate = %v, want 0.1", got)
+	}
+	if got := c.FNRate(); got != 0.2 {
+		t.Errorf("FNRate = %v, want 0.2", got)
+	}
+	if got := c.Accuracy(); got != 0.85 {
+		t.Errorf("Accuracy = %v, want 0.85", got)
+	}
+	if got := c.Precision(); math.Abs(got-8.0/9) > 1e-12 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Recall(); got != 0.8 {
+		t.Errorf("Recall = %v", got)
+	}
+	wantF1 := 2 * (8.0 / 9) * 0.8 / ((8.0 / 9) + 0.8)
+	if got := c.F1(); math.Abs(got-wantF1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", got, wantF1)
+	}
+}
+
+func TestRatesEmptyDenominators(t *testing.T) {
+	var c Confusion
+	if c.FPRate() != 0 || c.FNRate() != 0 || c.Accuracy() != 0 ||
+		c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("empty confusion should produce all-zero rates")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	b := Confusion{TP: 10, FP: 20, TN: 30, FN: 40}
+	a.Merge(b)
+	if a.TP != 11 || a.FP != 22 || a.TN != 33 || a.FN != 44 {
+		t.Errorf("merged = %+v", a)
+	}
+}
+
+func TestSummarizeAveragesRates(t *testing.T) {
+	per := []Confusion{
+		{TP: 10, FN: 0, TN: 10, FP: 0}, // perfect: acc 1
+		{TP: 0, FN: 10, TN: 0, FP: 10}, // all wrong: acc 0
+	}
+	s, err := Summarize(per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AvgAcc != 0.5 {
+		t.Errorf("AvgAcc = %v, want 0.5", s.AvgAcc)
+	}
+	if s.AvgFP != 0.5 || s.AvgFN != 0.5 {
+		t.Errorf("AvgFP/FN = %v/%v, want 0.5/0.5", s.AvgFP, s.AvgFN)
+	}
+	if s.N != 2 {
+		t.Errorf("N = %d", s.N)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty summarize should error")
+	}
+}
+
+func TestROCPerfectSeparation(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	altered := []bool{true, true, false, false}
+	curve, err := ROC(scores, altered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(curve); math.Abs(auc-1) > 1e-12 {
+		t.Errorf("AUC of perfect classifier = %v, want 1", auc)
+	}
+}
+
+func TestROCRandomClassifier(t *testing.T) {
+	// Alternating labels with identical ordering of scores → AUC 0.5.
+	scores := []float64{4, 3, 2, 1}
+	altered := []bool{true, false, true, false}
+	curve, err := ROC(scores, altered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(curve); math.Abs(auc-0.5) > 0.26 {
+		t.Errorf("AUC = %v, want near 0.5", auc)
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	curve, err := ROC([]float64{1, 0}, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := curve[0], curve[len(curve)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Errorf("first point = %+v, want origin", first)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("last point = %+v, want (1,1)", last)
+	}
+}
+
+func TestROCTiedScores(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	altered := []bool{true, false, true, false}
+	curve, err := ROC(scores, altered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All ties collapse into a single step: origin + one point at (1,1).
+	if len(curve) != 2 {
+		t.Errorf("tied curve has %d points, want 2", len(curve))
+	}
+	if auc := AUC(curve); math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("tied AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ROC([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ROC(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ROC([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Error("single-class input should error")
+	}
+}
+
+func TestQuickAccuracyComplementsErrorRates(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		if c.Total() == 0 {
+			return true
+		}
+		acc := c.Accuracy()
+		errRate := float64(c.FP+c.FN) / float64(c.Total())
+		return math.Abs(acc+errRate-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickROCAUCWithinUnit(t *testing.T) {
+	f := func(raw []float64, labels []bool) bool {
+		n := len(raw)
+		if len(labels) < n {
+			n = len(labels)
+		}
+		scores := make([]float64, 0, n)
+		alt := make([]bool, 0, n)
+		hasPos, hasNeg := false, false
+		for i := 0; i < n; i++ {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				continue
+			}
+			scores = append(scores, raw[i])
+			alt = append(alt, labels[i])
+			if labels[i] {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		curve, err := ROC(scores, alt)
+		if err != nil {
+			return false
+		}
+		auc := AUC(curve)
+		return auc >= -1e-9 && auc <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	if s := c.String(); s == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestSummarizeStdAcc(t *testing.T) {
+	per := []Confusion{
+		{TP: 10, TN: 10},             // acc 1
+		{TP: 5, TN: 5, FP: 5, FN: 5}, // acc 0.5
+	}
+	s, err := Summarize(per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.StdAcc-0.25) > 1e-12 {
+		t.Errorf("StdAcc = %v, want 0.25", s.StdAcc)
+	}
+	one, err := Summarize(per[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.StdAcc != 0 {
+		t.Errorf("single-subject StdAcc = %v, want 0", one.StdAcc)
+	}
+}

@@ -1,0 +1,182 @@
+package peaks
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/dsp"
+	"github.com/wiot-security/sift/internal/physio"
+)
+
+func TestDetectRAgainstGroundTruth(t *testing.T) {
+	rec, err := physio.Generate(physio.DefaultSubject(), 60, physio.DefaultSampleRate, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DetectR(rec.ECG, DetectorConfig{SampleRate: rec.SampleRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := int(0.05 * rec.SampleRate) // 50 ms
+	hits, misses, extras := MatchStats(got, rec.RPeaks, tol)
+	total := hits + misses
+	if total == 0 {
+		t.Fatal("no ground-truth peaks")
+	}
+	if sens := float64(hits) / float64(total); sens < 0.95 {
+		t.Errorf("R-peak sensitivity = %.3f (hits %d, misses %d), want >= 0.95", sens, hits, misses)
+	}
+	if extras > total/10 {
+		t.Errorf("too many false R detections: %d extras for %d truth peaks", extras, total)
+	}
+}
+
+func TestDetectRAcrossCohort(t *testing.T) {
+	subjects, err := physio.Cohort(4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subjects {
+		rec, err := physio.Generate(s, 30, physio.DefaultSampleRate, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DetectR(rec.ECG, DetectorConfig{SampleRate: rec.SampleRate})
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		tol := int(0.05 * rec.SampleRate)
+		hits, misses, _ := MatchStats(got, rec.RPeaks, tol)
+		if sens := float64(hits) / float64(hits+misses); sens < 0.9 {
+			t.Errorf("%s: sensitivity %.3f < 0.9", s.ID, sens)
+		}
+	}
+}
+
+func TestDetectSystolicAgainstGroundTruth(t *testing.T) {
+	rec, err := physio.Generate(physio.DefaultSubject(), 60, physio.DefaultSampleRate, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DetectSystolic(rec.ABP, rec.SampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := int(0.06 * rec.SampleRate)
+	hits, misses, extras := MatchStats(got, rec.SystolicPeaks, tol)
+	total := hits + misses
+	if sens := float64(hits) / float64(total); sens < 0.9 {
+		t.Errorf("systolic sensitivity = %.3f (hits %d misses %d extras %d)", sens, hits, misses, extras)
+	}
+}
+
+func TestDetectREmptyAndBadArgs(t *testing.T) {
+	if _, err := DetectR(nil, DetectorConfig{SampleRate: 360}); !errors.Is(err, dsp.ErrEmptySignal) {
+		t.Errorf("empty ECG err = %v, want ErrEmptySignal", err)
+	}
+	if _, err := DetectR([]float64{1, 2}, DetectorConfig{}); err == nil {
+		t.Error("zero sample rate should error")
+	}
+	if _, err := DetectSystolic(nil, 360); !errors.Is(err, dsp.ErrEmptySignal) {
+		t.Error("empty ABP should return ErrEmptySignal")
+	}
+	if _, err := DetectSystolic([]float64{1}, 0); err == nil {
+		t.Error("zero sample rate should error")
+	}
+}
+
+func TestDetectRFlatSignal(t *testing.T) {
+	flat := make([]float64, 3600)
+	got, err := DetectR(flat, DetectorConfig{SampleRate: 360})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("flat signal produced %d peaks, want 0", len(got))
+	}
+}
+
+func TestPair(t *testing.T) {
+	r := []int{100, 500, 900}
+	s := []int{180, 575, 2000}
+	pairs := Pair(r, s, 150)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v, want 2 entries", pairs)
+	}
+	if pairs[0] != [2]int{100, 180} || pairs[1] != [2]int{500, 575} {
+		t.Errorf("pairs = %v", pairs)
+	}
+}
+
+func TestPairSkipsUnmatchable(t *testing.T) {
+	pairs := Pair([]int{10, 20}, nil, 100)
+	if len(pairs) != 0 {
+		t.Errorf("no systolic peaks should yield no pairs, got %v", pairs)
+	}
+	// A systolic peak before the R peak is not a match.
+	pairs = Pair([]int{100}, []int{50}, 100)
+	if len(pairs) != 0 {
+		t.Errorf("preceding systolic should not pair, got %v", pairs)
+	}
+}
+
+func TestMatchStats(t *testing.T) {
+	hits, misses, extras := MatchStats([]int{10, 52, 200}, []int{11, 50, 99}, 3)
+	if hits != 2 || misses != 1 || extras != 1 {
+		t.Errorf("MatchStats = (%d, %d, %d), want (2, 1, 1)", hits, misses, extras)
+	}
+}
+
+func TestDedupeSorted(t *testing.T) {
+	got := dedupeSorted([]int{10, 12, 50, 55, 100}, 10)
+	want := []int{10, 50, 100}
+	if len(got) != len(want) {
+		t.Fatalf("dedupe = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("dedupe = %v, want %v", got, want)
+		}
+	}
+	if out := dedupeSorted(nil, 5); len(out) != 0 {
+		t.Error("dedupe of empty should be empty")
+	}
+}
+
+func TestPairedLagsOnRecord(t *testing.T) {
+	rec, err := physio.Generate(physio.DefaultSubject(), 30, physio.DefaultSampleRate, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLag := int(1.0 * rec.SampleRate)
+	pairs := Pair(rec.RPeaks, rec.SystolicPeaks, maxLag)
+	if len(pairs) < len(rec.RPeaks)-2 {
+		t.Errorf("paired %d of %d R peaks", len(pairs), len(rec.RPeaks))
+	}
+	for _, p := range pairs {
+		if p[1] <= p[0] {
+			t.Errorf("pair %v not causally ordered", p)
+		}
+	}
+}
+
+func TestSpectralHeartRateCrossChecksPeaks(t *testing.T) {
+	// Independent frequency-domain estimate (Insight #2's FFT toolkit)
+	// must agree with the time-domain R-peak count.
+	rec, err := physio.Generate(physio.DefaultSubject(), 60, physio.DefaultSampleRate, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected, err := DetectR(rec.ECG, DetectorConfig{SampleRate: rec.SampleRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeHR := 60 * float64(len(detected)) / rec.Duration()
+	specHR, err := dsp.SpectralHeartRate(rec.ECG, rec.SampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := specHR - timeHR; diff < -8 || diff > 8 {
+		t.Errorf("spectral HR %.1f vs time-domain HR %.1f bpm disagree", specHR, timeHR)
+	}
+}

@@ -1,0 +1,135 @@
+package physio
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV record interchange. Users with access to the real PhysioBank
+// Fantasia data (or any other synchronized ECG+ABP export) can bring it
+// into the pipeline through this format instead of the synthesizer:
+//
+//	# header row:
+//	time_s,ecg_mv,abp_mmhg,r_peak,sys_peak
+//	0.000000,0.012,78.4,0,0
+//	0.002778,0.020,78.9,1,0    ← r_peak/sys_peak mark characteristic points
+//
+// The sample rate is inferred from the first two timestamps; peak marker
+// columns are optional (absent columns mean "detect at runtime").
+
+// WriteCSV serializes a record.
+func WriteCSV(w io.Writer, rec *Record) error {
+	if rec == nil || len(rec.ECG) == 0 {
+		return errors.New("physio: cannot write an empty record")
+	}
+	if rec.SampleRate <= 0 {
+		return fmt.Errorf("physio: record sample rate %.3g invalid", rec.SampleRate)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "ecg_mv", "abp_mmhg", "r_peak", "sys_peak"}); err != nil {
+		return err
+	}
+	rset := make(map[int]bool, len(rec.RPeaks))
+	for _, p := range rec.RPeaks {
+		rset[p] = true
+	}
+	sset := make(map[int]bool, len(rec.SystolicPeaks))
+	for _, p := range rec.SystolicPeaks {
+		sset[p] = true
+	}
+	mark := func(b bool) string {
+		if b {
+			return "1"
+		}
+		return "0"
+	}
+	for i := range rec.ECG {
+		row := []string{
+			strconv.FormatFloat(float64(i)/rec.SampleRate, 'f', 6, 64),
+			strconv.FormatFloat(rec.ECG[i], 'f', 6, 64),
+			strconv.FormatFloat(rec.ABP[i], 'f', 6, 64),
+			mark(rset[i]),
+			mark(sset[i]),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a record written by WriteCSV (or an equivalent export).
+// Rows must be uniformly sampled; subjectID labels the result.
+func ReadCSV(r io.Reader, subjectID string) (*Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually to allow 3-column exports
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("physio: read CSV header: %w", err)
+	}
+	if len(header) < 3 {
+		return nil, fmt.Errorf("physio: CSV needs at least time,ecg,abp columns, got %d", len(header))
+	}
+	hasPeaks := len(header) >= 5
+
+	rec := &Record{SubjectID: subjectID}
+	var times []float64
+	line := 1
+	for {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("physio: read CSV: %w", err)
+		}
+		line++
+		if len(row) < 3 {
+			return nil, fmt.Errorf("physio: CSV line %d has %d fields, want >= 3", line, len(row))
+		}
+		t, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("physio: CSV line %d time: %w", line, err)
+		}
+		ecg, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("physio: CSV line %d ecg: %w", line, err)
+		}
+		abp, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("physio: CSV line %d abp: %w", line, err)
+		}
+		times = append(times, t)
+		idx := len(rec.ECG)
+		rec.ECG = append(rec.ECG, ecg)
+		rec.ABP = append(rec.ABP, abp)
+		if hasPeaks && len(row) >= 5 {
+			if row[3] == "1" {
+				rec.RPeaks = append(rec.RPeaks, idx)
+			}
+			if row[4] == "1" {
+				rec.SystolicPeaks = append(rec.SystolicPeaks, idx)
+			}
+		}
+	}
+	if len(times) < 2 {
+		return nil, errors.New("physio: CSV record needs at least two samples")
+	}
+	dt := times[1] - times[0]
+	if dt <= 0 {
+		return nil, fmt.Errorf("physio: non-increasing timestamps (dt = %.6g)", dt)
+	}
+	// Uniformity check with 1 % tolerance.
+	for i := 2; i < len(times); i++ {
+		step := times[i] - times[i-1]
+		if step < 0.99*dt || step > 1.01*dt {
+			return nil, fmt.Errorf("physio: non-uniform sampling at line %d (dt %.6g vs %.6g)", i+2, step, dt)
+		}
+	}
+	rec.SampleRate = 1 / dt
+	return rec, nil
+}

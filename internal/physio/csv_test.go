@@ -1,0 +1,119 @@
+package physio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	rec, err := Generate(DefaultSubject(), 5, DefaultSampleRate, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SubjectID != "rt" {
+		t.Errorf("subject = %q", back.SubjectID)
+	}
+	if len(back.ECG) != len(rec.ECG) {
+		t.Fatalf("samples = %d, want %d", len(back.ECG), len(rec.ECG))
+	}
+	if math.Abs(back.SampleRate-rec.SampleRate) > 0.5 {
+		t.Errorf("sample rate = %.2f, want %.2f", back.SampleRate, rec.SampleRate)
+	}
+	for i := range rec.ECG {
+		if math.Abs(back.ECG[i]-rec.ECG[i]) > 1e-5 || math.Abs(back.ABP[i]-rec.ABP[i]) > 1e-5 {
+			t.Fatalf("sample %d drifted", i)
+		}
+	}
+	if len(back.RPeaks) != len(rec.RPeaks) {
+		t.Errorf("R peaks = %d, want %d", len(back.RPeaks), len(rec.RPeaks))
+	}
+	for i := range rec.RPeaks {
+		if back.RPeaks[i] != rec.RPeaks[i] {
+			t.Fatalf("R peak %d moved", i)
+		}
+	}
+	if len(back.SystolicPeaks) != len(rec.SystolicPeaks) {
+		t.Errorf("systolic peaks = %d, want %d", len(back.SystolicPeaks), len(rec.SystolicPeaks))
+	}
+}
+
+func TestReadCSVWithoutPeakColumns(t *testing.T) {
+	src := "time_s,ecg_mv,abp_mmhg\n0.0,0.1,80\n0.01,0.2,81\n0.02,0.3,82\n"
+	rec, err := ReadCSV(strings.NewReader(src), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.ECG) != 3 || len(rec.RPeaks) != 0 {
+		t.Errorf("record = %d samples, %d peaks", len(rec.ECG), len(rec.RPeaks))
+	}
+	if math.Abs(rec.SampleRate-100) > 0.1 {
+		t.Errorf("sample rate = %.2f, want 100", rec.SampleRate)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"narrow header", "time\n1\n2\n"},
+		{"one sample", "t,e,a\n0,1,2\n"},
+		{"bad time", "t,e,a\nx,1,2\n0.01,1,2\n"},
+		{"bad ecg", "t,e,a\n0,x,2\n0.01,1,2\n"},
+		{"bad abp", "t,e,a\n0,1,x\n0.01,1,2\n"},
+		{"non-uniform", "t,e,a\n0,1,2\n0.01,1,2\n0.5,1,2\n"},
+		{"non-increasing", "t,e,a\n0,1,2\n0,1,2\n"},
+		{"short row", "t,e,a\n0,1\n0.01,1,2\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tc.src), "x"); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestWriteCSVValidation(t *testing.T) {
+	if err := WriteCSV(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil record should error")
+	}
+	bad := &Record{ECG: []float64{1}, ABP: []float64{1}}
+	if err := WriteCSV(&bytes.Buffer{}, bad); err == nil {
+		t.Error("zero sample rate should error")
+	}
+}
+
+func TestCSVRecordFeedsPipeline(t *testing.T) {
+	// A CSV-imported record must work end-to-end with the windowing code.
+	rec, err := Generate(DefaultSubject(), 6, DefaultSampleRate, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "S-CSV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := back.Slice(0, 1080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.ECG) != 1080 {
+		t.Errorf("slice of imported record = %d samples", len(sub.ECG))
+	}
+}

@@ -1,0 +1,237 @@
+// Package qm is a small event-driven, run-to-completion state machine
+// framework modeled on the QM/QP programming model that AmuletOS is built
+// on: each application is an *active object* — a state machine with a
+// private event queue — and a cooperative kernel dispatches one event at a
+// time to completion. There are no threads and no preemption; all
+// application code runs to completion, exactly as on the Amulet.
+//
+// The SIFT detector app (PeaksDataCheck → FeatureExtraction →
+// MLClassifier) is written against this framework, as are the auxiliary
+// apps in the WIoT simulation, which mirrors the Amulet's multi-app
+// deployment model.
+package qm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Signal identifies an event type.
+type Signal int
+
+// Reserved signals. User signals must start at SigUser.
+const (
+	// SigEntry is dispatched to a state when it is entered.
+	SigEntry Signal = iota + 1
+	// SigExit is dispatched to a state when it is left.
+	SigExit
+	// SigUser is the first application-defined signal value.
+	SigUser
+)
+
+// Event pairs a signal with an optional payload.
+type Event struct {
+	Sig  Signal
+	Data any
+}
+
+// Status is a state handler's verdict on an event.
+type Status int
+
+const (
+	// Handled means the event was consumed with no state change.
+	Handled Status = iota + 1
+	// Ignored means the state did not care about the event.
+	Ignored
+	// Transitioned means the handler called Active.TransitionTo.
+	Transitioned
+)
+
+// StateFunc handles one event for an active object. Handlers requesting a
+// state change call a.TransitionTo(target) and return Transitioned.
+type StateFunc func(a *Active, e Event) Status
+
+// ErrQueueFull is returned when posting to a full event queue — the
+// AmuletOS analog is a dropped event, which apps must treat as an error.
+var ErrQueueFull = errors.New("qm: event queue full")
+
+// Active is an active object: a named state machine with a bounded FIFO
+// event queue. Zero value is not usable; construct with NewActive.
+type Active struct {
+	name    string
+	state   StateFunc
+	stateID string
+	queue   []Event
+	cap     int
+
+	target   StateFunc
+	targetID string
+	pending  bool
+
+	trace func(active, from, to string, e Event)
+}
+
+// NewActive creates an active object in the initial state. queueCap bounds
+// the event queue (the Amulet's queues are small and static).
+func NewActive(name, initialID string, initial StateFunc, queueCap int) (*Active, error) {
+	if name == "" {
+		return nil, errors.New("qm: active object needs a name")
+	}
+	if initial == nil {
+		return nil, fmt.Errorf("qm: active %q needs an initial state", name)
+	}
+	if queueCap <= 0 {
+		return nil, fmt.Errorf("qm: active %q queue capacity %d must be positive", name, queueCap)
+	}
+	a := &Active{name: name, state: initial, stateID: initialID, cap: queueCap}
+	return a, nil
+}
+
+// Name returns the active object's name.
+func (a *Active) Name() string { return a.name }
+
+// StateID returns the identifier of the current state.
+func (a *Active) StateID() string { return a.stateID }
+
+// Pending returns the number of queued events.
+func (a *Active) Pending() int { return len(a.queue) }
+
+// SetTrace installs a transition trace hook (used for the Fig 2 pipeline
+// trace and debugging — Insight #3 asks platforms for exactly this).
+func (a *Active) SetTrace(fn func(active, from, to string, e Event)) { a.trace = fn }
+
+// Post enqueues an event, failing with ErrQueueFull at capacity.
+func (a *Active) Post(e Event) error {
+	if len(a.queue) >= a.cap {
+		return fmt.Errorf("qm: post %d to %q: %w", int(e.Sig), a.name, ErrQueueFull)
+	}
+	a.queue = append(a.queue, e)
+	return nil
+}
+
+// TransitionTo schedules a state change; the framework performs the
+// SigExit/SigEntry protocol after the current handler returns.
+func (a *Active) TransitionTo(id string, s StateFunc) {
+	a.target = s
+	a.targetID = id
+	a.pending = true
+}
+
+// DispatchOne pops and processes a single event to completion, running the
+// exit/entry protocol for any transition the handler requested. It reports
+// whether an event was processed.
+func (a *Active) DispatchOne() (bool, error) {
+	if len(a.queue) == 0 {
+		return false, nil
+	}
+	e := a.queue[0]
+	a.queue = a.queue[1:]
+
+	status := a.state(a, e)
+	if status == Transitioned && !a.pending {
+		return true, fmt.Errorf("qm: %q state %q returned Transitioned without calling TransitionTo", a.name, a.stateID)
+	}
+	if a.pending {
+		from := a.stateID
+		a.state(a, Event{Sig: SigExit})
+		a.state, a.stateID = a.target, a.targetID
+		a.pending = false
+		if a.trace != nil {
+			a.trace(a.name, from, a.stateID, e)
+		}
+		a.state(a, Event{Sig: SigEntry})
+		// Entry handlers may themselves request a chained transition.
+		for a.pending {
+			prev := a.stateID
+			a.state(a, Event{Sig: SigExit})
+			a.state, a.stateID = a.target, a.targetID
+			a.pending = false
+			if a.trace != nil {
+				a.trace(a.name, prev, a.stateID, Event{Sig: SigEntry})
+			}
+			a.state(a, Event{Sig: SigEntry})
+		}
+	}
+	return true, nil
+}
+
+// Kernel is a cooperative scheduler over a set of active objects. Events
+// are dispatched round-robin, one at a time — single-threaded
+// run-to-completion, as on the Amulet's application processor.
+type Kernel struct {
+	actives []*Active
+	byName  map[string]*Active
+}
+
+// NewKernel creates an empty kernel.
+func NewKernel() *Kernel {
+	return &Kernel{byName: make(map[string]*Active)}
+}
+
+// Add registers an active object. Names must be unique.
+func (k *Kernel) Add(a *Active) error {
+	if a == nil {
+		return errors.New("qm: cannot add nil active")
+	}
+	if _, dup := k.byName[a.name]; dup {
+		return fmt.Errorf("qm: duplicate active object %q", a.name)
+	}
+	k.byName[a.name] = a
+	k.actives = append(k.actives, a)
+	return nil
+}
+
+// Lookup finds a registered active object by name.
+func (k *Kernel) Lookup(name string) (*Active, bool) {
+	a, ok := k.byName[name]
+	return a, ok
+}
+
+// Post enqueues an event for the named active object.
+func (k *Kernel) Post(name string, e Event) error {
+	a, ok := k.byName[name]
+	if !ok {
+		return fmt.Errorf("qm: no active object %q", name)
+	}
+	return a.Post(e)
+}
+
+// Step dispatches at most one event from the first non-idle active object
+// (round-robin order). It reports whether any event was processed.
+func (k *Kernel) Step() (bool, error) {
+	for _, a := range k.actives {
+		did, err := a.DispatchOne()
+		if err != nil {
+			return did, err
+		}
+		if did {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Drain dispatches events until every queue is empty or maxSteps events
+// have been processed, returning the number processed. A maxSteps of 0
+// means no work; exceeding maxSteps with work remaining is an error, which
+// catches event loops that never quiesce.
+func (k *Kernel) Drain(maxSteps int) (int, error) {
+	steps := 0
+	for steps < maxSteps {
+		did, err := k.Step()
+		if err != nil {
+			return steps, err
+		}
+		if !did {
+			return steps, nil
+		}
+		steps++
+	}
+	// Check whether anything is still pending.
+	for _, a := range k.actives {
+		if a.Pending() > 0 {
+			return steps, fmt.Errorf("qm: drain exceeded %d steps with events still queued", maxSteps)
+		}
+	}
+	return steps, nil
+}

@@ -1,0 +1,305 @@
+package qm
+
+import (
+	"errors"
+	"testing"
+)
+
+const (
+	sigGo Signal = SigUser + iota
+	sigPing
+)
+
+// traffic light: red → green → red on sigGo; counts entries.
+type light struct {
+	entries map[string]int
+	a       *Active
+}
+
+func newLight(t *testing.T, queueCap int) *light {
+	t.Helper()
+	l := &light{entries: map[string]int{}}
+	a, err := NewActive("light", "red", l.red, queueCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.a = a
+	return l
+}
+
+func (l *light) red(a *Active, e Event) Status {
+	switch e.Sig {
+	case SigEntry:
+		l.entries["red"]++
+		return Handled
+	case sigGo:
+		a.TransitionTo("green", l.green)
+		return Transitioned
+	}
+	return Ignored
+}
+
+func (l *light) green(a *Active, e Event) Status {
+	switch e.Sig {
+	case SigEntry:
+		l.entries["green"]++
+		return Handled
+	case sigGo:
+		a.TransitionTo("red", l.red)
+		return Transitioned
+	}
+	return Ignored
+}
+
+func TestNewActiveValidation(t *testing.T) {
+	if _, err := NewActive("", "s", func(*Active, Event) Status { return Handled }, 4); err == nil {
+		t.Error("empty name should error")
+	}
+	if _, err := NewActive("x", "s", nil, 4); err == nil {
+		t.Error("nil initial state should error")
+	}
+	if _, err := NewActive("x", "s", func(*Active, Event) Status { return Handled }, 0); err == nil {
+		t.Error("zero queue capacity should error")
+	}
+}
+
+func TestTransitionRunsEntryExit(t *testing.T) {
+	l := newLight(t, 4)
+	if l.a.StateID() != "red" {
+		t.Fatalf("initial state = %q", l.a.StateID())
+	}
+	if err := l.a.Post(Event{Sig: sigGo}); err != nil {
+		t.Fatal(err)
+	}
+	did, err := l.a.DispatchOne()
+	if err != nil || !did {
+		t.Fatalf("dispatch = %v, %v", did, err)
+	}
+	if l.a.StateID() != "green" {
+		t.Errorf("state = %q, want green", l.a.StateID())
+	}
+	if l.entries["green"] != 1 {
+		t.Errorf("green entries = %d, want 1", l.entries["green"])
+	}
+}
+
+func TestDispatchIdle(t *testing.T) {
+	l := newLight(t, 4)
+	did, err := l.a.DispatchOne()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if did {
+		t.Error("dispatch on empty queue should be a no-op")
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	l := newLight(t, 2)
+	if err := l.a.Post(Event{Sig: sigGo}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.a.Post(Event{Sig: sigGo}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.a.Post(Event{Sig: sigGo}); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("third post err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestIgnoredEventLeavesState(t *testing.T) {
+	l := newLight(t, 4)
+	if err := l.a.Post(Event{Sig: sigPing}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.a.DispatchOne(); err != nil {
+		t.Fatal(err)
+	}
+	if l.a.StateID() != "red" {
+		t.Errorf("state = %q, want red after ignored event", l.a.StateID())
+	}
+}
+
+func TestTransitionedWithoutTarget(t *testing.T) {
+	bad, err := NewActive("bad", "s", func(a *Active, e Event) Status {
+		if e.Sig == sigGo {
+			return Transitioned // lies: never called TransitionTo
+		}
+		return Ignored
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Post(Event{Sig: sigGo}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.DispatchOne(); err == nil {
+		t.Error("Transitioned without TransitionTo should error")
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	l := newLight(t, 4)
+	var transitions [][2]string
+	l.a.SetTrace(func(active, from, to string, e Event) {
+		transitions = append(transitions, [2]string{from, to})
+	})
+	for i := 0; i < 3; i++ {
+		if err := l.a.Post(Event{Sig: sigGo}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.a.DispatchOne(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := [][2]string{{"red", "green"}, {"green", "red"}, {"red", "green"}}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v", transitions)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Errorf("transition %d = %v, want %v", i, transitions[i], want[i])
+		}
+	}
+}
+
+// chained: entry of state b immediately transitions to c.
+type chained struct {
+	visited []string
+}
+
+func (c *chained) a(act *Active, e Event) Status {
+	if e.Sig == sigGo {
+		act.TransitionTo("b", c.b)
+		return Transitioned
+	}
+	return Ignored
+}
+
+func (c *chained) b(act *Active, e Event) Status {
+	if e.Sig == SigEntry {
+		c.visited = append(c.visited, "b")
+		act.TransitionTo("c", c.c)
+		return Transitioned
+	}
+	return Ignored
+}
+
+func (c *chained) c(act *Active, e Event) Status {
+	if e.Sig == SigEntry {
+		c.visited = append(c.visited, "c")
+	}
+	return Handled
+}
+
+func TestChainedEntryTransitions(t *testing.T) {
+	ch := &chained{}
+	a, err := NewActive("chain", "a", ch.a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Post(Event{Sig: sigGo}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.DispatchOne(); err != nil {
+		t.Fatal(err)
+	}
+	if a.StateID() != "c" {
+		t.Errorf("final state = %q, want c", a.StateID())
+	}
+	if len(ch.visited) != 2 || ch.visited[0] != "b" || ch.visited[1] != "c" {
+		t.Errorf("visited = %v, want [b c]", ch.visited)
+	}
+}
+
+func TestKernelRoundRobin(t *testing.T) {
+	k := NewKernel()
+	l1 := newLight(t, 4)
+	l2raw := &light{entries: map[string]int{}}
+	l2a, err := NewActive("light2", "red", l2raw.red, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2raw.a = l2a
+	if err := k.Add(l1.a); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Add(l2a); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Post("light", Event{Sig: sigGo}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Post("light2", Event{Sig: sigGo}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := k.Drain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("drained %d events, want 2", n)
+	}
+	if l1.a.StateID() != "green" || l2a.StateID() != "green" {
+		t.Error("both lights should have transitioned")
+	}
+}
+
+func TestKernelErrors(t *testing.T) {
+	k := NewKernel()
+	if err := k.Add(nil); err == nil {
+		t.Error("adding nil should error")
+	}
+	l := newLight(t, 4)
+	if err := k.Add(l.a); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Add(l.a); err == nil {
+		t.Error("duplicate add should error")
+	}
+	if err := k.Post("ghost", Event{Sig: sigGo}); err == nil {
+		t.Error("posting to unknown active should error")
+	}
+	if _, ok := k.Lookup("light"); !ok {
+		t.Error("Lookup should find registered active")
+	}
+	if _, ok := k.Lookup("ghost"); ok {
+		t.Error("Lookup should miss unknown active")
+	}
+}
+
+func TestDrainDetectsRunaway(t *testing.T) {
+	k := NewKernel()
+	// An active that reposts to itself forever.
+	loop, err := NewActive("loop", "s", func(a *Active, e Event) Status {
+		if e.Sig == sigGo {
+			_ = a.Post(Event{Sig: sigGo})
+		}
+		return Handled
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Add(loop); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Post("loop", Event{Sig: sigGo}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Drain(20); err == nil {
+		t.Error("runaway event loop should be reported")
+	}
+}
+
+func TestKernelStepIdle(t *testing.T) {
+	k := NewKernel()
+	did, err := k.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if did {
+		t.Error("empty kernel step should be a no-op")
+	}
+}

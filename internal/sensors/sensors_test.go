@@ -1,0 +1,183 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/physio"
+)
+
+const accelFs = 50.0
+
+func schedule() []Episode {
+	return []Episode{
+		{Activity: Rest, StartSec: 0, EndSec: 20},
+		{Activity: Walk, StartSec: 20, EndSec: 40},
+		{Activity: Run, StartSec: 40, EndSec: 60},
+	}
+}
+
+func TestGenerateLengthAndDeterminism(t *testing.T) {
+	a, err := Generate(schedule(), 60, accelFs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 3000 {
+		t.Errorf("samples = %d, want 3000", a.Len())
+	}
+	b, err := Generate(schedule(), 60, accelFs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatal("identical seeds diverged")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(nil, 0, accelFs, 1); err == nil {
+		t.Error("zero duration should error")
+	}
+	if _, err := Generate(nil, 10, 0, 1); err == nil {
+		t.Error("zero rate should error")
+	}
+	bad := []Episode{{Activity: Walk, StartSec: 5, EndSec: 3}}
+	if _, err := Generate(bad, 10, accelFs, 1); err == nil {
+		t.Error("inverted episode should error")
+	}
+	over := []Episode{
+		{Activity: Walk, StartSec: 0, EndSec: 6},
+		{Activity: Run, StartSec: 5, EndSec: 8},
+	}
+	if _, err := Generate(over, 10, accelFs, 1); err == nil {
+		t.Error("overlapping episodes should error")
+	}
+	unknown := []Episode{{Activity: Activity(9), StartSec: 0, EndSec: 1}}
+	if _, err := Generate(unknown, 10, accelFs, 1); err == nil {
+		t.Error("unknown activity should error")
+	}
+	outOfRange := []Episode{{Activity: Walk, StartSec: 5, EndSec: 20}}
+	if _, err := Generate(outOfRange, 10, accelFs, 1); err == nil {
+		t.Error("episode past the end should error")
+	}
+}
+
+func TestMotionEnergyOrdering(t *testing.T) {
+	a, err := Generate(schedule(), 60, accelFs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag := a.Magnitude()
+	seg := func(loSec, hiSec float64) float64 {
+		return std(mag[int(loSec*accelFs):int(hiSec*accelFs)])
+	}
+	rest, walk, run := seg(0, 20), seg(20, 40), seg(40, 60)
+	if !(rest < walk && walk < run) {
+		t.Errorf("motion energy ordering violated: %.3f / %.3f / %.3f", rest, walk, run)
+	}
+}
+
+func TestDetectActivity(t *testing.T) {
+	a, err := Generate(schedule(), 60, accelFs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts, err := DetectActivity(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 20 {
+		t.Fatalf("activity windows = %d, want 20", len(acts))
+	}
+	// Windows 0–5 rest, 7–12 walk, 14–19 run (skip boundary windows).
+	for i := 0; i < 6; i++ {
+		if acts[i] != Rest {
+			t.Errorf("window %d = %v, want rest", i, acts[i])
+		}
+	}
+	for i := 7; i < 13; i++ {
+		if acts[i] != Walk {
+			t.Errorf("window %d = %v, want walk", i, acts[i])
+		}
+	}
+	for i := 14; i < 20; i++ {
+		if acts[i] != Run {
+			t.Errorf("window %d = %v, want run", i, acts[i])
+		}
+	}
+}
+
+func TestDetectActivityValidation(t *testing.T) {
+	if _, err := DetectActivity(nil, 3); err == nil {
+		t.Error("nil record should error")
+	}
+	a, err := Generate(nil, 10, accelFs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DetectActivity(a, 0); err == nil {
+		t.Error("zero window should error")
+	}
+}
+
+func TestCorruptECGScalesWithMotion(t *testing.T) {
+	rec, err := physio.Generate(physio.DefaultSubject(), 60, physio.DefaultSampleRate, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accel, err := Generate(schedule(), 60, accelFs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted, err := CorruptECG(rec.ECG, rec.SampleRate, accel, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			d := corrupted[i] - rec.ECG[i]
+			s += d * d
+		}
+		return math.Sqrt(s / float64(hi-lo))
+	}
+	n := int(rec.SampleRate)
+	rest := rms(0, 20*n)
+	run := rms(40*n, 60*n)
+	if rest > 0.05 {
+		t.Errorf("rest artifact RMS = %.3f mV, want ≈0", rest)
+	}
+	if run < 5*rest || run < 0.05 {
+		t.Errorf("run artifact RMS = %.3f mV should dwarf rest %.3f", run, rest)
+	}
+}
+
+func TestCorruptECGValidation(t *testing.T) {
+	accel, err := Generate(nil, 1, accelFs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CorruptECG(nil, 360, accel, 0.3, 1); err == nil {
+		t.Error("empty ECG should error")
+	}
+	if _, err := CorruptECG([]float64{1}, 360, nil, 0.3, 1); err == nil {
+		t.Error("nil accel should error")
+	}
+	if _, err := CorruptECG([]float64{1}, 0, accel, 0.3, 1); err == nil {
+		t.Error("zero rate should error")
+	}
+	if _, err := CorruptECG([]float64{1}, 360, accel, -1, 1); err == nil {
+		t.Error("negative gain should error")
+	}
+}
+
+func TestActivityString(t *testing.T) {
+	if Rest.String() != "rest" || Walk.String() != "walk" || Run.String() != "run" {
+		t.Error("activity names wrong")
+	}
+	if Activity(9).String() == "" {
+		t.Error("unknown activity should still render")
+	}
+}

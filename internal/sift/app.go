@@ -1,0 +1,134 @@
+package sift
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/qm"
+)
+
+// App is the SIFT detector packaged as an AmuletOS-style QM application:
+// a three-state machine — PeaksDataCheck → FeatureExtraction →
+// MLClassifier — driven by window events through a run-to-completion
+// kernel, exactly the structure of the paper's Fig 2 and Section III.
+type App struct {
+	det     *Detector
+	kernel  *qm.Kernel
+	active  *qm.Active
+	onAlert func(AppAlert)
+
+	// Pipeline registers carried between states (the Amulet app keeps
+	// these in its per-app attribute storage).
+	window   dataset.Window
+	features []float64
+	err      error
+}
+
+// AppAlert is the MLClassifier state's output for one window.
+type AppAlert struct {
+	WindowIndex int
+	Altered     bool
+	Margin      float64
+}
+
+const sigWindow qm.Signal = qm.SigUser
+
+// NewApp wraps a trained detector in the QM application shell. onAlert is
+// invoked for every classified window (the Amulet shows a screen alert
+// only for positives; the callback receives everything so callers decide).
+func NewApp(det *Detector, onAlert func(AppAlert)) (*App, error) {
+	if det == nil || det.Model == nil {
+		return nil, errors.New("sift: app needs a trained detector")
+	}
+	if onAlert == nil {
+		return nil, errors.New("sift: app needs an alert callback")
+	}
+	a := &App{det: det, kernel: qm.NewKernel(), onAlert: onAlert}
+	active, err := qm.NewActive("sift-"+det.Version.String(), "PeaksDataCheck", a.statePeaksDataCheck, 8)
+	if err != nil {
+		return nil, err
+	}
+	a.active = active
+	if err := a.kernel.Add(active); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Trace installs a state-transition observer (Insight #3: visibility into
+// where the data flows).
+func (a *App) Trace(fn func(active, from, to string)) {
+	a.active.SetTrace(func(name, from, to string, _ qm.Event) {
+		fn(name, from, to)
+	})
+}
+
+// State returns the machine's current state name.
+func (a *App) State() string { return a.active.StateID() }
+
+// Process runs one window through the full pipeline to completion.
+func (a *App) Process(w dataset.Window) error {
+	a.err = nil
+	if err := a.kernel.Post(a.active.Name(), qm.Event{Sig: sigWindow, Data: w}); err != nil {
+		return err
+	}
+	if _, err := a.kernel.Drain(16); err != nil {
+		return err
+	}
+	return a.err
+}
+
+// statePeaksDataCheck fetches the window and checks its peak data, as the
+// paper's first state fetches snippets and peak indexes from memory.
+func (a *App) statePeaksDataCheck(act *qm.Active, e qm.Event) qm.Status {
+	switch e.Sig {
+	case sigWindow:
+		w, ok := e.Data.(dataset.Window)
+		if !ok {
+			a.err = fmt.Errorf("sift: window event carried %T", e.Data)
+			return qm.Handled
+		}
+		if w.Len() == 0 || len(w.ABP) != w.Len() {
+			a.err = fmt.Errorf("sift: malformed window %d (%d ECG, %d ABP samples)", w.Index, w.Len(), len(w.ABP))
+			return qm.Handled
+		}
+		a.window = w
+		act.TransitionTo("FeatureExtraction", a.stateFeatureExtraction)
+		return qm.Transitioned
+	}
+	return qm.Ignored
+}
+
+// stateFeatureExtraction computes the version's feature point.
+func (a *App) stateFeatureExtraction(act *qm.Active, e qm.Event) qm.Status {
+	switch e.Sig {
+	case qm.SigEntry:
+		f, err := a.det.FeaturesOf(a.window)
+		if err != nil {
+			a.err = err
+			act.TransitionTo("PeaksDataCheck", a.statePeaksDataCheck)
+			return qm.Transitioned
+		}
+		a.features = f
+		act.TransitionTo("MLClassifier", a.stateMLClassifier)
+		return qm.Transitioned
+	}
+	return qm.Ignored
+}
+
+// stateMLClassifier applies the trained model and raises the alert.
+func (a *App) stateMLClassifier(act *qm.Active, e qm.Event) qm.Status {
+	switch e.Sig {
+	case qm.SigEntry:
+		margin := a.det.Model.Decision(a.features)
+		a.onAlert(AppAlert{
+			WindowIndex: a.window.Index,
+			Altered:     margin >= 0,
+			Margin:      margin,
+		})
+		act.TransitionTo("PeaksDataCheck", a.statePeaksDataCheck)
+		return qm.Transitioned
+	}
+	return qm.Ignored
+}

@@ -1,0 +1,108 @@
+package sift
+
+import (
+	"testing"
+
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/features"
+)
+
+func TestAppPipeline(t *testing.T) {
+	fx := newFixture(t)
+	det := trainDetector(t, fx, features.Simplified)
+	var alerts []AppAlert
+	app, err := NewApp(det, func(a AppAlert) { alerts = append(alerts, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var transitions []string
+	app.Trace(func(active, from, to string) { transitions = append(transitions, from+"→"+to) })
+
+	wins, err := dataset.FromRecord(fx.subjectTest, dataset.WindowSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Process(wins[0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	// The full Fig 2 cycle: check → extract → classify → back to check.
+	want := []string{
+		"PeaksDataCheck→FeatureExtraction",
+		"FeatureExtraction→MLClassifier",
+		"MLClassifier→PeaksDataCheck",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v", transitions)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Errorf("transition %d = %s, want %s", i, transitions[i], want[i])
+		}
+	}
+	if app.State() != "PeaksDataCheck" {
+		t.Errorf("app should return to PeaksDataCheck, in %q", app.State())
+	}
+	// The QM app must agree with the direct pipeline.
+	direct, err := det.Classify(wins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alerts[0].Altered != direct.Altered || alerts[0].Margin != direct.Margin {
+		t.Error("app verdict disagrees with direct classification")
+	}
+}
+
+func TestAppProcessesManyWindows(t *testing.T) {
+	fx := newFixture(t)
+	det := trainDetector(t, fx, features.Reduced)
+	count := 0
+	app, err := NewApp(det, func(AppAlert) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins, err := dataset.FromRecord(fx.subjectTest, dataset.WindowSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range wins {
+		if err := app.Process(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count != len(wins) {
+		t.Errorf("alerts = %d, want %d", count, len(wins))
+	}
+}
+
+func TestAppValidation(t *testing.T) {
+	if _, err := NewApp(nil, func(AppAlert) {}); err == nil {
+		t.Error("nil detector should error")
+	}
+	fx := newFixture(t)
+	det := trainDetector(t, fx, features.Reduced)
+	if _, err := NewApp(det, nil); err == nil {
+		t.Error("nil callback should error")
+	}
+}
+
+func TestAppRejectsMalformedWindow(t *testing.T) {
+	fx := newFixture(t)
+	det := trainDetector(t, fx, features.Reduced)
+	app, err := NewApp(det, func(AppAlert) { t.Error("malformed window must not alert") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Process(dataset.Window{}); err == nil {
+		t.Error("empty window should surface an error")
+	}
+	if app.State() != "PeaksDataCheck" {
+		t.Errorf("app should stay in PeaksDataCheck, in %q", app.State())
+	}
+	bad := dataset.Window{ECG: []float64{1, 2}, ABP: []float64{1}}
+	if err := app.Process(bad); err == nil {
+		t.Error("mismatched channels should surface an error")
+	}
+}

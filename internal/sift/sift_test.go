@@ -1,0 +1,207 @@
+package sift
+
+import (
+	"testing"
+
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/features"
+	"github.com/wiot-security/sift/internal/physio"
+	"github.com/wiot-security/sift/internal/svm"
+)
+
+// fixture builds a small train/test environment: a subject plus two donors,
+// short spans to keep the test fast but long enough to learn from.
+type fixture struct {
+	subjectTrain *physio.Record
+	subjectTest  *physio.Record
+	donorsTrain  []*physio.Record
+	donorsTest   []*physio.Record
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	subjects, err := physio.Cohort(3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := func(s physio.Subject, dur float64, seed int64) *physio.Record {
+		rec, err := physio.Generate(s, dur, physio.DefaultSampleRate, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	const trainDur, testDur = 90, 60
+	return &fixture{
+		subjectTrain: gen(subjects[0], trainDur, 1),
+		subjectTest:  gen(subjects[0], testDur, 100), // unseen noise realization
+		donorsTrain:  []*physio.Record{gen(subjects[1], trainDur, 2), gen(subjects[2], trainDur, 3)},
+		donorsTest:   []*physio.Record{gen(subjects[1], testDur, 101), gen(subjects[2], testDur, 102)},
+	}
+}
+
+func trainDetector(t *testing.T, fx *fixture, v features.Version) *Detector {
+	t.Helper()
+	d, err := TrainForSubject(fx.subjectTrain, fx.donorsTrain, Config{
+		Version: v,
+		SVM:     svm.Config{Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTrainForSubjectAllVersions(t *testing.T) {
+	fx := newFixture(t)
+	for _, v := range features.Versions {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			d := trainDetector(t, fx, v)
+			if d.SubjectID != fx.subjectTrain.SubjectID {
+				t.Errorf("SubjectID = %q", d.SubjectID)
+			}
+			if d.Version != v || d.GridN != 50 {
+				t.Errorf("config = %v/%d", d.Version, d.GridN)
+			}
+			if d.Model == nil {
+				t.Fatal("no model trained")
+			}
+		})
+	}
+}
+
+func TestDetectorDetectsSubstitution(t *testing.T) {
+	fx := newFixture(t)
+	d := trainDetector(t, fx, features.Original)
+	set, err := dataset.BuildTest(fx.subjectTest, fx.donorsTest, dataset.WindowSec, 0.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.Evaluate(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := c.Accuracy(); acc < 0.75 {
+		t.Errorf("accuracy = %.3f (%s), want >= 0.75", acc, c)
+	}
+}
+
+func TestClassifyMarginSignConsistent(t *testing.T) {
+	fx := newFixture(t)
+	d := trainDetector(t, fx, features.Simplified)
+	wins, err := dataset.FromRecord(fx.subjectTest, dataset.WindowSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Classify(wins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Altered != (r.Margin >= 0) {
+		t.Errorf("verdict %v inconsistent with margin %v", r.Altered, r.Margin)
+	}
+}
+
+func TestClassifyWithoutModel(t *testing.T) {
+	d := &Detector{Version: features.Original, GridN: 50}
+	if _, err := d.Classify(dataset.Window{ECG: []float64{1}, ABP: []float64{1}}); err == nil {
+		t.Error("classify without model should error")
+	}
+}
+
+func TestEvaluateEmptySet(t *testing.T) {
+	d := &Detector{Version: features.Original, GridN: 50, Model: &svm.Model{Weights: []float64{1}}}
+	if _, err := d.Evaluate(nil); err == nil {
+		t.Error("nil set should error")
+	}
+	if _, err := d.Evaluate(&dataset.LabeledSet{}); err == nil {
+		t.Error("empty set should error")
+	}
+}
+
+func TestTrainEmptySet(t *testing.T) {
+	if _, err := Train("x", nil, Config{}); err == nil {
+		t.Error("nil training set should error")
+	}
+	if _, err := Train("x", &dataset.LabeledSet{}, Config{}); err == nil {
+		t.Error("empty training set should error")
+	}
+}
+
+func TestDetectorSerializationRoundTrip(t *testing.T) {
+	fx := newFixture(t)
+	d := trainDetector(t, fx, features.Reduced)
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins, err := dataset.FromRecord(fx.subjectTest, dataset.WindowSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range wins[:5] {
+		r1, err := d.Classify(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := d2.Classify(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Altered != r2.Altered || r1.Margin != r2.Margin {
+			t.Fatal("round-tripped detector disagrees")
+		}
+	}
+}
+
+func TestUnmarshalBadData(t *testing.T) {
+	if _, err := Unmarshal([]byte("nope")); err == nil {
+		t.Error("bad JSON should error")
+	}
+}
+
+func TestQuantizeDetector(t *testing.T) {
+	fx := newFixture(t)
+	d := trainDetector(t, fx, features.Simplified)
+	q, err := d.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Weights) != d.Version.Dim() {
+		t.Errorf("quantized weights dim = %d, want %d", len(q.Weights), d.Version.Dim())
+	}
+	bare := &Detector{}
+	if _, err := bare.Quantize(); err == nil {
+		t.Error("quantize without model should error")
+	}
+}
+
+func TestFeaturesOfDimension(t *testing.T) {
+	fx := newFixture(t)
+	wins, err := dataset.FromRecord(fx.subjectTest, dataset.WindowSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range features.Versions {
+		d := &Detector{Version: v, GridN: 50}
+		f, err := d.FeaturesOf(wins[0])
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if len(f) != v.Dim() {
+			t.Errorf("%s: dim = %d, want %d", v, len(f), v.Dim())
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.fillDefaults()
+	if c.Version != features.Original || c.GridN != 50 {
+		t.Errorf("defaults = %v/%d", c.Version, c.GridN)
+	}
+}

@@ -1,0 +1,110 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PegasosConfig parameterizes the Pegasos stochastic sub-gradient trainer
+// (Shalev-Shwartz et al.), the standard alternative to SMO for linear
+// SVMs. It is used by the trainer-ablation benchmark: same model class,
+// very different training cost profile.
+type PegasosConfig struct {
+	Lambda float64 // regularization strength (default 1e-3)
+	Steps  int     // sub-gradient steps (default 20·m, min 1000)
+	Seed   int64
+}
+
+func (c PegasosConfig) fillDefaults(m int) PegasosConfig {
+	if c.Lambda <= 0 {
+		c.Lambda = 1e-3
+	}
+	if c.Steps <= 0 {
+		c.Steps = 20 * m
+		if c.Steps < 1000 {
+			c.Steps = 1000
+		}
+	}
+	return c
+}
+
+// TrainPegasos fits a linear SVM with the Pegasos algorithm. The returned
+// Model is interchangeable with Train's output (same Decision/Predict and
+// Quantize paths). The bias is learned as an extra, weakly-regularized
+// coordinate.
+func TrainPegasos(x [][]float64, y []Label, cfg PegasosConfig) (*Model, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("svm: %d samples but %d labels", len(x), len(y))
+	}
+	var pos, neg int
+	for _, l := range y {
+		switch l {
+		case Positive:
+			pos++
+		case Negative:
+			neg++
+		default:
+			return nil, fmt.Errorf("svm: label must be ±1, got %d", int(l))
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, ErrNoData
+	}
+	scaler, err := FitStandardizer(x)
+	if err != nil {
+		return nil, err
+	}
+	z := scaler.ApplyAll(x)
+	m, dim := len(z), len(z[0])
+	cfg = cfg.fillDefaults(m)
+
+	// Augment with a constant coordinate for the bias.
+	w := make([]float64, dim+1)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for t := 1; t <= cfg.Steps; t++ {
+		i := rng.Intn(m)
+		eta := 1 / (cfg.Lambda * float64(t))
+		margin := float64(y[i]) * (dotPrefix(w, z[i]) + w[dim])
+		decay := 1 - eta*cfg.Lambda
+		for j := 0; j <= dim; j++ {
+			w[j] *= decay
+		}
+		if margin < 1 {
+			step := eta * float64(y[i])
+			for j := 0; j < dim; j++ {
+				w[j] += step * z[i][j]
+			}
+			w[dim] += step
+		}
+		// Project onto the ball of radius 1/sqrt(λ) (Pegasos step 2).
+		norm := 0.0
+		for _, v := range w {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if limit := 1 / math.Sqrt(cfg.Lambda); norm > limit {
+			scale := limit / norm
+			for j := range w {
+				w[j] *= scale
+			}
+		}
+	}
+
+	weights := make([]float64, dim)
+	copy(weights, w[:dim])
+	return &Model{
+		Weights:    weights,
+		Bias:       w[dim],
+		Scaler:     scaler,
+		Iterations: cfg.Steps,
+	}, nil
+}
+
+func dotPrefix(w, x []float64) float64 {
+	var s float64
+	for j := range x {
+		s += w[j] * x[j]
+	}
+	return s
+}

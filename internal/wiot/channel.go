@@ -1,0 +1,62 @@
+package wiot
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ChannelEffect models an unreliable wireless link: each frame in transit
+// may be delivered once, dropped, or duplicated. (Reordering is not
+// modeled: BLE's link layer delivers in order or not at all.)
+type ChannelEffect interface {
+	// Transmit returns the frames actually delivered for f: empty for a
+	// loss, one for delivery, two for a duplicate.
+	Transmit(f Frame) []Frame
+}
+
+// Reliable delivers every frame exactly once.
+type Reliable struct{}
+
+// Transmit implements ChannelEffect.
+func (Reliable) Transmit(f Frame) []Frame { return []Frame{f} }
+
+// Lossy drops and duplicates frames with the configured probabilities.
+type Lossy struct {
+	LossProb float64 // probability a frame is lost
+	DupProb  float64 // probability a delivered frame is duplicated
+	Seed     int64
+
+	rng *rand.Rand
+	// Telemetry.
+	Sent, Lost, Duplicated int
+}
+
+var (
+	_ ChannelEffect = Reliable{}
+	_ ChannelEffect = (*Lossy)(nil)
+)
+
+// Validate checks the probabilities.
+func (l *Lossy) Validate() error {
+	if l.LossProb < 0 || l.LossProb > 1 || l.DupProb < 0 || l.DupProb > 1 {
+		return fmt.Errorf("wiot: channel probabilities (%.3g, %.3g) outside [0,1]", l.LossProb, l.DupProb)
+	}
+	return nil
+}
+
+// Transmit implements ChannelEffect.
+func (l *Lossy) Transmit(f Frame) []Frame {
+	if l.rng == nil {
+		l.rng = rand.New(rand.NewSource(l.Seed))
+	}
+	l.Sent++
+	if l.rng.Float64() < l.LossProb {
+		l.Lost++
+		return nil
+	}
+	if l.rng.Float64() < l.DupProb {
+		l.Duplicated++
+		return []Frame{f, f}
+	}
+	return []Frame{f}
+}

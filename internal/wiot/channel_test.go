@@ -1,0 +1,174 @@
+package wiot
+
+import (
+	"testing"
+
+	"github.com/wiot-security/sift/internal/physio"
+)
+
+func TestReliableDeliversOnce(t *testing.T) {
+	f := FrameFromFloats(SensorECG, 0, []float64{1})
+	out := (Reliable{}).Transmit(f)
+	if len(out) != 1 || out[0].Seq != 0 {
+		t.Errorf("Reliable.Transmit = %v", out)
+	}
+}
+
+func TestLossyValidation(t *testing.T) {
+	if err := (&Lossy{LossProb: -0.1}).Validate(); err == nil {
+		t.Error("negative probability should error")
+	}
+	if err := (&Lossy{DupProb: 1.1}).Validate(); err == nil {
+		t.Error("probability > 1 should error")
+	}
+	if err := (&Lossy{LossProb: 0.1, DupProb: 0.1}).Validate(); err != nil {
+		t.Errorf("valid channel errored: %v", err)
+	}
+}
+
+func TestLossyStatistics(t *testing.T) {
+	ch := &Lossy{LossProb: 0.3, DupProb: 0.1, Seed: 1}
+	f := FrameFromFloats(SensorECG, 0, []float64{1})
+	delivered := 0
+	for i := 0; i < 2000; i++ {
+		delivered += len(ch.Transmit(f))
+	}
+	if ch.Sent != 2000 {
+		t.Errorf("Sent = %d", ch.Sent)
+	}
+	lossRate := float64(ch.Lost) / float64(ch.Sent)
+	if lossRate < 0.25 || lossRate > 0.35 {
+		t.Errorf("loss rate = %.3f, want ≈0.3", lossRate)
+	}
+	if ch.Duplicated == 0 {
+		t.Error("expected some duplicates")
+	}
+	if delivered != ch.Sent-ch.Lost+ch.Duplicated {
+		t.Errorf("delivered %d inconsistent with telemetry", delivered)
+	}
+}
+
+func TestLossyDeterministicSeed(t *testing.T) {
+	a := &Lossy{LossProb: 0.5, Seed: 7}
+	b := &Lossy{LossProb: 0.5, Seed: 7}
+	f := FrameFromFloats(SensorABP, 0, []float64{1})
+	for i := 0; i < 100; i++ {
+		if len(a.Transmit(f)) != len(b.Transmit(f)) {
+			t.Fatal("identical seeds diverged")
+		}
+	}
+}
+
+func TestStationConcealsLoss(t *testing.T) {
+	sink := &MemorySink{}
+	st := newTestStation(t, &flagEveryOther{}, sink)
+	// Send frames 0, 2 (frame 1 lost): the gap must be concealed so the
+	// buffer still holds 3 frames' worth of samples.
+	mk := func(seq uint32, v float64) Frame {
+		s := make([]float64, 90)
+		for i := range s {
+			s[i] = v
+		}
+		return FrameFromFloats(SensorECG, seq, s)
+	}
+	if err := st.HandleFrame(mk(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.HandleFrame(mk(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.ConcealedSamples(); got != 90 {
+		t.Errorf("concealed = %d, want 90", got)
+	}
+	if st.SeqErrors() != 1 {
+		t.Errorf("seq errors = %d, want 1", st.SeqErrors())
+	}
+	if len(st.ecg) != 270 {
+		t.Fatalf("buffer = %d samples, want 270", len(st.ecg))
+	}
+	// The concealed span holds the last value before the gap.
+	if st.ecg[100] != 1 {
+		t.Errorf("concealed sample = %v, want hold-last 1", st.ecg[100])
+	}
+}
+
+func TestStationDropsDuplicates(t *testing.T) {
+	st := newTestStation(t, &flagEveryOther{}, &MemorySink{})
+	f := FrameFromFloats(SensorABP, 0, []float64{1, 2})
+	if err := st.HandleFrame(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.HandleFrame(f); err != nil { // duplicate
+		t.Fatal(err)
+	}
+	if st.StaleFrames() != 1 {
+		t.Errorf("stale = %d, want 1", st.StaleFrames())
+	}
+	if len(st.abp) != 2 {
+		t.Errorf("buffer = %d samples, want 2 (duplicate dropped)", len(st.abp))
+	}
+}
+
+func TestStationStreamsStayAlignedUnderLoss(t *testing.T) {
+	det := &flagEveryOther{}
+	st := newTestStation(t, det, &MemorySink{})
+	ch := &Lossy{LossProb: 0.1, Seed: 3}
+	n := 4 * 1080 / 90 // four windows of frames
+	for seq := 0; seq < n; seq++ {
+		s := make([]float64, 90)
+		for _, f := range ch.Transmit(FrameFromFloats(SensorECG, uint32(seq), s)) {
+			if err := st.HandleFrame(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, f := range ch.Transmit(FrameFromFloats(SensorABP, uint32(seq), s)) {
+			if err := st.HandleFrame(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Tail concealment only happens on the *next* frame, so the two
+	// buffers may differ by at most the trailing lost frames; windows
+	// already produced must match exactly.
+	if st.WindowsProcessed() < 3 {
+		t.Errorf("windows = %d, want >= 3 despite 10%% loss", st.WindowsProcessed())
+	}
+	if st.ConcealedSamples() == 0 {
+		t.Error("expected concealment under 10% loss")
+	}
+}
+
+func TestScenarioSurvivesLossyChannel(t *testing.T) {
+	det, live, donor := trainEnv(t)
+	half := len(live.ECG) / 2
+	res, err := RunScenario(Scenario{
+		Record:     live,
+		Detector:   det,
+		Attack:     &SubstitutionMITM{Donor: donor.ECG, ActiveFrom: half},
+		AttackFrom: half,
+		Channel:    &Lossy{LossProb: 0.05, DupProb: 0.02, Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows < 18 {
+		t.Errorf("windows = %d, want ~20 despite loss", res.Windows)
+	}
+	attacked := res.TruePos + res.FalseNeg
+	if attacked == 0 {
+		t.Fatal("no attacked windows scored")
+	}
+	if recall := float64(res.TruePos) / float64(attacked); recall < 0.5 {
+		t.Errorf("attack recall under loss = %.2f (TP %d FN %d)", recall, res.TruePos, res.FalseNeg)
+	}
+}
+
+func TestPhysioRecordAvailableForChannelBench(t *testing.T) {
+	// Guard: the channel tests above rely on 90-sample frames at 360 Hz
+	// dividing the window length evenly.
+	if int(dWindowSamples())%90 != 0 {
+		t.Fatal("window length no longer divisible by the 90-sample frame")
+	}
+}
+
+func dWindowSamples() float64 { return 3 * physio.DefaultSampleRate }

@@ -1,0 +1,174 @@
+// Package wiot simulates the paper's wearable-IoT environment (Fig. 1):
+// body-area sensors stream physiological samples over a wireless link to
+// an always-present base station (the Amulet), which runs the SIFT
+// detector and forwards alerts to a resource-rich sink.
+//
+// Two transports are provided: an in-process one for deterministic
+// simulation, and a TCP loopback one whose wire format is the binary
+// frame defined here. A man-in-the-middle hook on the ECG channel is how
+// sensor-hijacking attacks enter the system.
+package wiot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/wiot-security/sift/internal/fixedpoint"
+)
+
+// SensorID identifies a physiological channel.
+type SensorID byte
+
+const (
+	// SensorECG is the electrocardiogram channel (attackable).
+	SensorECG SensorID = 1
+	// SensorABP is the arterial blood pressure channel (trusted).
+	SensorABP SensorID = 2
+)
+
+// String returns the channel name.
+func (s SensorID) String() string {
+	switch s {
+	case SensorECG:
+		return "ECG"
+	case SensorABP:
+		return "ABP"
+	default:
+		return fmt.Sprintf("sensor(%d)", byte(s))
+	}
+}
+
+// Valid reports whether the id is a known channel.
+func (s SensorID) Valid() bool { return s == SensorECG || s == SensorABP }
+
+// Frame is one batch of samples from a sensor. Samples travel as Q16.16
+// words — the fixed-point representation the base station's detector
+// consumes directly.
+type Frame struct {
+	Sensor  SensorID
+	Seq     uint32
+	Samples []fixedpoint.Q
+}
+
+// frameMagic guards against desynchronized streams.
+const frameMagic = 0xA5
+
+// MaxFrameSamples bounds a frame's payload (one BLE connection event's
+// worth of samples at our rates).
+const MaxFrameSamples = 512
+
+// Encoding errors.
+var (
+	ErrBadMagic   = errors.New("wiot: bad frame magic")
+	ErrBadSensor  = errors.New("wiot: unknown sensor id")
+	ErrFrameSize  = errors.New("wiot: frame payload too large")
+	ErrShortFrame = errors.New("wiot: truncated frame")
+)
+
+// EncodedSize returns the wire size of a frame with n samples.
+func EncodedSize(n int) int { return 1 + 1 + 4 + 2 + 4*n }
+
+// Encode serializes the frame.
+func (f *Frame) Encode() ([]byte, error) {
+	if !f.Sensor.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrBadSensor, f.Sensor)
+	}
+	if len(f.Samples) > MaxFrameSamples {
+		return nil, fmt.Errorf("%w: %d samples", ErrFrameSize, len(f.Samples))
+	}
+	buf := make([]byte, 0, EncodedSize(len(f.Samples)))
+	buf = append(buf, frameMagic, byte(f.Sensor))
+	buf = binary.LittleEndian.AppendUint32(buf, f.Seq)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(f.Samples)))
+	for _, q := range f.Samples {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(q.Raw()))
+	}
+	return buf, nil
+}
+
+// DecodeFrame parses one frame from buf, returning the frame and the
+// number of bytes consumed.
+func DecodeFrame(buf []byte) (Frame, int, error) {
+	if len(buf) < EncodedSize(0) {
+		return Frame{}, 0, ErrShortFrame
+	}
+	if buf[0] != frameMagic {
+		return Frame{}, 0, ErrBadMagic
+	}
+	sensor := SensorID(buf[1])
+	if !sensor.Valid() {
+		return Frame{}, 0, fmt.Errorf("%w: %d", ErrBadSensor, sensor)
+	}
+	seq := binary.LittleEndian.Uint32(buf[2:])
+	n := int(binary.LittleEndian.Uint16(buf[6:]))
+	if n > MaxFrameSamples {
+		return Frame{}, 0, fmt.Errorf("%w: %d samples", ErrFrameSize, n)
+	}
+	total := EncodedSize(n)
+	if len(buf) < total {
+		return Frame{}, 0, ErrShortFrame
+	}
+	f := Frame{Sensor: sensor, Seq: seq, Samples: make([]fixedpoint.Q, n)}
+	for i := 0; i < n; i++ {
+		raw := binary.LittleEndian.Uint32(buf[8+4*i:])
+		f.Samples[i] = fixedpoint.FromRaw(int32(raw))
+	}
+	return f, total, nil
+}
+
+// WriteFrame encodes and writes a frame to w.
+func WriteFrame(w io.Writer, f *Frame) error {
+	buf, err := f.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads exactly one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	hdr := make([]byte, EncodedSize(0))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Frame{}, err
+	}
+	if hdr[0] != frameMagic {
+		return Frame{}, ErrBadMagic
+	}
+	n := int(binary.LittleEndian.Uint16(hdr[6:]))
+	if n > MaxFrameSamples {
+		return Frame{}, fmt.Errorf("%w: %d samples", ErrFrameSize, n)
+	}
+	payload := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("wiot: frame payload: %w", err)
+	}
+	full := append(hdr, payload...)
+	f, _, err := DecodeFrame(full)
+	return f, err
+}
+
+// FloatSamples converts the frame payload to float64.
+func (f *Frame) FloatSamples() []float64 {
+	out := make([]float64, len(f.Samples))
+	for i, q := range f.Samples {
+		out[i] = q.Float()
+	}
+	return out
+}
+
+// FrameFromFloats builds a frame from float64 samples, saturating values
+// outside the Q16.16 range.
+func FrameFromFloats(sensor SensorID, seq uint32, samples []float64) Frame {
+	qs := make([]fixedpoint.Q, len(samples))
+	for i, v := range samples {
+		if math.IsNaN(v) {
+			v = 0
+		}
+		qs[i] = fixedpoint.FromFloat(v)
+	}
+	return Frame{Sensor: sensor, Seq: seq, Samples: qs}
+}

@@ -1,0 +1,166 @@
+package wiot
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/wiot-security/sift/internal/physio"
+)
+
+// Scenario describes one end-to-end WIoT run: a subject's live recording
+// streamed to the base station, optionally with a MITM attack on the ECG
+// channel for part of the stream.
+type Scenario struct {
+	Record     *physio.Record
+	Detector   Detector
+	ChunkSize  int // samples per frame (default 90 = 0.25 s at 360 Hz)
+	WindowSec  float64
+	Attack     Interceptor // nil = no attack
+	AttackFrom int         // victim sample index where the attack starts (ground truth)
+	AttackTo   int         // exclusive end; 0 = end of stream
+
+	// Channel models the wireless link (nil = reliable delivery). The
+	// base station's sequence numbers conceal losses, keeping the two
+	// sensor streams aligned.
+	Channel ChannelEffect
+}
+
+// ScenarioResult summarizes the run.
+type ScenarioResult struct {
+	Alerts       []Alert
+	Windows      int
+	TruePos      int // attacked windows flagged
+	FalseNeg     int // attacked windows missed
+	FalsePos     int // clean windows flagged
+	TrueNeg      int
+	SeqErrors    int
+	WindowLength int // samples per window
+}
+
+// Accuracy returns the fraction of windows classified correctly.
+func (r ScenarioResult) Accuracy() float64 {
+	total := r.TruePos + r.FalseNeg + r.FalsePos + r.TrueNeg
+	if total == 0 {
+		return 0
+	}
+	return float64(r.TruePos+r.TrueNeg) / float64(total)
+}
+
+// RunScenario drives the in-process simulation to completion: both
+// sensors stream their full recording through the (possibly hostile)
+// channel into the base station, and every completed window's verdict is
+// scored against the attack interval's ground truth.
+func RunScenario(sc Scenario) (ScenarioResult, error) {
+	if sc.Record == nil {
+		return ScenarioResult{}, errors.New("wiot: scenario needs a record")
+	}
+	if sc.ChunkSize == 0 {
+		sc.ChunkSize = 90
+	}
+	hasAttack := sc.Attack != nil
+	if !hasAttack {
+		sc.Attack = PassThrough{}
+	}
+	if sc.Channel == nil {
+		sc.Channel = Reliable{}
+	}
+	sink := &MemorySink{}
+	station, err := NewBaseStation(StationConfig{
+		SubjectID:            sc.Record.SubjectID,
+		SampleRate:           sc.Record.SampleRate,
+		WindowSec:            sc.WindowSec,
+		Detector:             sc.Detector,
+		Sink:                 sink,
+		DetectPeaksAtRuntime: true,
+	})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	ecg, err := NewSensor(SensorECG, sc.Record, sc.ChunkSize)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	abp, err := NewSensor(SensorABP, sc.Record, sc.ChunkSize)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	// Interleave the two sensors frame by frame, as a BLE connection
+	// schedule would.
+	for {
+		ef, okE := ecg.Next()
+		af, okA := abp.Next()
+		if !okE && !okA {
+			break
+		}
+		if okE {
+			for _, d := range sc.Channel.Transmit(sc.Attack.Intercept(ef)) {
+				if err := station.HandleFrame(d); err != nil {
+					return ScenarioResult{}, fmt.Errorf("wiot: ECG frame: %w", err)
+				}
+			}
+		}
+		if okA {
+			for _, d := range sc.Channel.Transmit(af) {
+				if err := station.HandleFrame(d); err != nil {
+					return ScenarioResult{}, fmt.Errorf("wiot: ABP frame: %w", err)
+				}
+			}
+		}
+	}
+
+	res := ScenarioResult{
+		Alerts:       sink.Alerts(),
+		Windows:      station.WindowsProcessed(),
+		SeqErrors:    station.SeqErrors(),
+		WindowLength: int(stationWindowSec(sc) * sc.Record.SampleRate),
+	}
+	attackFrom, attackTo := sc.AttackFrom, sc.AttackTo
+	if attackTo == 0 {
+		attackTo = len(sc.Record.ECG)
+	}
+	if !hasAttack {
+		attackFrom, attackTo = 0, 0 // empty interval: nothing is attacked
+	}
+	for _, a := range res.Alerts {
+		lo := a.WindowIndex * res.WindowLength
+		hi := lo + res.WindowLength
+		// A window counts as attacked if at least half of it overlaps the
+		// attack interval.
+		overlap := intersect(lo, hi, attackFrom, attackTo)
+		attacked := overlap*2 >= res.WindowLength
+		switch {
+		case attacked && a.Altered:
+			res.TruePos++
+		case attacked && !a.Altered:
+			res.FalseNeg++
+		case !attacked && a.Altered:
+			res.FalsePos++
+		default:
+			res.TrueNeg++
+		}
+	}
+	return res, nil
+}
+
+func stationWindowSec(sc Scenario) float64 {
+	if sc.WindowSec > 0 {
+		return sc.WindowSec
+	}
+	return 3
+}
+
+func intersect(aLo, aHi, bLo, bHi int) int {
+	lo, hi := aLo, aHi
+	if bLo > lo {
+		lo = bLo
+	}
+	if bHi < hi {
+		hi = bHi
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,176 @@
+package wiot
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/features"
+	"github.com/wiot-security/sift/internal/physio"
+	"github.com/wiot-security/sift/internal/sift"
+	"github.com/wiot-security/sift/internal/svm"
+)
+
+// detectorAdapter bridges a sift.Detector to the wiot.Detector interface.
+type detectorAdapter struct{ d *sift.Detector }
+
+func (a detectorAdapter) Classify(w dataset.Window) (bool, error) {
+	r, err := a.d.Classify(w)
+	if err != nil {
+		return false, err
+	}
+	return r.Altered, nil
+}
+
+// trainEnv builds a trained detector plus live and donor records.
+func trainEnv(t *testing.T) (det Detector, live, donor *physio.Record) {
+	t.Helper()
+	subjects, err := physio.Cohort(3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := func(s physio.Subject, dur float64, seed int64) *physio.Record {
+		rec, err := physio.Generate(s, dur, physio.DefaultSampleRate, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	trainRec := gen(subjects[0], 90, 1)
+	donors := []*physio.Record{gen(subjects[1], 90, 2), gen(subjects[2], 90, 3)}
+	d, err := sift.TrainForSubject(trainRec, donors, sift.Config{
+		Version: features.Original,
+		SVM:     svm.Config{Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return detectorAdapter{d}, gen(subjects[0], 60, 50), gen(subjects[1], 60, 51)
+}
+
+func TestRunScenarioCleanStream(t *testing.T) {
+	det, live, _ := trainEnv(t)
+	res, err := RunScenario(Scenario{Record: live, Detector: det})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows != 20 { // 60 s / 3 s
+		t.Errorf("windows = %d, want 20", res.Windows)
+	}
+	if res.TruePos+res.FalseNeg != 0 {
+		t.Error("clean stream should have no attacked windows")
+	}
+	if res.Accuracy() < 0.7 {
+		t.Errorf("clean accuracy = %.2f (FP %d), want >= 0.7", res.Accuracy(), res.FalsePos)
+	}
+}
+
+func TestRunScenarioUnderAttack(t *testing.T) {
+	det, live, donor := trainEnv(t)
+	half := len(live.ECG) / 2
+	mitm := &SubstitutionMITM{Donor: donor.ECG, ActiveFrom: half}
+	res, err := RunScenario(Scenario{
+		Record:     live,
+		Detector:   det,
+		Attack:     mitm,
+		AttackFrom: half,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mitm.Intercepts == 0 {
+		t.Fatal("MITM never fired")
+	}
+	attacked := res.TruePos + res.FalseNeg
+	if attacked == 0 {
+		t.Fatal("no windows scored as attacked")
+	}
+	if recall := float64(res.TruePos) / float64(attacked); recall < 0.6 {
+		t.Errorf("attack recall = %.2f (TP %d FN %d), want >= 0.6", recall, res.TruePos, res.FalseNeg)
+	}
+}
+
+func TestRunScenarioValidation(t *testing.T) {
+	if _, err := RunScenario(Scenario{}); err == nil {
+		t.Error("nil record should error")
+	}
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	sink := &MemorySink{}
+	det := &flagEveryOther{}
+	station, err := NewBaseStation(StationConfig{
+		SubjectID:  "S01",
+		SampleRate: physio.DefaultSampleRate,
+		Detector:   det,
+		Sink:       sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeTCP(context.Background(), lis, station)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rec, err := physio.Generate(physio.DefaultSubject(), 6, physio.DefaultSampleRate, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := func(id SensorID) {
+		sink, closeFn, err := DialSensor(lis.Addr().String())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer closeFn()
+		s, err := NewSensor(id, rec, 90)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			f, ok := s.Next()
+			if !ok {
+				return
+			}
+			if err := sink.HandleFrame(f); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+	done := make(chan struct{})
+	go func() { stream(SensorECG); close(done) }()
+	stream(SensorABP)
+	<-done
+
+	// Wait for the station to drain both connections (6 s of signal → 2
+	// full windows).
+	deadline := time.Now().Add(5 * time.Second)
+	for station.WindowsProcessed() < 2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := station.WindowsProcessed(); got != 2 {
+		t.Errorf("windows over TCP = %d, want 2 (errors: %v)", got, srv.Errors())
+	}
+}
+
+func TestServeTCPValidation(t *testing.T) {
+	if _, err := ServeTCP(context.Background(), nil, nil); err == nil {
+		t.Error("nil listener should error")
+	}
+}
+
+func TestScenarioResultAccuracyEmpty(t *testing.T) {
+	if (ScenarioResult{}).Accuracy() != 0 {
+		t.Error("empty result accuracy should be 0")
+	}
+}

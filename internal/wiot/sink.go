@@ -1,0 +1,127 @@
+package wiot
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// StatsSink is a richer Sink for the resource-rich side of Fig 1: it keeps
+// the alert history, running statistics, and a compact timeline rendering
+// — the "local storage of historical patient information, visualization
+// tools" role the paper assigns to the sink device.
+type StatsSink struct {
+	mu      sync.Mutex
+	history []Alert
+
+	alerts     int
+	maxStreak  int
+	curStreak  int
+	firstAlert int // window index of the first alert, -1 if none
+}
+
+var _ Sink = (*StatsSink)(nil)
+
+// NewStatsSink creates an empty sink.
+func NewStatsSink() *StatsSink {
+	return &StatsSink{firstAlert: -1}
+}
+
+// Deliver implements Sink.
+func (s *StatsSink) Deliver(a Alert) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.history = append(s.history, a)
+	if a.Altered {
+		s.alerts++
+		s.curStreak++
+		if s.curStreak > s.maxStreak {
+			s.maxStreak = s.curStreak
+		}
+		if s.firstAlert < 0 {
+			s.firstAlert = a.WindowIndex
+		}
+	} else {
+		s.curStreak = 0
+	}
+}
+
+// Total returns the number of windows recorded.
+func (s *StatsSink) Total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.history)
+}
+
+// AlertRate returns the fraction of windows that alerted.
+func (s *StatsSink) AlertRate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.history) == 0 {
+		return 0
+	}
+	return float64(s.alerts) / float64(len(s.history))
+}
+
+// MaxStreak returns the longest run of consecutive alerts — the signal a
+// clinician acts on (a lone alert is noise; a streak is an incident).
+func (s *StatsSink) MaxStreak() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxStreak
+}
+
+// FirstAlert returns the window index of the first alert, or -1.
+func (s *StatsSink) FirstAlert() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstAlert
+}
+
+// History returns a copy of all recorded alerts.
+func (s *StatsSink) History() []Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Alert, len(s.history))
+	copy(out, s.history)
+	return out
+}
+
+// Timeline renders the recorded windows as a compact strip ('·' genuine,
+// '█' alert), most recent last, truncated to the last width windows.
+func (s *StatsSink) Timeline(width int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if width <= 0 || len(s.history) == 0 {
+		return ""
+	}
+	start := 0
+	if len(s.history) > width {
+		start = len(s.history) - width
+	}
+	var sb strings.Builder
+	for _, a := range s.history[start:] {
+		if a.Altered {
+			sb.WriteRune('█')
+		} else {
+			sb.WriteRune('·')
+		}
+	}
+	return sb.String()
+}
+
+// Summary renders the sink's statistics in one line.
+func (s *StatsSink) Summary() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rate := 0.0
+	if len(s.history) > 0 {
+		rate = float64(s.alerts) / float64(len(s.history))
+	}
+	first := "none"
+	if s.firstAlert >= 0 {
+		first = fmt.Sprintf("window %d", s.firstAlert)
+	}
+	return fmt.Sprintf("%d windows, %d alerts (%.1f%%), longest streak %d, first alert %s",
+		len(s.history), s.alerts, 100*rate, s.maxStreak, first)
+}

@@ -1,0 +1,102 @@
+package wiot
+
+import (
+	"strings"
+	"testing"
+)
+
+func deliverPattern(s *StatsSink, pattern string) {
+	for i, c := range pattern {
+		s.Deliver(Alert{WindowIndex: i, Altered: c == 'A'})
+	}
+}
+
+func TestStatsSinkCounts(t *testing.T) {
+	s := NewStatsSink()
+	deliverPattern(s, "..AA.AAA..")
+	if s.Total() != 10 {
+		t.Errorf("Total = %d", s.Total())
+	}
+	if got := s.AlertRate(); got != 0.5 {
+		t.Errorf("AlertRate = %v, want 0.5", got)
+	}
+	if s.MaxStreak() != 3 {
+		t.Errorf("MaxStreak = %d, want 3", s.MaxStreak())
+	}
+	if s.FirstAlert() != 2 {
+		t.Errorf("FirstAlert = %d, want 2", s.FirstAlert())
+	}
+}
+
+func TestStatsSinkEmpty(t *testing.T) {
+	s := NewStatsSink()
+	if s.AlertRate() != 0 || s.Total() != 0 || s.MaxStreak() != 0 {
+		t.Error("empty sink stats should be zero")
+	}
+	if s.FirstAlert() != -1 {
+		t.Errorf("FirstAlert = %d, want -1", s.FirstAlert())
+	}
+	if s.Timeline(10) != "" {
+		t.Error("empty timeline should be empty")
+	}
+	if !strings.Contains(s.Summary(), "none") {
+		t.Errorf("Summary = %q", s.Summary())
+	}
+}
+
+func TestStatsSinkTimeline(t *testing.T) {
+	s := NewStatsSink()
+	deliverPattern(s, "..A")
+	if got := s.Timeline(10); got != "··█" {
+		t.Errorf("Timeline = %q", got)
+	}
+	// Truncation keeps the most recent windows.
+	if got := s.Timeline(2); got != "·█" {
+		t.Errorf("truncated Timeline = %q", got)
+	}
+	if s.Timeline(0) != "" {
+		t.Error("zero width should render empty")
+	}
+}
+
+func TestStatsSinkHistoryCopy(t *testing.T) {
+	s := NewStatsSink()
+	deliverPattern(s, "A.")
+	h := s.History()
+	if len(h) != 2 || !h[0].Altered || h[1].Altered {
+		t.Errorf("History = %v", h)
+	}
+	h[0].Altered = false
+	if s.History()[0].Altered != true {
+		t.Error("History must return a copy")
+	}
+}
+
+func TestStatsSinkSummary(t *testing.T) {
+	s := NewStatsSink()
+	deliverPattern(s, ".AA.")
+	sum := s.Summary()
+	for _, want := range []string{"4 windows", "2 alerts", "streak 2", "window 1"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary %q missing %q", sum, want)
+		}
+	}
+}
+
+func TestStatsSinkAsStationSink(t *testing.T) {
+	s := NewStatsSink()
+	st := newTestStation(t, &flagEveryOther{}, s)
+	n := 2 * 1080 / 90
+	for seq := 0; seq < n; seq++ {
+		buf := make([]float64, 90)
+		if err := st.HandleFrame(FrameFromFloats(SensorECG, uint32(seq), buf)); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.HandleFrame(FrameFromFloats(SensorABP, uint32(seq), buf)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Total() != 2 {
+		t.Errorf("sink recorded %d windows, want 2", s.Total())
+	}
+}

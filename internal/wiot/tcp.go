@@ -1,0 +1,124 @@
+package wiot
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPStation exposes a base station over a TCP listener: each sensor
+// dials in and streams frames using the binary wire format. This is the
+// network-transparent deployment of Fig 1 — the base station does not
+// care whether samples arrive over BLE or a socket.
+type TCPStation struct {
+	Station *BaseStation
+
+	lis    net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	errs   []error
+}
+
+// ServeTCP starts accepting sensor connections on lis until Close (or
+// context cancellation). It returns immediately; frame handling runs on
+// per-connection goroutines.
+func ServeTCP(ctx context.Context, lis net.Listener, station *BaseStation) (*TCPStation, error) {
+	if lis == nil || station == nil {
+		return nil, errors.New("wiot: ServeTCP needs a listener and a station")
+	}
+	s := &TCPStation{Station: station, lis: lis}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	if ctx != nil {
+		go func() {
+			<-ctx.Done()
+			_ = s.Close()
+		}()
+	}
+	return s, nil
+}
+
+func (s *TCPStation) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.recordErr(fmt.Errorf("wiot: read frame: %w", err))
+			}
+			return
+		}
+		if err := s.Station.HandleFrame(f); err != nil {
+			s.recordErr(err)
+			return
+		}
+	}
+}
+
+func (s *TCPStation) recordErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.errs = append(s.errs, err)
+}
+
+// Errors returns any per-connection errors recorded so far.
+func (s *TCPStation) Errors() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]error, len(s.errs))
+	copy(out, s.errs)
+	return out
+}
+
+// Close stops the listener and waits for connection handlers to drain.
+func (s *TCPStation) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+// DialSensor connects to a TCP station and returns a FrameSink that
+// writes frames to the socket, plus a close function.
+func DialSensor(addr string) (FrameSink, func() error, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wiot: dial station: %w", err)
+	}
+	return &connSink{conn: conn}, conn.Close, nil
+}
+
+type connSink struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// HandleFrame implements FrameSink by writing the frame to the socket.
+func (c *connSink) HandleFrame(f Frame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return WriteFrame(c.conn, &f)
+}
