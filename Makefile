@@ -1,0 +1,33 @@
+# Tier-1 verification plus the race-detector gate the fleet engine
+# requires. `make check` is what CI should run.
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz fleet-demo
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The whole suite must be race-clean: the fleet engine, the atomic
+# channel telemetry, and the parallel experiment sweeps are all
+# exercised concurrently by their tests.
+race:
+	$(GO) test -race ./...
+
+# Short coverage-guided session on the frame codec (beyond the seed
+# corpus that `go test` always runs).
+fuzz:
+	$(GO) test ./internal/wiot/ -fuzz FuzzFrameRoundTrip -fuzztime 30s
+
+# The acceptance demo: 12 wearers streaming concurrently over a lossy
+# link, with the metrics snapshot printed at the end.
+fleet-demo:
+	$(GO) run ./cmd/wiotsim -fleet 12 -workers 8

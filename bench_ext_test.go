@@ -209,6 +209,6 @@ func runLossy(live *physio.Record, det wiot.Detector, seed int64) (wiot.Scenario
 	return wiot.RunScenario(wiot.Scenario{
 		Record:   live,
 		Detector: det,
-		Channel:  &wiot.Lossy{LossProb: 0.05, Seed: seed},
+		Channel:  wiot.MustLossy(0.05, 0, seed),
 	})
 }

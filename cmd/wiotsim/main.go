@@ -2,9 +2,15 @@
 // subject's ECG and ABP sensors stream to the base station, a
 // man-in-the-middle hijacks the ECG channel partway through, and the
 // trained SIFT detector on the base station raises alerts.
+//
+// With -fleet N it instead streams N cohort subjects concurrently
+// through the fleet engine (-workers bounds the pool) over a lossy
+// wireless link and prints the aggregate result plus a metrics
+// snapshot.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -12,6 +18,7 @@ import (
 
 	"github.com/wiot-security/sift/internal/dataset"
 	"github.com/wiot-security/sift/internal/features"
+	"github.com/wiot-security/sift/internal/fleet"
 	"github.com/wiot-security/sift/internal/physio"
 	"github.com/wiot-security/sift/internal/sift"
 	"github.com/wiot-security/sift/internal/svm"
@@ -41,11 +48,28 @@ func run() error {
 	trainSec := flag.Float64("train", 300, "seconds of training signal")
 	versionName := flag.String("version", "Original", "detector version (Original|Simplified|Reduced)")
 	attackAt := flag.Float64("attack-at", 60, "second at which the MITM starts hijacking the ECG channel")
+	fleetN := flag.Int("fleet", 0, "stream N cohort subjects concurrently instead of the single-subject demo")
+	workers := flag.Int("workers", 0, "fleet worker pool size (0 = GOMAXPROCS)")
+	loss := flag.Float64("loss", 0.02, "fleet mode: frame loss probability on the wireless link")
+	dup := flag.Float64("dup", 0.01, "fleet mode: frame duplication probability")
 	flag.Parse()
 
 	version, err := parseVersion(*versionName)
 	if err != nil {
 		return err
+	}
+	if *fleetN > 0 {
+		return runFleet(fleetOptions{
+			subjects: *fleetN,
+			workers:  *workers,
+			seed:     *seed,
+			trainSec: *trainSec,
+			liveSec:  *liveSec,
+			attackAt: *attackAt,
+			loss:     *loss,
+			dup:      *dup,
+			version:  version,
+		})
 	}
 
 	subjects, err := physio.Cohort(3, *seed)
@@ -120,6 +144,100 @@ func run() error {
 	fmt.Printf("\n%d windows (%d frames rewritten by MITM): TP=%d FN=%d FP=%d TN=%d accuracy=%.1f%%\n",
 		res.Windows, mitm.Intercepts, res.TruePos, res.FalseNeg, res.FalsePos, res.TrueNeg, 100*res.Accuracy())
 	return nil
+}
+
+// fleetOptions parameterizes a -fleet run.
+type fleetOptions struct {
+	subjects int
+	workers  int
+	seed     int64
+	trainSec float64
+	liveSec  float64
+	attackAt float64
+	loss     float64
+	dup      float64
+	version  features.Version
+}
+
+// runFleet trains one detector per cohort subject and streams every
+// subject's live recording concurrently through the fleet engine, each
+// over its own lossy channel with a MITM hijacking the ECG mid-stream.
+// Training happens inside the scenario source, so it is spread across
+// the worker pool too.
+func runFleet(opt fleetOptions) error {
+	if opt.subjects < 2 {
+		return fmt.Errorf("-fleet %d needs at least 2 subjects (each wearer's MITM borrows a cohort neighbour's ECG)", opt.subjects)
+	}
+	subjects, err := physio.Cohort(opt.subjects, opt.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet: %d subjects (mean age %.1f), training %s detectors on %.0f s each, streaming %.0f s live\n",
+		opt.subjects, physio.MeanAge(subjects), opt.version, opt.trainSec, opt.liveSec)
+	fmt.Printf("channel: loss %.1f%%, dup %.1f%%; MITM hijacks ECG at t=%.0f s\n",
+		100*opt.loss, 100*opt.dup, opt.attackAt)
+
+	src := func(index int, seed int64) (wiot.Scenario, error) {
+		wearer := subjects[index%len(subjects)]
+		gen := func(s physio.Subject, dur float64, offset int64) (*physio.Record, error) {
+			return physio.Generate(s, dur, physio.DefaultSampleRate, seed+offset)
+		}
+		trainRec, err := gen(wearer, opt.trainSec, 1)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		donorA, err := gen(subjects[(index+1)%len(subjects)], opt.trainSec, 2)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		donorB, err := gen(subjects[(index+2)%len(subjects)], opt.trainSec, 3)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		det, err := sift.TrainForSubject(trainRec, []*physio.Record{donorA, donorB}, sift.Config{
+			Version: opt.version,
+			SVM:     svm.Config{Seed: seed, MaxIter: 150},
+		})
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		live, err := gen(wearer, opt.liveSec, 100)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		donorLive, err := gen(subjects[(index+1)%len(subjects)], opt.liveSec, 101)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		ch, err := wiot.NewLossy(opt.loss, opt.dup, seed)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		attackFrom := int(opt.attackAt * live.SampleRate)
+		return wiot.Scenario{
+			Record:     live,
+			Detector:   hostDetector{det},
+			Attack:     &wiot.SubstitutionMITM{Donor: donorLive.ECG, ActiveFrom: attackFrom},
+			AttackFrom: attackFrom,
+			Channel:    ch,
+		}, nil
+	}
+
+	m := &fleet.Metrics{}
+	start := time.Now()
+	res, err := fleet.Run(context.Background(), fleet.Config{
+		Scenarios: opt.subjects,
+		Workers:   opt.workers,
+		BaseSeed:  opt.seed,
+		Metrics:   m,
+		Source:    src,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%s", res)
+	fmt.Printf("\nmetrics snapshot after %v:\n%s", time.Since(start).Round(time.Millisecond), m.Snapshot())
+	return res.Err()
 }
 
 func parseVersion(name string) (features.Version, error) {

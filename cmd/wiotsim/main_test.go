@@ -1,6 +1,20 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/features"
+)
+
+func TestRunFleetRejectsTinyCohorts(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		err := runFleet(fleetOptions{subjects: n, version: features.Original})
+		if err == nil || !strings.Contains(err.Error(), "at least 2") || strings.Contains(err.Error(), "wiotsim:") {
+			t.Errorf("runFleet(subjects=%d) = %v, want cohort-size error", n, err)
+		}
+	}
+}
 
 func TestParseVersion(t *testing.T) {
 	for _, name := range []string{"Original", "Simplified", "Reduced"} {

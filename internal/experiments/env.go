@@ -48,6 +48,11 @@ type Env struct {
 	Subjects  []physio.Subject
 	TrainRecs []*physio.Record
 	TestRecs  []*physio.Record
+
+	// Workers bounds the pool used for per-subject evaluation loops:
+	// 0 means runtime.GOMAXPROCS(0), 1 forces the serial path. Records
+	// are read-only after NewEnv, so any positive value is safe.
+	Workers int
 }
 
 // NewEnv synthesizes the cohort and its training/test recordings. Test

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachSubject runs fn(i) for every subject index over a bounded
+// worker pool of env.Workers goroutines (0 = GOMAXPROCS). Per-subject
+// work only reads the env's records, so fanning it out is safe; results
+// must be written to index-addressed slots so the caller's output is
+// identical to a serial run. The returned error is the failing
+// subject's with the lowest index, regardless of scheduling.
+func (e *Env) forEachSubject(fn func(i int) error) error {
+	n := len(e.Subjects)
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

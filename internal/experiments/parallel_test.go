@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/features"
+)
+
+func TestForEachSubjectVisitsEveryIndexOnce(t *testing.T) {
+	env := quickEnv(t)
+	for _, workers := range []int{1, 4, 64} {
+		env.Workers = workers
+		visits := make([]atomic.Int32, len(env.Subjects))
+		if err := env.forEachSubject(func(i int) error {
+			visits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Errorf("workers=%d: subject %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachSubjectReturnsLowestIndexError(t *testing.T) {
+	env := quickEnv(t)
+	wantErr := errors.New("subject 1 broke")
+	for _, workers := range []int{1, 4} {
+		env.Workers = workers
+		err := env.forEachSubject(func(i int) error {
+			if i >= 1 {
+				if i == 1 {
+					return wantErr
+				}
+				return errors.New("later failure")
+			}
+			return nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Errorf("workers=%d: err = %v, want the lowest-index failure", workers, err)
+		}
+	}
+}
+
+// TestSweepParallelMatchesSerial pins the determinism contract of the
+// parallelized sweeps: the worker pool must not change any number the
+// paper's tables report.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	env := quickEnv(t)
+	run := func(workers int) []SweepPoint {
+		env.Workers = workers
+		pts, err := SweepWindow(env, features.Reduced, []float64{3}, quickSVM())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	serial := run(1)
+	parallel := run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("sweep diverged across worker counts:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}

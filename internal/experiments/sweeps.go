@@ -62,13 +62,17 @@ func SweepWindow(env *Env, v features.Version, windows []float64, svmCfg svm.Con
 		if w <= 0 {
 			return nil, fmt.Errorf("experiments: window %.3g s must be positive", w)
 		}
-		var cms []metrics.Confusion
-		for i := range env.Subjects {
+		cms := make([]metrics.Confusion, len(env.Subjects))
+		err := env.forEachSubject(func(i int) error {
 			cm, err := evalProtocol(env, i, v, w, 50, svmCfg)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: sweep w=%.1f subject %d: %w", w, i, err)
+				return fmt.Errorf("experiments: sweep w=%.1f subject %d: %w", w, i, err)
 			}
-			cms = append(cms, cm)
+			cms[i] = cm
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		s, err := metrics.Summarize(cms)
 		if err != nil {
@@ -87,13 +91,17 @@ func SweepGrid(env *Env, v features.Version, grids []int, svmCfg svm.Config) ([]
 		if n <= 0 {
 			return nil, fmt.Errorf("experiments: grid %d must be positive", n)
 		}
-		var cms []metrics.Confusion
-		for i := range env.Subjects {
+		cms := make([]metrics.Confusion, len(env.Subjects))
+		err := env.forEachSubject(func(i int) error {
 			cm, err := evalProtocol(env, i, v, dataset.WindowSec, n, svmCfg)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: sweep n=%d subject %d: %w", n, i, err)
+				return fmt.Errorf("experiments: sweep n=%d subject %d: %w", n, i, err)
 			}
-			cms = append(cms, cm)
+			cms[i] = cm
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		s, err := metrics.Summarize(cms)
 		if err != nil {
@@ -112,8 +120,8 @@ func SweepTraining(env *Env, v features.Version, spansSec []float64, svmCfg svm.
 		if span < 2*dataset.WindowSec {
 			return nil, fmt.Errorf("experiments: training span %.0f s too short", span)
 		}
-		var cms []metrics.Confusion
-		for i := range env.Subjects {
+		cms := make([]metrics.Confusion, len(env.Subjects))
+		err := env.forEachSubject(func(i int) error {
 			full := env.TrainRecs[i]
 			n := int(span * full.SampleRate)
 			if n > len(full.ECG) {
@@ -121,22 +129,26 @@ func SweepTraining(env *Env, v features.Version, spansSec []float64, svmCfg svm.
 			}
 			rec, err := full.Slice(0, n)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			det, err := sift.TrainForSubject(rec, env.DonorsFor(i), sift.Config{Version: v, SVM: svmCfg})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: sweep Δ=%.0f subject %d: %w", span, i, err)
+				return fmt.Errorf("experiments: sweep Δ=%.0f subject %d: %w", span, i, err)
 			}
 			testSet, err := dataset.BuildTest(env.TestRecs[i], env.TestDonorsFor(i),
 				dataset.WindowSec, dataset.TestAlteredFrac, env.Config.Seed+4000+int64(i))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			cm, err := det.Evaluate(testSet)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			cms = append(cms, cm)
+			cms[i] = cm
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		s, err := metrics.Summarize(cms)
 		if err != nil {
@@ -159,26 +171,41 @@ type ROCResult struct {
 func ROCCurves(env *Env, svmCfg svm.Config) ([]ROCResult, error) {
 	var out []ROCResult
 	for _, v := range features.Versions {
-		var scores []float64
-		var labels []bool
-		for i := range env.Subjects {
+		// Per-subject partial score lists, concatenated in subject order
+		// so the pooled curve is identical to a serial run.
+		type rocPart struct {
+			scores []float64
+			labels []bool
+		}
+		parts := make([]rocPart, len(env.Subjects))
+		err := env.forEachSubject(func(i int) error {
 			det, err := sift.TrainForSubject(env.TrainRecs[i], env.DonorsFor(i), sift.Config{Version: v, SVM: svmCfg})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			testSet, err := dataset.BuildTest(env.TestRecs[i], env.TestDonorsFor(i),
 				dataset.WindowSec, dataset.TestAlteredFrac, env.Config.Seed+5000+int64(i))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for _, w := range testSet.Windows {
 				r, err := det.Classify(w)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				scores = append(scores, r.Margin)
-				labels = append(labels, w.Altered)
+				parts[i].scores = append(parts[i].scores, r.Margin)
+				parts[i].labels = append(parts[i].labels, w.Altered)
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var scores []float64
+		var labels []bool
+		for _, p := range parts {
+			scores = append(scores, p.scores...)
+			labels = append(labels, p.labels...)
 		}
 		curve, err := metrics.ROC(scores, labels)
 		if err != nil {
@@ -350,29 +377,33 @@ func PrecisionSweep(env *Env, v features.Version, fracBits []int, svmCfg svm.Con
 			return nil, fmt.Errorf("experiments: fractional bits %d outside [1,30]", k)
 		}
 		scale := math.Pow(2, float64(k))
-		var cms []metrics.Confusion
-		for i := range env.Subjects {
+		cms := make([]metrics.Confusion, len(env.Subjects))
+		err := env.forEachSubject(func(i int) error {
 			det, err := sift.TrainForSubject(env.TrainRecs[i], env.DonorsFor(i), sift.Config{Version: v, SVM: svmCfg})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			testSet, err := dataset.BuildTest(env.TestRecs[i], env.TestDonorsFor(i),
 				dataset.WindowSec, dataset.TestAlteredFrac, env.Config.Seed+6000+int64(i))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			var cm metrics.Confusion
 			for _, w := range testSet.Windows {
 				f, err := det.FeaturesOf(w)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				for j := range f {
 					f[j] = math.Round(f[j]*scale) / scale
 				}
 				cm.Add(w.Altered, det.Model.Decision(f) >= 0)
 			}
-			cms = append(cms, cm)
+			cms[i] = cm
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		s, err := metrics.Summarize(cms)
 		if err != nil {

@@ -1,0 +1,315 @@
+// Package fleet scales the single-subject WIoT simulation to cohorts: a
+// bounded worker pool fans wiot.RunScenario runs out across CPUs, with
+// deterministic per-scenario seed derivation, context cancellation,
+// fail-fast or collect-errors semantics, and lock-free metrics that can
+// be observed while the fleet is in flight. It is the backend layer a
+// continuous-authentication deployment needs between many wearers'
+// sensor streams and one detector farm.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/wiot-security/sift/internal/wiot"
+)
+
+// Source builds the scenario for one fleet slot. It is called from
+// worker goroutines, so it must be safe for concurrent use and — for
+// reproducible fleets — must derive all randomness from the provided
+// seed, never from shared state. The seed is BaseSeed + index, so a
+// fleet's outcome is a pure function of (BaseSeed, Scenarios, Source)
+// regardless of worker count or scheduling.
+type Source func(index int, seed int64) (wiot.Scenario, error)
+
+// Config parameterizes a fleet run.
+type Config struct {
+	Scenarios int   // number of scenario slots to run
+	Workers   int   // pool size; <=0 means runtime.GOMAXPROCS(0)
+	BaseSeed  int64 // seed for slot 0; slot i uses BaseSeed + i
+	// FailFast stops launching new scenarios after the first error and
+	// cancels in-flight ones; otherwise errors are collected per slot
+	// and the rest of the fleet keeps running.
+	FailFast bool
+	Metrics  *Metrics // optional; nil disables instrumentation
+	Source   Source
+}
+
+// ScenarioError ties a failure to its fleet slot.
+type ScenarioError struct {
+	Index int
+	Err   error
+}
+
+func (e ScenarioError) Error() string { return fmt.Sprintf("scenario %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e ScenarioError) Unwrap() error { return e.Err }
+
+// SubjectOutcome aggregates every completed scenario of one subject.
+type SubjectOutcome struct {
+	Subject   string
+	Scenarios int
+	Windows   int
+	TruePos   int
+	FalseNeg  int
+	FalsePos  int
+	TrueNeg   int
+	SeqErrors int
+}
+
+// Accuracy returns the subject's pooled window accuracy.
+func (o SubjectOutcome) Accuracy() float64 {
+	total := o.TruePos + o.FalseNeg + o.FalsePos + o.TrueNeg
+	if total == 0 {
+		return 0
+	}
+	return float64(o.TruePos+o.TrueNeg) / float64(total)
+}
+
+// FleetResult aggregates a whole fleet run. For an error-free run it is
+// deterministic: identical (BaseSeed, Scenarios, Source) inputs produce
+// identical results whether the fleet ran on 1 worker or 64.
+type FleetResult struct {
+	Scenarios int // slots requested
+	Completed int // scenarios that ran to completion
+	Failed    int // scenarios that returned an error
+	Skipped   int // slots never started (cancellation / fail-fast)
+
+	// Pooled confusion counts over every completed scenario.
+	Windows   int
+	TruePos   int
+	FalseNeg  int
+	FalsePos  int
+	TrueNeg   int
+	SeqErrors int
+
+	PerSubject []SubjectOutcome // sorted by subject ID
+	Errors     []ScenarioError  // sorted by slot index
+}
+
+// Accuracy returns the fleet-wide pooled window accuracy.
+func (r FleetResult) Accuracy() float64 {
+	total := r.TruePos + r.FalseNeg + r.FalsePos + r.TrueNeg
+	if total == 0 {
+		return 0
+	}
+	return float64(r.TruePos+r.TrueNeg) / float64(total)
+}
+
+// Err returns nil for a clean run, the (wrapped) sole failure for one
+// error, and a joined error otherwise.
+func (r FleetResult) Err() error {
+	switch len(r.Errors) {
+	case 0:
+		return nil
+	case 1:
+		return r.Errors[0]
+	default:
+		errs := make([]error, len(r.Errors))
+		for i, e := range r.Errors {
+			errs[i] = e
+		}
+		return errors.Join(errs...)
+	}
+}
+
+// String renders a one-screen fleet summary.
+func (r FleetResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fleet: %d scenarios (%d completed, %d failed, %d skipped)\n",
+		r.Scenarios, r.Completed, r.Failed, r.Skipped)
+	fmt.Fprintf(&sb, "pooled: %d windows TP=%d FN=%d FP=%d TN=%d seq-errors=%d accuracy=%.1f%%\n",
+		r.Windows, r.TruePos, r.FalseNeg, r.FalsePos, r.TrueNeg, r.SeqErrors, 100*r.Accuracy())
+	for _, s := range r.PerSubject {
+		fmt.Fprintf(&sb, "  %-6s %2d scenario(s) %3d windows accuracy %5.1f%%\n",
+			s.Subject, s.Scenarios, s.Windows, 100*s.Accuracy())
+	}
+	return sb.String()
+}
+
+// outcome is one slot's record, written exclusively by the worker that
+// ran the slot (slots are disjoint, so no lock is needed).
+type outcome struct {
+	ran     bool
+	subject string
+	res     wiot.ScenarioResult
+	err     error
+}
+
+// Run executes the fleet and aggregates the outcome. The returned error
+// is only for configuration problems; per-scenario failures land in
+// FleetResult.Errors (all of them in collect mode, at least the first
+// in fail-fast mode).
+func Run(ctx context.Context, cfg Config) (FleetResult, error) {
+	if cfg.Source == nil {
+		return FleetResult{}, errors.New("fleet: config needs a Source")
+	}
+	if cfg.Scenarios <= 0 {
+		return FleetResult{}, fmt.Errorf("fleet: scenario count %d must be positive", cfg.Scenarios)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Scenarios {
+		workers = cfg.Scenarios
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	outcomes := make([]outcome, cfg.Scenarios)
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if ctx.Err() != nil {
+					return
+				}
+				runSlot(ctx, cfg, i, &outcomes[i])
+				if outcomes[i].err != nil && cfg.FailFast {
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < cfg.Scenarios; i++ {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(indices)
+	wg.Wait()
+
+	return aggregate(cfg.Scenarios, outcomes), nil
+}
+
+// runSlot executes one scenario slot into out.
+func runSlot(ctx context.Context, cfg Config, index int, out *outcome) {
+	out.ran = true
+	seed := cfg.BaseSeed + int64(index)
+	sc, err := cfg.Source(index, seed)
+	if err != nil {
+		out.err = fmt.Errorf("fleet: build scenario %d: %w", index, err)
+		if cfg.Metrics != nil {
+			cfg.Metrics.ScenarioStarted()
+			cfg.Metrics.ScenarioFailed(0)
+		}
+		return
+	}
+	if sc.Record != nil {
+		out.subject = sc.Record.SubjectID
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.ScenarioStarted()
+		if sc.Channel == nil {
+			sc.Channel = wiot.Reliable{}
+		}
+		sc.Channel = &observedChannel{inner: sc.Channel, m: cfg.Metrics}
+	}
+	start := time.Now()
+	res, err := wiot.RunScenarioContext(ctx, sc)
+	elapsed := time.Since(start)
+	if err != nil {
+		out.err = ScenarioError{Index: index, Err: err}
+		if cfg.Metrics != nil {
+			cfg.Metrics.ScenarioFailed(elapsed)
+		}
+		return
+	}
+	out.res = res
+	if cfg.Metrics != nil {
+		raised := 0
+		for _, a := range res.Alerts {
+			if a.Altered {
+				raised++
+			}
+		}
+		cfg.Metrics.WindowsScored(res.Windows, raised)
+		cfg.Metrics.ScenarioCompleted(elapsed)
+	}
+}
+
+// aggregate folds per-slot outcomes into a FleetResult, visiting slots
+// in index order so the result is independent of scheduling.
+func aggregate(n int, outcomes []outcome) FleetResult {
+	r := FleetResult{Scenarios: n}
+	perSubject := map[string]*SubjectOutcome{}
+	for i := range outcomes {
+		o := &outcomes[i]
+		switch {
+		case !o.ran:
+			r.Skipped++
+		case o.err != nil:
+			r.Failed++
+			var se ScenarioError
+			if errors.As(o.err, &se) {
+				r.Errors = append(r.Errors, se)
+			} else {
+				r.Errors = append(r.Errors, ScenarioError{Index: i, Err: o.err})
+			}
+		default:
+			r.Completed++
+			r.Windows += o.res.Windows
+			r.TruePos += o.res.TruePos
+			r.FalseNeg += o.res.FalseNeg
+			r.FalsePos += o.res.FalsePos
+			r.TrueNeg += o.res.TrueNeg
+			r.SeqErrors += o.res.SeqErrors
+			s := perSubject[o.subject]
+			if s == nil {
+				s = &SubjectOutcome{Subject: o.subject}
+				perSubject[o.subject] = s
+			}
+			s.Scenarios++
+			s.Windows += o.res.Windows
+			s.TruePos += o.res.TruePos
+			s.FalseNeg += o.res.FalseNeg
+			s.FalsePos += o.res.FalsePos
+			s.TrueNeg += o.res.TrueNeg
+			s.SeqErrors += o.res.SeqErrors
+		}
+	}
+	for _, s := range perSubject {
+		r.PerSubject = append(r.PerSubject, *s)
+	}
+	sort.Slice(r.PerSubject, func(i, j int) bool { return r.PerSubject[i].Subject < r.PerSubject[j].Subject })
+	sort.Slice(r.Errors, func(i, j int) bool { return r.Errors[i].Index < r.Errors[j].Index })
+	return r
+}
+
+// observedChannel forwards to the scenario's real channel effect and
+// mirrors its deliveries into the fleet metrics. It adds no randomness
+// of its own, so instrumentation cannot change a run's outcome.
+type observedChannel struct {
+	inner wiot.ChannelEffect
+	m     *Metrics
+}
+
+func (c *observedChannel) Transmit(f wiot.Frame) []wiot.Frame {
+	out := c.inner.Transmit(f)
+	switch len(out) {
+	case 0:
+		c.m.FrameLost()
+	case 1:
+		c.m.FrameDelivered(1)
+	default:
+		c.m.FrameDuplicated()
+		c.m.FrameDelivered(len(out))
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/physio"
+	"github.com/wiot-security/sift/internal/wiot"
+)
+
+// parityDetector is a deterministic detector stub: it flags every other
+// window, so scenario outcomes depend only on the stream itself.
+type parityDetector struct{}
+
+func (parityDetector) Classify(w dataset.Window) (bool, error) { return w.Index%2 == 0, nil }
+
+// cohortSource builds a deterministic Source over nSubjects synthetic
+// wearers: slot i streams subject i%nSubjects for durSec seconds over a
+// lossy channel, with the second half of the stream marked as attacked.
+// All randomness derives from the slot seed.
+func cohortSource(t *testing.T, nSubjects int, durSec float64) Source {
+	t.Helper()
+	subjects, err := physio.Cohort(nSubjects, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(index int, seed int64) (wiot.Scenario, error) {
+		rec, err := physio.Generate(subjects[index%nSubjects], durSec, physio.DefaultSampleRate, seed)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		ch, err := wiot.NewLossy(0.05, 0.02, seed)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		half := len(rec.ECG) / 2
+		return wiot.Scenario{
+			Record:     rec,
+			Detector:   parityDetector{},
+			Attack:     wiot.PassThrough{},
+			AttackFrom: half,
+			Channel:    ch,
+		}, nil
+	}
+}
+
+func TestFleetRunsManyScenariosAcrossWorkers(t *testing.T) {
+	const scenarios, workers, windowsPer = 56, 8, 3
+	m := &Metrics{}
+	res, err := Run(context.Background(), Config{
+		Scenarios: scenarios,
+		Workers:   workers,
+		BaseSeed:  7,
+		Metrics:   m,
+		Source:    cohortSource(t, 7, 9), // 9 s -> 3 windows each
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != scenarios || res.Failed != 0 || res.Skipped != 0 {
+		t.Fatalf("completed/failed/skipped = %d/%d/%d, want %d/0/0",
+			res.Completed, res.Failed, res.Skipped, scenarios)
+	}
+	// Tail losses are only concealed when a later frame arrives, so a
+	// scenario may finish one window short of the nominal count.
+	if res.Windows > scenarios*windowsPer || res.Windows < scenarios*(windowsPer-1) {
+		t.Errorf("pooled windows = %d, want within [%d, %d]",
+			res.Windows, scenarios*(windowsPer-1), scenarios*windowsPer)
+	}
+	if got := res.TruePos + res.FalseNeg + res.FalsePos + res.TrueNeg; got != res.Windows {
+		t.Errorf("confusion total = %d, want %d", got, res.Windows)
+	}
+	if len(res.PerSubject) != 7 {
+		t.Errorf("per-subject rows = %d, want 7", len(res.PerSubject))
+	}
+	subjTotal := 0
+	for _, s := range res.PerSubject {
+		subjTotal += s.Scenarios
+		if s.Scenarios != scenarios/7 {
+			t.Errorf("subject %s ran %d scenarios, want %d", s.Subject, s.Scenarios, scenarios/7)
+		}
+	}
+	if subjTotal != scenarios {
+		t.Errorf("per-subject scenarios sum = %d, want %d", subjTotal, scenarios)
+	}
+
+	snap := m.Snapshot()
+	if snap.ScenariosStarted != scenarios || snap.ScenariosCompleted != scenarios || snap.ScenariosFailed != 0 {
+		t.Errorf("metrics scenarios = %d/%d/%d, want %d/%d/0",
+			snap.ScenariosStarted, snap.ScenariosCompleted, snap.ScenariosFailed, scenarios, scenarios)
+	}
+	if snap.LatencyCount() != scenarios {
+		t.Errorf("latency observations = %d, want %d", snap.LatencyCount(), scenarios)
+	}
+	if snap.FramesDelivered == 0 || snap.FramesLost == 0 {
+		t.Errorf("channel telemetry empty: delivered %d lost %d", snap.FramesDelivered, snap.FramesLost)
+	}
+	if snap.WindowsScored != int64(res.Windows) {
+		t.Errorf("windows scored = %d, want %d", snap.WindowsScored, res.Windows)
+	}
+	if snap.AlertsRaised != int64(res.TruePos+res.FalsePos) {
+		t.Errorf("alerts raised = %d, want %d", snap.AlertsRaised, res.TruePos+res.FalsePos)
+	}
+}
+
+func TestFleetDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Same base seed, different pool sizes (and one instrumented run):
+	// scheduling and metrics must not leak into the aggregate result.
+	src := cohortSource(t, 5, 9)
+	run := func(workers int, m *Metrics) FleetResult {
+		res, err := Run(context.Background(), Config{
+			Scenarios: 20,
+			Workers:   workers,
+			BaseSeed:  99,
+			Metrics:   m,
+			Source:    src,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1, nil)
+	parallel := run(8, &Metrics{})
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("Workers=1 and Workers=8 diverged:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if serial.Completed != 20 || serial.Windows == 0 {
+		t.Errorf("degenerate run: %+v", serial)
+	}
+}
+
+func TestFleetCollectsErrors(t *testing.T) {
+	src := cohortSource(t, 3, 6)
+	failing := func(index int, seed int64) (wiot.Scenario, error) {
+		if index%3 == 0 {
+			return wiot.Scenario{}, fmt.Errorf("boom %d", index)
+		}
+		return src(index, seed)
+	}
+	res, err := Run(context.Background(), Config{
+		Scenarios: 9,
+		Workers:   4,
+		BaseSeed:  1,
+		Source:    failing,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 3 || res.Completed != 6 || res.Skipped != 0 {
+		t.Fatalf("failed/completed/skipped = %d/%d/%d, want 3/6/0", res.Failed, res.Completed, res.Skipped)
+	}
+	for i, e := range res.Errors {
+		if e.Index != i*3 {
+			t.Errorf("error %d at index %d, want %d (sorted)", i, e.Index, i*3)
+		}
+	}
+	if res.Err() == nil {
+		t.Error("Err() should report the collected failures")
+	}
+}
+
+func TestFleetFailFastStopsLaunching(t *testing.T) {
+	src := cohortSource(t, 2, 6)
+	failing := func(index int, seed int64) (wiot.Scenario, error) {
+		if index == 0 {
+			return wiot.Scenario{}, errors.New("first slot fails")
+		}
+		return src(index, seed)
+	}
+	res, err := Run(context.Background(), Config{
+		Scenarios: 6,
+		Workers:   1, // serial: the failure must stop everything after slot 0
+		BaseSeed:  1,
+		FailFast:  true,
+		Source:    failing,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Completed != 0 || res.Skipped != 5 {
+		t.Fatalf("failed/completed/skipped = %d/%d/%d, want 1/0/5", res.Failed, res.Completed, res.Skipped)
+	}
+}
+
+func TestFleetHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, Config{
+		Scenarios: 10,
+		Workers:   4,
+		BaseSeed:  1,
+		Source:    cohortSource(t, 2, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 10 || res.Completed != 0 || res.Failed != 0 {
+		t.Errorf("cancelled fleet ran anyway: %+v", res)
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Scenarios: 1}); err == nil {
+		t.Error("nil Source should error")
+	}
+	src := func(int, int64) (wiot.Scenario, error) { return wiot.Scenario{}, nil }
+	if _, err := Run(context.Background(), Config{Scenarios: 0, Source: src}); err == nil {
+		t.Error("zero scenarios should error")
+	}
+}
+
+func TestFleetResultErr(t *testing.T) {
+	if (FleetResult{}).Err() != nil {
+		t.Error("clean result should have nil Err")
+	}
+	one := FleetResult{Errors: []ScenarioError{{Index: 3, Err: errors.New("x")}}}
+	var se ScenarioError
+	if !errors.As(one.Err(), &se) || se.Index != 3 {
+		t.Errorf("single error not exposed: %v", one.Err())
+	}
+	sentinel := errors.New("y")
+	many := FleetResult{Errors: []ScenarioError{{Index: 0, Err: errors.New("x")}, {Index: 1, Err: sentinel}}}
+	if !errors.Is(many.Err(), sentinel) {
+		t.Errorf("joined error lost a cause: %v", many.Err())
+	}
+}
+
+func TestSubjectOutcomeAccuracy(t *testing.T) {
+	if (SubjectOutcome{}).Accuracy() != 0 {
+		t.Error("empty outcome accuracy should be 0")
+	}
+	o := SubjectOutcome{TruePos: 3, TrueNeg: 5, FalsePos: 1, FalseNeg: 1}
+	if got := o.Accuracy(); got != 0.8 {
+		t.Errorf("accuracy = %v, want 0.8", got)
+	}
+}
+
+func TestFleetResultStringRendersSummary(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		Scenarios: 4,
+		Workers:   2,
+		BaseSeed:  5,
+		Source:    cohortSource(t, 2, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	for _, want := range []string{"4 scenarios", "pooled:", "accuracy"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}

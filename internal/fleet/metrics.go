@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the upper bounds of the fixed latency-histogram
+// buckets. A final implicit +Inf bucket catches everything slower.
+var latencyBounds = []time.Duration{
+	1 * time.Millisecond,
+	2 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	20 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	200 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2 * time.Second,
+	5 * time.Second,
+	10 * time.Second,
+	30 * time.Second,
+}
+
+// numLatencyBuckets includes the +Inf overflow bucket.
+const numLatencyBuckets = 15
+
+// Metrics is a lock-free set of fleet-wide counters. Every field is an
+// atomic, so scenario workers update it without contention and an
+// observer can Snapshot() it while a run is in flight. The zero value is
+// ready to use.
+type Metrics struct {
+	scenariosStarted   atomic.Int64
+	scenariosCompleted atomic.Int64
+	scenariosFailed    atomic.Int64
+
+	framesDelivered  atomic.Int64
+	framesLost       atomic.Int64
+	framesDuplicated atomic.Int64
+
+	windowsScored atomic.Int64
+	alertsRaised  atomic.Int64 // windows flagged as altered
+
+	latency [numLatencyBuckets]atomic.Int64
+	latSum  atomic.Int64 // nanoseconds, for the mean
+}
+
+// ScenarioStarted records a scenario entering a worker.
+func (m *Metrics) ScenarioStarted() { m.scenariosStarted.Add(1) }
+
+// ScenarioCompleted records a successful scenario and its wall time.
+func (m *Metrics) ScenarioCompleted(d time.Duration) {
+	m.scenariosCompleted.Add(1)
+	m.observeLatency(d)
+}
+
+// ScenarioFailed records a failed scenario and its wall time.
+func (m *Metrics) ScenarioFailed(d time.Duration) {
+	m.scenariosFailed.Add(1)
+	m.observeLatency(d)
+}
+
+// FrameDelivered counts frames that left a channel toward the station.
+func (m *Metrics) FrameDelivered(n int) { m.framesDelivered.Add(int64(n)) }
+
+// FrameLost counts frames a channel dropped.
+func (m *Metrics) FrameLost() { m.framesLost.Add(1) }
+
+// FrameDuplicated counts frames a channel duplicated.
+func (m *Metrics) FrameDuplicated() { m.framesDuplicated.Add(1) }
+
+// WindowsScored counts classified windows; raised is how many of them
+// were flagged as altered.
+func (m *Metrics) WindowsScored(total, raised int) {
+	m.windowsScored.Add(int64(total))
+	m.alertsRaised.Add(int64(raised))
+}
+
+func (m *Metrics) observeLatency(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.latSum.Add(int64(d))
+	for i, bound := range latencyBounds {
+		if d <= bound {
+			m.latency[i].Add(1)
+			return
+		}
+	}
+	m.latency[numLatencyBuckets-1].Add(1)
+}
+
+// LatencyBucket is one histogram bucket in a snapshot.
+type LatencyBucket struct {
+	UpperBound time.Duration // 0 on the last bucket means +Inf
+	Count      int64
+}
+
+// Snapshot is a point-in-time copy of the metrics. Counters are read
+// individually (not under a global lock), so a snapshot taken mid-run is
+// approximate across fields but each field is exact.
+type Snapshot struct {
+	ScenariosStarted   int64
+	ScenariosCompleted int64
+	ScenariosFailed    int64
+
+	FramesDelivered  int64
+	FramesLost       int64
+	FramesDuplicated int64
+
+	WindowsScored int64
+	AlertsRaised  int64
+
+	Latency    []LatencyBucket
+	LatencySum time.Duration
+}
+
+// Snapshot copies every counter.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		ScenariosStarted:   m.scenariosStarted.Load(),
+		ScenariosCompleted: m.scenariosCompleted.Load(),
+		ScenariosFailed:    m.scenariosFailed.Load(),
+		FramesDelivered:    m.framesDelivered.Load(),
+		FramesLost:         m.framesLost.Load(),
+		FramesDuplicated:   m.framesDuplicated.Load(),
+		WindowsScored:      m.windowsScored.Load(),
+		AlertsRaised:       m.alertsRaised.Load(),
+		LatencySum:         time.Duration(m.latSum.Load()),
+	}
+	s.Latency = make([]LatencyBucket, numLatencyBuckets)
+	for i := range s.Latency {
+		var bound time.Duration
+		if i < len(latencyBounds) {
+			bound = latencyBounds[i]
+		}
+		s.Latency[i] = LatencyBucket{UpperBound: bound, Count: m.latency[i].Load()}
+	}
+	return s
+}
+
+// LatencyCount returns the number of recorded scenario durations.
+func (s Snapshot) LatencyCount() int64 {
+	var n int64
+	for _, b := range s.Latency {
+		n += b.Count
+	}
+	return n
+}
+
+// MeanLatency returns the average scenario wall time (0 if none).
+func (s Snapshot) MeanLatency() time.Duration {
+	n := s.LatencyCount()
+	if n == 0 {
+		return 0
+	}
+	return s.LatencySum / time.Duration(n)
+}
+
+// String renders the snapshot the way cmd/wiotsim prints it.
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scenarios: started %d, completed %d, failed %d\n",
+		s.ScenariosStarted, s.ScenariosCompleted, s.ScenariosFailed)
+	fmt.Fprintf(&sb, "channel:   delivered %d, lost %d, duplicated %d frames\n",
+		s.FramesDelivered, s.FramesLost, s.FramesDuplicated)
+	fmt.Fprintf(&sb, "windows:   %d scored, %d alerts raised\n", s.WindowsScored, s.AlertsRaised)
+	fmt.Fprintf(&sb, "latency:   %d runs, mean %v\n", s.LatencyCount(), s.MeanLatency().Round(time.Microsecond))
+	for _, b := range s.Latency {
+		if b.Count == 0 {
+			continue
+		}
+		label := "+Inf"
+		if b.UpperBound != 0 {
+			label = b.UpperBound.String()
+		}
+		fmt.Fprintf(&sb, "  <= %-6s %d\n", label, b.Count)
+	}
+	return sb.String()
+}

@@ -3,6 +3,8 @@ package wiot
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 )
 
 // ChannelEffect models an unreliable wireless link: each frame in transit
@@ -21,14 +23,22 @@ type Reliable struct{}
 func (Reliable) Transmit(f Frame) []Frame { return []Frame{f} }
 
 // Lossy drops and duplicates frames with the configured probabilities.
+//
+// A Lossy must be built with NewLossy, which validates the probabilities
+// and seeds the rng eagerly — there is no lazily-initialized state, so a
+// channel can be handed to a scenario goroutine while another goroutine
+// observes its telemetry. Transmit serializes rng draws under a mutex and
+// the counters are atomic, making the whole channel safe for concurrent
+// use (though a single scenario always drives it from one goroutine).
 type Lossy struct {
-	LossProb float64 // probability a frame is lost
-	DupProb  float64 // probability a delivered frame is duplicated
-	Seed     int64
+	lossProb float64
+	dupProb  float64
+	seed     int64
 
+	mu  sync.Mutex // guards rng
 	rng *rand.Rand
-	// Telemetry.
-	Sent, Lost, Duplicated int
+
+	sent, lost, duplicated atomic.Int64
 }
 
 var (
@@ -36,27 +46,66 @@ var (
 	_ ChannelEffect = (*Lossy)(nil)
 )
 
-// Validate checks the probabilities.
-func (l *Lossy) Validate() error {
-	if l.LossProb < 0 || l.LossProb > 1 || l.DupProb < 0 || l.DupProb > 1 {
-		return fmt.Errorf("wiot: channel probabilities (%.3g, %.3g) outside [0,1]", l.LossProb, l.DupProb)
+// NewLossy builds a lossy channel, validating the probabilities up front.
+func NewLossy(lossProb, dupProb float64, seed int64) (*Lossy, error) {
+	if lossProb < 0 || lossProb > 1 || dupProb < 0 || dupProb > 1 {
+		return nil, fmt.Errorf("wiot: channel probabilities (%.3g, %.3g) outside [0,1]", lossProb, dupProb)
 	}
-	return nil
+	return &Lossy{
+		lossProb: lossProb,
+		dupProb:  dupProb,
+		seed:     seed,
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
 }
+
+// MustLossy is NewLossy for statically-known probabilities; it panics on
+// invalid input.
+func MustLossy(lossProb, dupProb float64, seed int64) *Lossy {
+	l, err := NewLossy(lossProb, dupProb, seed)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// LossProb returns the configured loss probability.
+func (l *Lossy) LossProb() float64 { return l.lossProb }
+
+// DupProb returns the configured duplication probability.
+func (l *Lossy) DupProb() float64 { return l.dupProb }
+
+// Seed returns the seed the channel's rng was built from.
+func (l *Lossy) Seed() int64 { return l.seed }
+
+// Sent returns how many frames entered the channel.
+func (l *Lossy) Sent() int64 { return l.sent.Load() }
+
+// Lost returns how many frames the channel dropped.
+func (l *Lossy) Lost() int64 { return l.lost.Load() }
+
+// Duplicated returns how many frames the channel duplicated.
+func (l *Lossy) Duplicated() int64 { return l.duplicated.Load() }
 
 // Transmit implements ChannelEffect.
 func (l *Lossy) Transmit(f Frame) []Frame {
-	if l.rng == nil {
-		l.rng = rand.New(rand.NewSource(l.Seed))
+	l.mu.Lock()
+	loss := l.rng.Float64() < l.lossProb
+	dup := false
+	if !loss {
+		dup = l.rng.Float64() < l.dupProb
 	}
-	l.Sent++
-	if l.rng.Float64() < l.LossProb {
-		l.Lost++
+	l.mu.Unlock()
+
+	l.sent.Add(1)
+	switch {
+	case loss:
+		l.lost.Add(1)
 		return nil
-	}
-	if l.rng.Float64() < l.DupProb {
-		l.Duplicated++
+	case dup:
+		l.duplicated.Add(1)
 		return []Frame{f, f}
+	default:
+		return []Frame{f}
 	}
-	return []Frame{f}
 }

@@ -1,6 +1,7 @@
 package wiot
 
 import (
+	"sync"
 	"testing"
 
 	"github.com/wiot-security/sift/internal/physio"
@@ -15,47 +16,98 @@ func TestReliableDeliversOnce(t *testing.T) {
 }
 
 func TestLossyValidation(t *testing.T) {
-	if err := (&Lossy{LossProb: -0.1}).Validate(); err == nil {
+	if _, err := NewLossy(-0.1, 0, 1); err == nil {
 		t.Error("negative probability should error")
 	}
-	if err := (&Lossy{DupProb: 1.1}).Validate(); err == nil {
+	if _, err := NewLossy(0, 1.1, 1); err == nil {
 		t.Error("probability > 1 should error")
 	}
-	if err := (&Lossy{LossProb: 0.1, DupProb: 0.1}).Validate(); err != nil {
+	if _, err := NewLossy(0.1, 0.1, 1); err != nil {
 		t.Errorf("valid channel errored: %v", err)
 	}
 }
 
+func TestMustLossyPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLossy(2, 0, 1) should panic")
+		}
+	}()
+	MustLossy(2, 0, 1)
+}
+
 func TestLossyStatistics(t *testing.T) {
-	ch := &Lossy{LossProb: 0.3, DupProb: 0.1, Seed: 1}
+	ch := MustLossy(0.3, 0.1, 1)
 	f := FrameFromFloats(SensorECG, 0, []float64{1})
-	delivered := 0
+	delivered := int64(0)
 	for i := 0; i < 2000; i++ {
-		delivered += len(ch.Transmit(f))
+		delivered += int64(len(ch.Transmit(f)))
 	}
-	if ch.Sent != 2000 {
-		t.Errorf("Sent = %d", ch.Sent)
+	if ch.Sent() != 2000 {
+		t.Errorf("Sent = %d", ch.Sent())
 	}
-	lossRate := float64(ch.Lost) / float64(ch.Sent)
+	lossRate := float64(ch.Lost()) / float64(ch.Sent())
 	if lossRate < 0.25 || lossRate > 0.35 {
 		t.Errorf("loss rate = %.3f, want ≈0.3", lossRate)
 	}
-	if ch.Duplicated == 0 {
+	if ch.Duplicated() == 0 {
 		t.Error("expected some duplicates")
 	}
-	if delivered != ch.Sent-ch.Lost+ch.Duplicated {
+	if delivered != ch.Sent()-ch.Lost()+ch.Duplicated() {
 		t.Errorf("delivered %d inconsistent with telemetry", delivered)
 	}
 }
 
 func TestLossyDeterministicSeed(t *testing.T) {
-	a := &Lossy{LossProb: 0.5, Seed: 7}
-	b := &Lossy{LossProb: 0.5, Seed: 7}
+	a := MustLossy(0.5, 0, 7)
+	b := MustLossy(0.5, 0, 7)
 	f := FrameFromFloats(SensorABP, 0, []float64{1})
 	for i := 0; i < 100; i++ {
 		if len(a.Transmit(f)) != len(b.Transmit(f)) {
 			t.Fatal("identical seeds diverged")
 		}
+	}
+}
+
+func TestLossyConcurrentTransmitAndObserve(t *testing.T) {
+	// One goroutine drives the channel while others read telemetry, as a
+	// fleet metrics scraper does: under -race this proves the channel is
+	// observable mid-scenario.
+	ch := MustLossy(0.2, 0.1, 9)
+	f := FrameFromFloats(SensorECG, 0, []float64{1})
+	const senders, frames = 4, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = ch.Sent() + ch.Lost() + ch.Duplicated()
+			}
+		}
+	}()
+	var sent sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		sent.Add(1)
+		go func() {
+			defer sent.Done()
+			for i := 0; i < frames; i++ {
+				ch.Transmit(f)
+			}
+		}()
+	}
+	sent.Wait()
+	close(stop)
+	wg.Wait()
+	if got := ch.Sent(); got != senders*frames {
+		t.Errorf("Sent = %d, want %d", got, senders*frames)
+	}
+	if ch.Lost()+ch.Duplicated() == 0 {
+		t.Error("expected losses or duplicates at these probabilities")
 	}
 }
 
@@ -112,7 +164,7 @@ func TestStationDropsDuplicates(t *testing.T) {
 func TestStationStreamsStayAlignedUnderLoss(t *testing.T) {
 	det := &flagEveryOther{}
 	st := newTestStation(t, det, &MemorySink{})
-	ch := &Lossy{LossProb: 0.1, Seed: 3}
+	ch := MustLossy(0.1, 0, 3)
 	n := 4 * 1080 / 90 // four windows of frames
 	for seq := 0; seq < n; seq++ {
 		s := make([]float64, 90)
@@ -146,7 +198,7 @@ func TestScenarioSurvivesLossyChannel(t *testing.T) {
 		Detector:   det,
 		Attack:     &SubstitutionMITM{Donor: donor.ECG, ActiveFrom: half},
 		AttackFrom: half,
-		Channel:    &Lossy{LossProb: 0.05, DupProb: 0.02, Seed: 11},
+		Channel:    MustLossy(0.05, 0.02, 11),
 	})
 	if err != nil {
 		t.Fatal(err)

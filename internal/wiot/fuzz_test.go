@@ -1,0 +1,167 @@
+package wiot
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/fixedpoint"
+)
+
+// randomFrame builds a valid frame with rng-driven contents.
+func randomFrame(rng *rand.Rand) Frame {
+	sensor := SensorECG
+	if rng.Intn(2) == 1 {
+		sensor = SensorABP
+	}
+	samples := make([]fixedpoint.Q, rng.Intn(MaxFrameSamples+1))
+	for i := range samples {
+		samples[i] = fixedpoint.FromRaw(int32(rng.Uint32()))
+	}
+	return Frame{Sensor: sensor, Seq: rng.Uint32(), Samples: samples}
+}
+
+// FuzzFrameRoundTrip feeds arbitrary bytes to the frame decoder: it must
+// never panic, and whenever it accepts an input, re-encoding the decoded
+// frame must reproduce exactly the bytes consumed — the wire format is
+// canonical.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{frameMagic})
+	f.Add([]byte{frameMagic, byte(SensorECG), 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{frameMagic, byte(SensorABP), 1, 0, 0, 0, 2, 0, 0xAA, 0xBB, 0xCC, 0xDD})
+	seed, err := (&Frame{Sensor: SensorECG, Seq: 7, Samples: []fixedpoint.Q{fixedpoint.FromFloat(1.5)}}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n < EncodedSize(0) || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if n != EncodedSize(len(fr.Samples)) {
+			t.Fatalf("consumed %d bytes for %d samples, want %d", n, len(fr.Samples), EncodedSize(len(fr.Samples)))
+		}
+		enc, err := fr.Encode()
+		if err != nil {
+			t.Fatalf("re-encoding a decoded frame failed: %v", err)
+		}
+		if !bytes.Equal(enc, data[:n]) {
+			t.Fatalf("round trip diverged:\n in: %x\nout: %x", data[:n], enc)
+		}
+	})
+}
+
+// TestFrameRoundTripRandom is the deterministic counterpart of the fuzz
+// target (it always runs under plain `go test`): random valid frames
+// must survive encode/decode exactly.
+func TestFrameRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		in := randomFrame(rng)
+		buf, err := in.Encode()
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		out, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("trial %d: consumed %d of %d bytes", trial, n, len(buf))
+		}
+		if out.Sensor != in.Sensor || out.Seq != in.Seq || len(out.Samples) != len(in.Samples) {
+			t.Fatalf("trial %d: header mismatch: %+v vs %+v", trial, out, in)
+		}
+		for i := range in.Samples {
+			if out.Samples[i] != in.Samples[i] {
+				t.Fatalf("trial %d: sample %d = %v, want %v", trial, i, out.Samples[i], in.Samples[i])
+			}
+		}
+	}
+}
+
+// TestFrameDecodeTruncated checks every possible truncation of valid
+// frames: the decoder must reject the prefix with an error — never
+// panic, never fabricate samples from a short buffer.
+func TestFrameDecodeTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		fr := randomFrame(rng)
+		if len(fr.Samples) == 0 {
+			fr.Samples = []fixedpoint.Q{fixedpoint.FromFloat(1)} // force a payload
+		}
+		buf, err := fr.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(buf); cut++ {
+			if _, _, err := DecodeFrame(buf[:cut]); err == nil {
+				t.Fatalf("trial %d: truncation to %d of %d bytes decoded successfully", trial, cut, len(buf))
+			}
+		}
+		if _, _, err := DecodeFrame(buf[:EncodedSize(0)-1]); !errors.Is(err, ErrShortFrame) {
+			t.Fatalf("trial %d: headerless decode = %v, want ErrShortFrame", trial, err)
+		}
+	}
+}
+
+// TestFrameDecodeCorrupted flips random bytes in valid encodings: the
+// decoder must either reject the corruption or return a well-formed
+// frame (magic intact, known sensor, bounded payload) — random soup must
+// not take the base station down.
+func TestFrameDecodeCorrupted(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		fr := randomFrame(rng)
+		buf, err := fr.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		flips := 1 + rng.Intn(4)
+		for k := 0; k < flips; k++ {
+			buf[rng.Intn(len(buf))] ^= byte(1 + rng.Intn(255))
+		}
+		got, n, err := DecodeFrame(buf)
+		if err != nil {
+			continue // rejection is always acceptable
+		}
+		if !got.Sensor.Valid() {
+			t.Fatalf("trial %d: accepted invalid sensor %d", trial, got.Sensor)
+		}
+		if len(got.Samples) > MaxFrameSamples {
+			t.Fatalf("trial %d: accepted %d samples", trial, len(got.Samples))
+		}
+		if n > len(buf) {
+			t.Fatalf("trial %d: consumed %d of %d bytes", trial, n, len(buf))
+		}
+	}
+}
+
+// TestReadFrameTruncatedStream drives the io.Reader path with partial
+// streams; it must surface an error rather than hang or panic.
+func TestReadFrameTruncatedStream(t *testing.T) {
+	fr := Frame{Sensor: SensorECG, Seq: 3, Samples: []fixedpoint.Q{fixedpoint.FromFloat(2)}}
+	buf, err := fr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(buf[:cut])); err == nil {
+			t.Fatalf("ReadFrame on %d of %d bytes succeeded", cut, len(buf))
+		}
+	}
+	got, err := ReadFrame(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 3 || got.Sensor != SensorECG || len(got.Samples) != 1 {
+		t.Errorf("full read = %+v", got)
+	}
+}

@@ -1,6 +1,7 @@
 package wiot
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -35,6 +36,8 @@ type ScenarioResult struct {
 	TrueNeg      int
 	SeqErrors    int
 	WindowLength int // samples per window
+	Concealed    int // samples synthesized to cover lost frames
+	Stale        int // duplicate/out-of-order frames dropped
 }
 
 // Accuracy returns the fraction of windows classified correctly.
@@ -51,6 +54,14 @@ func (r ScenarioResult) Accuracy() float64 {
 // channel into the base station, and every completed window's verdict is
 // scored against the attack interval's ground truth.
 func RunScenario(sc Scenario) (ScenarioResult, error) {
+	return RunScenarioContext(context.Background(), sc)
+}
+
+// RunScenarioContext is RunScenario with cancellation: the frame loop
+// checks ctx between BLE connection events and aborts with ctx's error
+// as soon as it is cancelled, so a fleet engine can tear down in-flight
+// scenarios promptly.
+func RunScenarioContext(ctx context.Context, sc Scenario) (ScenarioResult, error) {
 	if sc.Record == nil {
 		return ScenarioResult{}, errors.New("wiot: scenario needs a record")
 	}
@@ -89,6 +100,9 @@ func RunScenario(sc Scenario) (ScenarioResult, error) {
 	// Interleave the two sensors frame by frame, as a BLE connection
 	// schedule would.
 	for {
+		if err := ctx.Err(); err != nil {
+			return ScenarioResult{}, err
+		}
 		ef, okE := ecg.Next()
 		af, okA := abp.Next()
 		if !okE && !okA {
@@ -110,10 +124,13 @@ func RunScenario(sc Scenario) (ScenarioResult, error) {
 		}
 	}
 
+	stats := station.Stats()
 	res := ScenarioResult{
 		Alerts:       sink.Alerts(),
-		Windows:      station.WindowsProcessed(),
-		SeqErrors:    station.SeqErrors(),
+		Windows:      stats.Windows,
+		SeqErrors:    stats.SeqErrors,
+		Concealed:    stats.Concealed,
+		Stale:        stats.Stale,
 		WindowLength: int(stationWindowSec(sc) * sc.Record.SampleRate),
 	}
 	attackFrom, attackTo := sc.AttackFrom, sc.AttackTo

@@ -2,6 +2,7 @@ package wiot
 
 import (
 	"context"
+	"errors"
 	"net"
 	"testing"
 	"time"
@@ -172,5 +173,105 @@ func TestServeTCPValidation(t *testing.T) {
 func TestScenarioResultAccuracyEmpty(t *testing.T) {
 	if (ScenarioResult{}).Accuracy() != 0 {
 		t.Error("empty result accuracy should be 0")
+	}
+}
+
+// constDetector returns the same verdict for every window, making the
+// scoring arithmetic the only variable under test.
+type constDetector struct{ altered bool }
+
+func (d constDetector) Classify(dataset.Window) (bool, error) { return d.altered, nil }
+
+// TestRunScenarioWindowScoring pins the window-scoring edge cases: a
+// window counts as attacked iff at least half of it overlaps the attack
+// interval, and AttackTo == 0 means "to end of stream". The stream is 4
+// windows of 3 s at 360 Hz (window length 1080 samples) delivered
+// reliably, with a PassThrough "attack" so ground truth is decoupled
+// from the detector, which is a constant stub.
+func TestRunScenarioWindowScoring(t *testing.T) {
+	const wlen = 1080 // 3 s at 360 Hz
+	rec, err := physio.Generate(physio.DefaultSubject(), 12, physio.DefaultSampleRate, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name           string
+		attack         Interceptor
+		from, to       int
+		verdict        bool // constant detector output
+		tp, fn, fp, tn int
+	}{
+		{
+			// Attack covers exactly the second half of window 1:
+			// overlap*2 == WindowLength sits on the >= boundary, so the
+			// window is attacked.
+			name:   "exact half overlap is attacked",
+			attack: PassThrough{}, from: wlen + wlen/2, to: 2 * wlen,
+			verdict: true,
+			tp:      1, fp: 3,
+		},
+		{
+			// One sample less than half: the window is clean, so the
+			// always-flagging detector produces only false positives.
+			name:   "under half overlap is clean",
+			attack: PassThrough{}, from: wlen + wlen/2 + 1, to: 2 * wlen,
+			verdict: true,
+			fp:      4,
+		},
+		{
+			name:   "AttackTo zero means end of stream",
+			attack: PassThrough{}, from: 2 * wlen, to: 0,
+			verdict: true,
+			tp:      2, fp: 2,
+		},
+		{
+			name:   "missed attack scores false negatives",
+			attack: PassThrough{}, from: 2 * wlen, to: 0,
+			verdict: false,
+			fn:      2, tn: 2,
+		},
+		{
+			name:    "no attack and quiet detector is all TN",
+			verdict: false,
+			tn:      4,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := RunScenario(Scenario{
+				Record:     rec,
+				Detector:   constDetector{tc.verdict},
+				Attack:     tc.attack,
+				AttackFrom: tc.from,
+				AttackTo:   tc.to,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Windows != 4 {
+				t.Fatalf("windows = %d, want 4", res.Windows)
+			}
+			if res.WindowLength != wlen {
+				t.Fatalf("window length = %d, want %d", res.WindowLength, wlen)
+			}
+			if res.TruePos != tc.tp || res.FalseNeg != tc.fn || res.FalsePos != tc.fp || res.TrueNeg != tc.tn {
+				t.Errorf("TP/FN/FP/TN = %d/%d/%d/%d, want %d/%d/%d/%d",
+					res.TruePos, res.FalseNeg, res.FalsePos, res.TrueNeg,
+					tc.tp, tc.fn, tc.fp, tc.tn)
+			}
+		})
+	}
+}
+
+func TestRunScenarioContextCancellation(t *testing.T) {
+	rec, err := physio.Generate(physio.DefaultSubject(), 12, physio.DefaultSampleRate, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = RunScenarioContext(ctx, Scenario{Record: rec, Detector: constDetector{}})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled scenario returned %v, want context.Canceled", err)
 	}
 }

@@ -117,6 +117,27 @@ func NewBaseStation(cfg StationConfig) (*BaseStation, error) {
 	}, nil
 }
 
+// StationStats is a consistent snapshot of a station's counters, taken
+// under one lock so concurrent observers never see torn values.
+type StationStats struct {
+	Windows   int // complete windows classified
+	SeqErrors int // sequence gaps detected
+	Concealed int // samples synthesized to cover lost frames
+	Stale     int // duplicate/out-of-order frames dropped
+}
+
+// Stats returns a consistent snapshot of the station's counters.
+func (b *BaseStation) Stats() StationStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return StationStats{
+		Windows:   b.windows,
+		SeqErrors: b.seqErrors,
+		Concealed: b.concealed,
+		Stale:     b.stale,
+	}
+}
+
 // SeqErrors returns the number of out-of-order or duplicate frames seen.
 func (b *BaseStation) SeqErrors() int {
 	b.mu.Lock()
