@@ -1,9 +1,13 @@
 # Tier-1 verification plus the race-detector gate the fleet engine
-# requires. `make check` is what CI should run.
+# requires. `make check` is what CI's build+test jobs run; `make lint`,
+# `make cover`, and `make bench` mirror the remaining CI jobs.
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz fleet-demo
+# Coverage floor (percent) enforced on the packages PR 1 race-proofed.
+COVER_FLOOR ?= 85.0
+
+.PHONY: check vet build test race fuzz fleet-demo lint cover bench bench-check
 
 check: vet build race
 
@@ -31,3 +35,31 @@ fuzz:
 # link, with the metrics snapshot printed at the end.
 fleet-demo:
 	$(GO) run ./cmd/wiotsim -fleet 12 -workers 8
+
+# Full linter set when golangci-lint is installed (the CI lint job always
+# has it); vet-only fallback so the target works in bare containers.
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run; \
+	else \
+		echo "golangci-lint not installed; falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
+
+# Enforce the coverage floor on the packages the fleet work hardened.
+cover:
+	@for pkg in fleet wiot; do \
+		$(GO) test -coverprofile=cover_$$pkg.out ./internal/$$pkg/ >/dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=cover_$$pkg.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+		echo "internal/$$pkg coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
+		awk -v got=$$pct -v floor=$(COVER_FLOOR) 'BEGIN { exit (got + 0 < floor + 0) }' || \
+			{ echo "internal/$$pkg below coverage floor"; exit 1; }; \
+	done
+
+# Continuous-benchmark harness: quick suite into BENCH_dev.json, then
+# bench-check gates it against the committed baseline the way CI does.
+bench:
+	$(GO) run ./cmd/wiotbench -quick -o BENCH_dev.json
+
+bench-check: bench
+	$(GO) run ./cmd/wiotbench -compare BENCH_seed.json BENCH_dev.json -threshold 10

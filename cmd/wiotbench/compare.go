@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"io"
+)
+
+// compareReports prints a suite-by-suite comparison of per-op latency
+// and returns the number of regressions: suites that slowed by more
+// than thresholdPct percent, plus suites that existed in the old report
+// but vanished from the new one (a silently dropped benchmark must fail
+// the gate, or coverage rots). Suites only present in the new report
+// are listed but never fail.
+//
+// The compared statistic is the best (minimum) batch mean, falling back
+// to the overall mean for reports that predate it. Contention on a
+// shared CI runner only ever inflates a sample, never deflates it, so
+// the minimum is the closest observable to the code's true cost — it is
+// the only statistic stable enough for a 10% gate at quick-mode sample
+// counts. The full distribution (mean/p50/p99) still travels in the
+// json for humans reading drift.
+func compareReports(old, cur Report, thresholdPct float64, w io.Writer) int {
+	curByName := make(map[string]Result, len(cur.Suites))
+	for _, s := range cur.Suites {
+		curByName[s.Name] = s
+	}
+	if old.Env != cur.Env {
+		fmt.Fprintf(w, "note: environments differ (old %s/%s go %s %d cpu, new %s/%s go %s %d cpu)\n",
+			old.Env.GOOS, old.Env.GOARCH, old.Env.GoVersion, old.Env.NumCPU,
+			cur.Env.GOOS, cur.Env.GOARCH, cur.Env.GoVersion, cur.Env.NumCPU)
+	}
+
+	regressions := 0
+	seen := make(map[string]bool, len(old.Suites))
+	fmt.Fprintf(w, "%-20s %14s %14s %9s\n", "suite", "old min ns/op", "new min ns/op", "delta")
+	for _, o := range old.Suites {
+		seen[o.Name] = true
+		n, ok := curByName[o.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-20s %14.0f %14s %9s  MISSING\n", o.Name, compared(o), "-", "-")
+			regressions++
+			continue
+		}
+		oldNS, newNS := compared(o), compared(n)
+		var delta float64
+		if oldNS > 0 {
+			delta = (newNS - oldNS) / oldNS * 100
+		}
+		verdict := ""
+		if delta > thresholdPct {
+			verdict = "  REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-20s %14.0f %14.0f %+8.1f%%%s\n", o.Name, oldNS, newNS, delta, verdict)
+	}
+	for _, n := range cur.Suites {
+		if !seen[n.Name] {
+			fmt.Fprintf(w, "%-20s %14s %14.0f %9s  new suite\n", n.Name, "-", compared(n), "-")
+		}
+	}
+	return regressions
+}
+
+// compared picks the suite's gated statistic.
+func compared(r Result) float64 {
+	if r.MinNS > 0 {
+		return r.MinNS
+	}
+	return r.MeanNS
+}

@@ -1,0 +1,362 @@
+// Command wiotbench is the repo's continuous-benchmark harness: it runs
+// a standardized suite over the four hot paths — amulet VM dispatch,
+// SIFT feature extraction, the wiot frame codec, and the fleet engine —
+// and emits a machine-readable BENCH_<date>.json with environment
+// metadata and mean/p50/p99 per-op latencies. The numbers are the
+// software-side analogues of the paper's Table III measurements: VM
+// cycles per window is what the FRAM/energy model consumes, and
+// frames/sec bounds the BLE streaming budget.
+//
+// Usage:
+//
+//	wiotbench [-quick] [-o out.json] [-suite regex] [-obs] [-cpuprofile p.pprof]
+//	wiotbench -compare old.json new.json [-threshold 10]
+//	wiotbench -list
+//
+// Compare mode exits nonzero when any suite's mean per-op latency in
+// new.json regressed more than threshold percent over old.json, which
+// makes the harness directly consumable as a CI gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/wiot-security/sift/internal/obs"
+)
+
+// Schema identifies the BENCH json layout; bump on incompatible change.
+const Schema = "wiotbench/1"
+
+// EnvInfo records where a report was measured, so cross-machine
+// comparisons can be recognized for what they are.
+type EnvInfo struct {
+	GoVersion  string `json:"goVersion"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"numCpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func currentEnv() EnvInfo {
+	return EnvInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Result is one suite's aggregate. Latencies are per operation (one VM
+// window, one extraction, one frame, one fleet scenario) in nanoseconds.
+type Result struct {
+	Name      string             `json:"name"`
+	Unit      string             `json:"unit"`
+	Ops       int64              `json:"ops"`    // operations actually timed
+	MeanNS    float64            `json:"meanNs"` // per-op
+	P50NS     float64            `json:"p50Ns"`
+	P99NS     float64            `json:"p99Ns"`
+	MinNS     float64            `json:"minNs"`
+	MaxNS     float64            `json:"maxNs"`
+	OpsPerSec float64            `json:"opsPerSec"`
+	Extra     map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the top-level BENCH json document.
+type Report struct {
+	Schema      string   `json:"schema"`
+	GeneratedAt string   `json:"generatedAt"`
+	Quick       bool     `json:"quick"`
+	Env         EnvInfo  `json:"env"`
+	Suites      []Result `json:"suites"`
+}
+
+// runConfig sizes a measurement: warmup batches discarded, then sample
+// batches timed, each of batch operations.
+type runConfig struct {
+	warmup  int
+	samples int
+}
+
+func (c runConfig) String() string {
+	return fmt.Sprintf("%d warmup + %d samples", c.warmup, c.samples)
+}
+
+var (
+	quickCfg = runConfig{warmup: 2, samples: 12}
+	fullCfg  = runConfig{warmup: 4, samples: 32}
+)
+
+// calibrationTarget is the wall time one sample batch aims for: long
+// enough that sub-microsecond ops aren't measuring the clock, short
+// enough that a quick run stays interactive.
+const calibrationTarget = 10 * time.Millisecond
+
+// calibrate sizes a batch the way testing.B does: grow the op count
+// until the batch is measurable, then scale to the target duration.
+func calibrate(op func() error) (int, error) {
+	for n := 1; ; n *= 8 {
+		t0 := time.Now()
+		for j := 0; j < n; j++ {
+			if err := op(); err != nil {
+				return 0, err
+			}
+		}
+		elapsed := time.Since(t0)
+		if elapsed >= time.Millisecond || n >= 1<<20 {
+			batch := int(float64(n) * float64(calibrationTarget) / float64(elapsed+1))
+			if batch < 1 {
+				batch = 1
+			}
+			if batch > 1<<20 {
+				batch = 1 << 20
+			}
+			return batch, nil
+		}
+	}
+}
+
+// measure times op in batches: each of cfg.samples timed batches runs
+// op batch times, and every op call accounts for opsPerCall logical
+// operations (fleet runs score a whole cohort per call). batch 0 means
+// auto-calibrate toward calibrationTarget per sample. The per-op
+// distribution is over batch means, which filters scheduler noise
+// without hiding drift.
+func measure(name, unit string, cfg runConfig, batch, opsPerCall int, op func() error) (Result, error) {
+	if batch < 0 || opsPerCall < 1 {
+		return Result{}, fmt.Errorf("%s: batch %d must be >= 0 and opsPerCall %d positive", name, batch, opsPerCall)
+	}
+	if batch == 0 {
+		var err error
+		if batch, err = calibrate(op); err != nil {
+			return Result{}, fmt.Errorf("%s: calibrate: %w", name, err)
+		}
+	}
+	for i := 0; i < cfg.warmup*batch; i++ {
+		if err := op(); err != nil {
+			return Result{}, fmt.Errorf("%s: warmup: %w", name, err)
+		}
+	}
+	perOp := make([]float64, cfg.samples)
+	for i := range perOp {
+		t0 := time.Now()
+		for j := 0; j < batch; j++ {
+			if err := op(); err != nil {
+				return Result{}, fmt.Errorf("%s: sample %d: %w", name, i, err)
+			}
+		}
+		perOp[i] = float64(time.Since(t0).Nanoseconds()) / float64(batch*opsPerCall)
+	}
+	sort.Float64s(perOp)
+	var sum float64
+	for _, v := range perOp {
+		sum += v
+	}
+	mean := sum / float64(len(perOp))
+	r := Result{
+		Name:   name,
+		Unit:   unit,
+		Ops:    int64(cfg.samples) * int64(batch) * int64(opsPerCall),
+		MeanNS: mean,
+		P50NS:  quantile(perOp, 0.50),
+		P99NS:  quantile(perOp, 0.99),
+		MinNS:  perOp[0],
+		MaxNS:  perOp[len(perOp)-1],
+	}
+	if mean > 0 {
+		r.OpsPerSec = 1e9 / mean
+	}
+	return r, nil
+}
+
+// quantile interpolates the q-th quantile of sorted values.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wiotbench:", err)
+		os.Exit(1)
+	}
+}
+
+// errRegression marks a compare-mode failure so run can surface it as a
+// nonzero exit without an "unexpected error" flavor.
+type errRegression struct{ n int }
+
+func (e errRegression) Error() string {
+	return fmt.Sprintf("%d suite(s) regressed beyond threshold", e.n)
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("wiotbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "smaller sample counts and cohort sizes (CI smoke mode)")
+	outPath := fs.String("o", "", "output path (default BENCH_<yyyy-mm-dd>.json)")
+	suiteRe := fs.String("suite", "", "only run suites whose name matches this regexp")
+	list := fs.Bool("list", false, "list suite names and exit")
+	compare := fs.Bool("compare", false, "compare two BENCH json files: wiotbench -compare old.json new.json")
+	threshold := fs.Float64("threshold", 10, "compare mode: max tolerated mean-latency regression, percent")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	printObs := fs.Bool("obs", false, "enable internal/obs collection and print its snapshot after the run")
+	// Stdlib flag parsing stops at the first positional argument, but the
+	// documented compare CLI is `-compare old.json new.json -threshold 10`
+	// — so keep re-parsing the tail to accept flags after positionals.
+	var positional []string
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for fs.NArg() > 0 {
+		rest := fs.Args()
+		i := 0
+		for i < len(rest) && !strings.HasPrefix(rest[i], "-") {
+			positional = append(positional, rest[i])
+			i++
+		}
+		if i == len(rest) {
+			break
+		}
+		if err := fs.Parse(rest[i:]); err != nil {
+			return err
+		}
+	}
+
+	if *compare {
+		if len(positional) != 2 {
+			return fmt.Errorf("-compare needs exactly two files (old.json new.json), got %d args", len(positional))
+		}
+		old, err := loadReport(positional[0])
+		if err != nil {
+			return err
+		}
+		cur, err := loadReport(positional[1])
+		if err != nil {
+			return err
+		}
+		if n := compareReports(old, cur, *threshold, out); n > 0 {
+			return errRegression{n}
+		}
+		fmt.Fprintf(out, "no regressions beyond %.1f%%\n", *threshold)
+		return nil
+	}
+
+	suites := allSuites()
+	if *suiteRe != "" {
+		re, err := regexp.Compile(*suiteRe)
+		if err != nil {
+			return fmt.Errorf("bad -suite regexp: %w", err)
+		}
+		var kept []suite
+		for _, s := range suites {
+			if re.MatchString(s.name) {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("-suite %q matches no suites (use -list)", *suiteRe)
+		}
+		suites = kept
+	}
+	if *list {
+		for _, s := range suites {
+			fmt.Fprintf(out, "%-20s %s\n", s.name, s.describe)
+		}
+		return nil
+	}
+
+	cfg := fullCfg
+	if *quick {
+		cfg = quickCfg
+	}
+	if *printObs {
+		obs.SetEnabled(true)
+		obs.Reset()
+	}
+	if *cpuProfile != "" {
+		if err := obs.StartCPUProfile(*cpuProfile); err != nil {
+			return err
+		}
+		defer func() {
+			if err := obs.StopCPUProfile(); err != nil {
+				fmt.Fprintln(os.Stderr, "wiotbench:", err)
+			}
+		}()
+	}
+
+	report := Report{
+		Schema:      Schema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Quick:       *quick,
+		Env:         currentEnv(),
+	}
+	fmt.Fprintf(out, "wiotbench: %d suite(s), %s each\n", len(suites), cfg)
+	for _, s := range suites {
+		t0 := time.Now()
+		res, err := s.run(cfg, *quick)
+		if err != nil {
+			return fmt.Errorf("suite %s: %w", s.name, err)
+		}
+		report.Suites = append(report.Suites, res)
+		fmt.Fprintf(out, "  %-20s mean %12.0f ns/op  p50 %12.0f  p99 %12.0f  %14.1f %s  (%v)\n",
+			res.Name, res.MeanNS, res.P50NS, res.P99NS, res.OpsPerSec, res.Unit, time.Since(t0).Round(time.Millisecond))
+	}
+
+	path := *outPath
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	if err := writeReport(path, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+
+	if *printObs {
+		fmt.Fprintf(out, "\ninternal/obs snapshot:\n%s", obs.TakeSnapshot())
+	}
+	return nil
+}
+
+func loadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("read report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return Report{}, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	return r, nil
+}
+
+func writeReport(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("write report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10},
+		{0.5, 25},
+		{1, 40},
+	}
+	for _, c := range cases {
+		if got := quantile(sorted, c.q); got != c.want {
+			t.Errorf("quantile(%.2f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile of empty = %v, want 0", got)
+	}
+}
+
+func TestMeasureCountsAndStats(t *testing.T) {
+	calls := 0
+	cfg := runConfig{warmup: 2, samples: 5}
+	res, err := measure("t", "ops/sec", cfg, 3, 2, func() error {
+		calls++
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCalls := cfg.warmup*3 + cfg.samples*3
+	if calls != wantCalls {
+		t.Errorf("op called %d times, want %d", calls, wantCalls)
+	}
+	if res.Ops != int64(cfg.samples)*3*2 {
+		t.Errorf("Ops = %d, want %d", res.Ops, cfg.samples*3*2)
+	}
+	// Each op sleeps 100µs and accounts for 2 logical operations, so the
+	// per-op mean must land near 50µs — and the order stats must hold.
+	if res.MeanNS < 25_000 {
+		t.Errorf("mean %v ns implausibly small for a 100µs op over 2 logical ops", res.MeanNS)
+	}
+	if res.MinNS > res.P50NS || res.P50NS > res.MaxNS || res.P99NS > res.MaxNS {
+		t.Errorf("order stats inconsistent: min=%v p50=%v p99=%v max=%v", res.MinNS, res.P50NS, res.P99NS, res.MaxNS)
+	}
+	if res.OpsPerSec <= 0 {
+		t.Errorf("OpsPerSec = %v, want positive", res.OpsPerSec)
+	}
+}
+
+func TestMeasurePropagatesOpError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := measure("t", "u", runConfig{warmup: 0, samples: 1}, 1, 1, func() error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("measure swallowed the op error: %v", err)
+	}
+}
+
+func report(suites ...Result) Report {
+	return Report{Schema: Schema, Env: currentEnv(), Suites: suites}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	old := report(Result{Name: "a", MeanNS: 100}, Result{Name: "b", MeanNS: 100})
+	cur := report(Result{Name: "a", MeanNS: 105}, Result{Name: "b", MeanNS: 125})
+	var sb strings.Builder
+	if n := compareReports(old, cur, 10, &sb); n != 1 {
+		t.Errorf("regressions = %d, want 1 (only b crossed 10%%)\n%s", n, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("comparison output missing REGRESSED marker:\n%s", sb.String())
+	}
+}
+
+func TestCompareFailsOnMissingSuite(t *testing.T) {
+	old := report(Result{Name: "a", MeanNS: 100}, Result{Name: "gone", MeanNS: 100})
+	cur := report(Result{Name: "a", MeanNS: 100}, Result{Name: "fresh", MeanNS: 50})
+	var sb strings.Builder
+	if n := compareReports(old, cur, 10, &sb); n != 1 {
+		t.Errorf("regressions = %d, want 1 (dropped suite must fail)\n%s", n, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "MISSING") || !strings.Contains(out, "new suite") {
+		t.Errorf("comparison output missing MISSING/new-suite markers:\n%s", out)
+	}
+}
+
+func TestReportRoundTripAndSchemaGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	want := report(Result{Name: "x", Unit: "ops/sec", MeanNS: 42, Extra: map[string]float64{"k": 1}})
+	want.GeneratedAt = "2026-01-01T00:00:00Z"
+	if err := writeReport(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Suites[0].Name != "x" || got.Suites[0].MeanNS != 42 || got.Suites[0].Extra["k"] != 1 {
+		t.Errorf("round trip mangled report: %+v", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReport(bad); err == nil {
+		t.Error("loadReport accepted a foreign schema")
+	}
+}
+
+// TestRunCodecSuiteEndToEnd exercises the full CLI path on the cheapest
+// suites: flag parsing, suite filtering, measurement, and json output.
+func TestRunCodecSuiteEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-suite", "^codec/", "-o", path}, &sb); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	rep, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Suites) != 2 {
+		t.Fatalf("suites = %d, want 2 (encode+decode): %+v", len(rep.Suites), rep.Suites)
+	}
+	for _, s := range rep.Suites {
+		if s.MeanNS <= 0 || s.OpsPerSec <= 0 {
+			t.Errorf("%s: degenerate stats %+v", s.Name, s)
+		}
+	}
+	if !rep.Quick || rep.Schema != Schema || rep.Env.GoVersion == "" {
+		t.Errorf("report metadata incomplete: %+v", rep)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-suite", "nomatch-xyz"}, &sb); err == nil {
+		t.Error("run accepted a -suite filter matching nothing")
+	}
+	if err := run([]string{"-compare", "only-one.json"}, &sb); err == nil {
+		t.Error("compare mode accepted a single file")
+	}
+}
+
+// TestCompareCLI drives compare mode through run() with flags after the
+// positional file arguments, the way CI invokes it.
+func TestCompareCLI(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := writeReport(oldPath, report(Result{Name: "a", MeanNS: 100})); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeReport(newPath, report(Result{Name: "a", MeanNS: 150})); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-compare", oldPath, newPath, "-threshold", "10"}, &sb)
+	var reg errRegression
+	if !errors.As(err, &reg) {
+		t.Fatalf("50%% slowdown at 10%% threshold: got %v, want errRegression", err)
+	}
+	sb.Reset()
+	if err := run([]string{"-compare", oldPath, newPath, "-threshold", "60"}, &sb); err != nil {
+		t.Errorf("50%% slowdown at 60%% threshold should pass, got %v", err)
+	}
+}

@@ -1,0 +1,309 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/wiot-security/sift/internal/amulet/program"
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/features"
+	"github.com/wiot-security/sift/internal/fixedpoint"
+	"github.com/wiot-security/sift/internal/fleet"
+	"github.com/wiot-security/sift/internal/physio"
+	"github.com/wiot-security/sift/internal/portrait"
+	"github.com/wiot-security/sift/internal/sift"
+	"github.com/wiot-security/sift/internal/svm"
+	"github.com/wiot-security/sift/internal/wiot"
+)
+
+// suite is one named benchmark. run builds its fixture, measures, and
+// returns the aggregate; quick scales fixture sizes down for CI smoke.
+type suite struct {
+	name     string
+	describe string
+	run      func(cfg runConfig, quick bool) (Result, error)
+}
+
+// allSuites returns the standardized suite in a stable order: the four
+// hot paths the obs layer instruments, in pipeline order.
+func allSuites() []suite {
+	var suites []suite
+	for _, v := range features.Versions {
+		suites = append(suites, vmSuite(v))
+	}
+	for _, v := range features.Versions {
+		suites = append(suites, featuresSuite(v))
+	}
+	suites = append(suites, codecSuite("codec/encode"), codecSuite("codec/decode"))
+	for _, w := range []int{1, 4, 8} {
+		suites = append(suites, fleetSuite(w))
+	}
+	return suites
+}
+
+// benchWindow synthesizes one clean classification window, the same way
+// the amulet/program round-trip tests do.
+func benchWindow(seed int64) (dataset.Window, error) {
+	rec, err := physio.Generate(physio.DefaultSubject(), 6, physio.DefaultSampleRate, seed)
+	if err != nil {
+		return dataset.Window{}, err
+	}
+	wins, err := dataset.FromRecord(rec, dataset.WindowSec)
+	if err != nil {
+		return dataset.Window{}, err
+	}
+	if len(wins) < 2 {
+		return dataset.Window{}, fmt.Errorf("bench record yielded %d windows, need 2", len(wins))
+	}
+	return wins[1], nil
+}
+
+// benchModel is a unit quantized model (weights 1, mean 0, invstd 1):
+// the margin equals the feature sum, and the cycle cost is identical to
+// a trained model's since the classifier's work is data-independent.
+func benchModel(dim int) *svm.Quantized {
+	q := &svm.Quantized{
+		Weights: make(fixedpoint.Vec, dim),
+		Mean:    make(fixedpoint.Vec, dim),
+		InvStd:  make(fixedpoint.Vec, dim),
+	}
+	for i := 0; i < dim; i++ {
+		q.Weights[i] = fixedpoint.One
+		q.InvStd[i] = fixedpoint.One
+	}
+	return q
+}
+
+// vmSuite measures full device-side classifications: marshal the window
+// into the data segment, run the detector bytecode on the emulated
+// Amulet, decode the verdict. Extra carries the cycle telemetry Table
+// III's energy model consumes.
+func vmSuite(v features.Version) suite {
+	name := "vm/" + v.String()
+	return suite{
+		name:     name,
+		describe: fmt.Sprintf("amulet VM: %s detector bytecode, one window per op", v),
+		run: func(cfg runConfig, quick bool) (Result, error) {
+			w, err := benchWindow(1)
+			if err != nil {
+				return Result{}, err
+			}
+			det, err := program.NewDeviceDetector(v, nil, benchModel(v.Dim()))
+			if err != nil {
+				return Result{}, err
+			}
+			op := func() error {
+				_, err := det.Classify(w)
+				return err
+			}
+			res, err := measure(name, "windows/sec", cfg, 0, 1, op)
+			if err != nil {
+				return Result{}, err
+			}
+			res.Extra = map[string]float64{
+				"cyclesPerWindow": det.AvgCyclesPerWindow(),
+				"cyclesPerSec":    det.AvgCyclesPerWindow() * res.OpsPerSec,
+			}
+			return res, nil
+		},
+	}
+}
+
+// featuresSuite measures the host-side reference extractor on a fixed
+// portrait: the PeaksDataCheck→FeatureExtraction stage cost per window.
+func featuresSuite(v features.Version) suite {
+	name := "features/" + v.String()
+	return suite{
+		name:     name,
+		describe: fmt.Sprintf("SIFT feature extraction: %s (%d-D) from one portrait", v, v.Dim()),
+		run: func(cfg runConfig, quick bool) (Result, error) {
+			w, err := benchWindow(2)
+			if err != nil {
+				return Result{}, err
+			}
+			p, err := w.Portrait()
+			if err != nil {
+				return Result{}, err
+			}
+			op := func() error {
+				_, err := features.Extract(v, p, portrait.DefaultGridSize)
+				return err
+			}
+			return measure(name, "extracts/sec", cfg, 0, 1, op)
+		},
+	}
+}
+
+// codecSuite measures the wire codec on a default-chunk frame (90
+// samples, one BLE connection event at 360 Hz). Extra carries the byte
+// throughput that bounds the streaming budget.
+func codecSuite(name string) suite {
+	decode := name == "codec/decode"
+	verb := "encode"
+	if decode {
+		verb = "decode"
+	}
+	return suite{
+		name:     name,
+		describe: fmt.Sprintf("wiot frame codec: %s one 90-sample frame per op", verb),
+		run: func(cfg runConfig, quick bool) (Result, error) {
+			samples := make([]float64, 90)
+			for i := range samples {
+				samples[i] = float64(i%7) * 0.25
+			}
+			frame := wiot.FrameFromFloats(wiot.SensorECG, 7, samples)
+			buf, err := frame.Encode()
+			if err != nil {
+				return Result{}, err
+			}
+			op := func() error {
+				_, err := frame.Encode()
+				return err
+			}
+			if decode {
+				op = func() error {
+					_, _, err := wiot.DecodeFrame(buf)
+					return err
+				}
+			}
+			res, err := measure(name, "frames/sec", cfg, 0, 1, op)
+			if err != nil {
+				return Result{}, err
+			}
+			res.Extra = map[string]float64{
+				"bytesPerFrame": float64(len(buf)),
+				"mbPerSec":      float64(len(buf)) * res.OpsPerSec / 1e6,
+			}
+			return res, nil
+		},
+	}
+}
+
+// hostDetector adapts the host-side SIFT detector to the station's
+// Detector interface (same shape cmd/wiotsim uses).
+type hostDetector struct{ d *sift.Detector }
+
+func (h hostDetector) Classify(w dataset.Window) (bool, error) {
+	r, err := h.d.Classify(w)
+	if err != nil {
+		return false, err
+	}
+	return r.Altered, nil
+}
+
+// fleetFixture is the shared cohort for the fleet suites: one trained
+// detector and pregenerated live recordings, so the timed region is the
+// engine plus the scenario pipeline, not training or signal synthesis.
+// The three W variants share it (training once is what lets full mode
+// stay under a minute).
+type fleetFixture struct {
+	scenarios int
+	src       fleet.Source
+}
+
+var fleetFixtureOnce struct {
+	sync.Once
+	fix *fleetFixture
+	err error
+}
+
+func getFleetFixture(quick bool) (*fleetFixture, error) {
+	fleetFixtureOnce.Do(func() {
+		fleetFixtureOnce.fix, fleetFixtureOnce.err = buildFleetFixture(quick)
+	})
+	return fleetFixtureOnce.fix, fleetFixtureOnce.err
+}
+
+func buildFleetFixture(quick bool) (*fleetFixture, error) {
+	const seed = 42
+	scenarios := 16
+	trainSec, liveSec := 120.0, 12.0
+	if quick {
+		scenarios = 8
+		trainSec = 60
+	}
+	subjects, err := physio.Cohort(4, seed)
+	if err != nil {
+		return nil, err
+	}
+	gen := func(s physio.Subject, dur float64, off int64) (*physio.Record, error) {
+		return physio.Generate(s, dur, physio.DefaultSampleRate, seed+off)
+	}
+	trainRec, err := gen(subjects[0], trainSec, 1)
+	if err != nil {
+		return nil, err
+	}
+	donorA, err := gen(subjects[1], trainSec, 2)
+	if err != nil {
+		return nil, err
+	}
+	donorB, err := gen(subjects[2], trainSec, 3)
+	if err != nil {
+		return nil, err
+	}
+	det, err := sift.TrainForSubject(trainRec, []*physio.Record{donorA, donorB}, sift.Config{
+		SVM: svm.Config{Seed: seed, MaxIter: 100},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("train fixture detector: %w", err)
+	}
+	live := make([]*physio.Record, scenarios)
+	for i := range live {
+		live[i], err = gen(subjects[i%len(subjects)], liveSec, 100+int64(i))
+		if err != nil {
+			return nil, err
+		}
+	}
+	attackFrom := int(liveSec / 2 * physio.DefaultSampleRate)
+	src := func(index int, seed int64) (wiot.Scenario, error) {
+		ch, err := wiot.NewLossy(0.02, 0.01, seed)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		donor := live[(index+1)%len(live)]
+		return wiot.Scenario{
+			Record:     live[index],
+			Detector:   hostDetector{det},
+			Attack:     &wiot.SubstitutionMITM{Donor: donor.ECG, ActiveFrom: attackFrom},
+			AttackFrom: attackFrom,
+			Channel:    ch,
+		}, nil
+	}
+	return &fleetFixture{scenarios: scenarios, src: src}, nil
+}
+
+// fleetSuite measures end-to-end fleet throughput at a fixed worker
+// count: one op is one scenario (a wearer's full lossy stream scored
+// window by window); each timed call runs the whole cohort.
+func fleetSuite(workers int) suite {
+	name := fmt.Sprintf("fleet/W%d", workers)
+	return suite{
+		name:     name,
+		describe: fmt.Sprintf("fleet engine: cohort of lossy MITM scenarios at %d worker(s)", workers),
+		run: func(cfg runConfig, quick bool) (Result, error) {
+			fix, err := getFleetFixture(quick)
+			if err != nil {
+				return Result{}, err
+			}
+			op := func() error {
+				res, err := fleet.Run(context.Background(), fleet.Config{
+					Scenarios: fix.scenarios,
+					Workers:   workers,
+					BaseSeed:  42,
+					Source:    fix.src,
+				})
+				if err != nil {
+					return err
+				}
+				return res.Err()
+			}
+			res, err := measure(name, "scenarios/sec", cfg, 1, fix.scenarios, op)
+			if err != nil {
+				return Result{}, err
+			}
+			res.Extra = map[string]float64{"workers": float64(workers), "cohort": float64(fix.scenarios)}
+			return res, nil
+		},
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/wiot-security/sift/internal/dataset"
@@ -49,10 +50,19 @@ func run() error {
 	versionName := flag.String("version", "Original", "detector version (Original|Simplified|Reduced)")
 	attackAt := flag.Float64("attack-at", 60, "second at which the MITM starts hijacking the ECG channel")
 	fleetN := flag.Int("fleet", 0, "stream N cohort subjects concurrently instead of the single-subject demo")
-	workers := flag.Int("workers", 0, "fleet worker pool size (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "fleet worker pool size (must be positive)")
 	loss := flag.Float64("loss", 0.02, "fleet mode: frame loss probability on the wireless link")
 	dup := flag.Float64("dup", 0.01, "fleet mode: frame duplication probability")
 	flag.Parse()
+
+	// Reject nonsense values outright instead of silently coercing them
+	// (the fleet engine would otherwise map a non-positive -workers to
+	// GOMAXPROCS behind the user's back).
+	if err := validateFlags(*fleetN, *workers, *loss, *dup, *trainSec, *liveSec, *attackAt); err != nil {
+		fmt.Fprintln(os.Stderr, "wiotsim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	version, err := parseVersion(*versionName)
 	if err != nil {
@@ -238,6 +248,27 @@ func runFleet(opt fleetOptions) error {
 	fmt.Printf("\n%s", res)
 	fmt.Printf("\nmetrics snapshot after %v:\n%s", time.Since(start).Round(time.Millisecond), m.Snapshot())
 	return res.Err()
+}
+
+// validateFlags rejects out-of-domain flag values before any work runs.
+func validateFlags(fleetN, workers int, loss, dup, trainSec, liveSec, attackAt float64) error {
+	switch {
+	case fleetN < 0:
+		return fmt.Errorf("-fleet %d: subject count cannot be negative", fleetN)
+	case workers <= 0:
+		return fmt.Errorf("-workers %d: worker pool size must be positive", workers)
+	case loss < 0 || loss > 1:
+		return fmt.Errorf("-loss %g: probability must be in [0, 1]", loss)
+	case dup < 0 || dup > 1:
+		return fmt.Errorf("-dup %g: probability must be in [0, 1]", dup)
+	case trainSec <= 0:
+		return fmt.Errorf("-train %g: training span must be positive seconds", trainSec)
+	case liveSec <= 0:
+		return fmt.Errorf("-live %g: live span must be positive seconds", liveSec)
+	case attackAt < 0:
+		return fmt.Errorf("-attack-at %g: attack start cannot be negative", attackAt)
+	}
+	return nil
 }
 
 func parseVersion(name string) (features.Version, error) {

@@ -16,6 +16,38 @@ func TestRunFleetRejectsTinyCohorts(t *testing.T) {
 	}
 }
 
+func TestValidateFlags(t *testing.T) {
+	ok := func(fleetN, workers int, loss, dup, trainSec, liveSec, attackAt float64) error {
+		return validateFlags(fleetN, workers, loss, dup, trainSec, liveSec, attackAt)
+	}
+	if err := ok(0, 4, 0.02, 0.01, 300, 120, 60); err != nil {
+		t.Errorf("default-shaped flags rejected: %v", err)
+	}
+	if err := ok(12, 1, 0, 1, 1, 1, 0); err != nil {
+		t.Errorf("boundary values rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		err  error
+	}{
+		{"-fleet", ok(-1, 4, 0.02, 0.01, 300, 120, 60)},
+		{"-workers zero", ok(4, 0, 0.02, 0.01, 300, 120, 60)},
+		{"-workers negative", ok(4, -3, 0.02, 0.01, 300, 120, 60)},
+		{"-loss", ok(4, 4, 1.5, 0.01, 300, 120, 60)},
+		{"-dup", ok(4, 4, 0.02, -0.1, 300, 120, 60)},
+		{"-train", ok(4, 4, 0.02, 0.01, 0, 120, 60)},
+		{"-live", ok(4, 4, 0.02, 0.01, 300, -5, 60)},
+		{"-attack-at", ok(4, 4, 0.02, 0.01, 300, 120, -1)},
+	}
+	for _, c := range bad {
+		if c.err == nil {
+			t.Errorf("%s: invalid value accepted", c.name)
+		} else if !strings.Contains(c.err.Error(), strings.Fields(c.name)[0]) {
+			t.Errorf("%s: error %q does not name the offending flag", c.name, c.err)
+		}
+	}
+}
+
 func TestParseVersion(t *testing.T) {
 	for _, name := range []string{"Original", "Simplified", "Reduced"} {
 		v, err := parseVersion(name)

@@ -81,7 +81,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
+	defer func() { _ = srv.Close() }()
 	fmt.Println("base station listening on", lis.Addr())
 
 	// Live signals: 60 s; the MITM hijacks the ECG wire at t = 30 s.

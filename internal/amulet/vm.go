@@ -7,6 +7,16 @@ import (
 	"math"
 
 	"github.com/wiot-security/sift/internal/fixedpoint"
+	"github.com/wiot-security/sift/internal/obs"
+)
+
+// Observability handles for the dispatch loop. Run-level granularity
+// keeps the per-opcode path untouched: one span and two counter adds per
+// program run, nothing per instruction.
+var (
+	obsRun    = obs.NewTimer("amulet.vm.run")
+	obsInstrs = obs.NewCounter("amulet.vm.instrs")
+	obsCycles = obs.NewCounter("amulet.vm.cycles")
 )
 
 // VM resource limits, sized for the MSP430FR5989's 2 KB SRAM: the operand
@@ -120,6 +130,13 @@ func f32frombits(u uint32) float32 { return math.Float32frombits(u) }
 // watchdog a run-to-completion OS needs: a detector that cannot finish
 // within its window must be treated as failed, not hung.
 func (vm *VM) Run(maxCycles uint64) error {
+	span := obsRun.Start()
+	startInstrs, startCycles := vm.usage.Instrs, vm.usage.Cycles
+	defer func() {
+		obsInstrs.Add(int64(vm.usage.Instrs - startInstrs))
+		obsCycles.Add(int64(vm.usage.Cycles - startCycles))
+		span.End()
+	}()
 	code := vm.prog.Code
 	for {
 		if vm.pc < 0 || vm.pc >= len(code) {

@@ -3,7 +3,13 @@ package experiments
 import (
 	"runtime"
 	"sync"
+
+	"github.com/wiot-security/sift/internal/obs"
 )
+
+// obsSubjectEval prices one subject's evaluation unit inside a sweep —
+// the quantity the ROADMAP's perf PRs want tracked as the cohort scales.
+var obsSubjectEval = obs.NewTimer("experiments.subjectEval")
 
 // forEachSubject runs fn(i) for every subject index over a bounded
 // worker pool of env.Workers goroutines (0 = GOMAXPROCS). Per-subject
@@ -12,6 +18,12 @@ import (
 // identical to a serial run. The returned error is the failing
 // subject's with the lowest index, regardless of scheduling.
 func (e *Env) forEachSubject(fn func(i int) error) error {
+	inner := fn
+	fn = func(i int) error {
+		span := obsSubjectEval.Start()
+		defer span.End()
+		return inner(i)
+	}
 	n := len(e.Subjects)
 	workers := e.Workers
 	if workers <= 0 {

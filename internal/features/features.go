@@ -24,7 +24,15 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/wiot-security/sift/internal/obs"
 	"github.com/wiot-security/sift/internal/portrait"
+)
+
+// Observability handles for the extraction hot path (one span + one
+// counter add per window; free when collection is disabled).
+var (
+	obsExtract   = obs.NewTimer("sift.features.extract")
+	obsExtracted = obs.NewCounter("sift.features.extracted")
 )
 
 // Version selects a feature extractor variant.
@@ -106,6 +114,9 @@ func (v Version) Names() []string {
 // Extract computes the version's feature vector from a portrait using the
 // given grid size (the paper fixes gridN = 50; see portrait.DefaultGridSize).
 func Extract(v Version, p *portrait.Portrait, gridN int) ([]float64, error) {
+	span := obsExtract.Start()
+	defer span.End()
+	obsExtracted.Add(1)
 	switch v {
 	case Original:
 		return extractOriginal(p, gridN)

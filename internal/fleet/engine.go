@@ -17,7 +17,18 @@ import (
 	"sync"
 	"time"
 
+	"github.com/wiot-security/sift/internal/obs"
 	"github.com/wiot-security/sift/internal/wiot"
+)
+
+// Observability handles for the engine. obsSlot prices a whole slot
+// (scenario construction — often including detector training — plus the
+// run); obsScenarioRun is its child covering just the simulation, so
+// obsSlot's self time is the construction cost.
+var (
+	obsSlot        = obs.NewTimer("fleet.slot")
+	obsScenarioRun = obs.NewTimer("fleet.scenario.run")
+	obsSlotsRun    = obs.NewCounter("fleet.slots")
 )
 
 // Source builds the scenario for one fleet slot. It is called from
@@ -200,6 +211,9 @@ feed:
 
 // runSlot executes one scenario slot into out.
 func runSlot(ctx context.Context, cfg Config, index int, out *outcome) {
+	span := obsSlot.Start()
+	defer span.End()
+	obsSlotsRun.Add(1)
 	out.ran = true
 	seed := cfg.BaseSeed + int64(index)
 	sc, err := cfg.Source(index, seed)
@@ -222,7 +236,9 @@ func runSlot(ctx context.Context, cfg Config, index int, out *outcome) {
 		sc.Channel = &observedChannel{inner: sc.Channel, m: cfg.Metrics}
 	}
 	start := time.Now()
+	runSpan := span.Child(obsScenarioRun)
 	res, err := wiot.RunScenarioContext(ctx, sc)
+	runSpan.End()
 	elapsed := time.Since(start)
 	if err != nil {
 		out.err = ScenarioError{Index: index, Err: err}

@@ -1,0 +1,71 @@
+package obs
+
+import "time"
+
+// epoch anchors the package's monotonic clock: span timestamps are
+// nanosecond offsets from process start, read via time.Since so they use
+// the runtime's monotonic source and never allocate.
+var epoch = time.Now()
+
+func nowNanos() int64 { return int64(time.Since(epoch)) }
+
+// Span is one timed region in flight. It is a plain value: when
+// collection is disabled Start returns the zero Span, whose End is a nil
+// check and nothing else, so disabled spans live entirely in registers.
+//
+// Spans nest: a child started with Span.Child attributes its wall time
+// to its own timer and, on End, subtracts it from the parent's self
+// time. A span must End on the goroutine that started it, before its
+// parent does — the natural shape of defer-paired instrumentation.
+type Span struct {
+	timer   *Timer
+	parent  *Span
+	startNS int64
+	childNS int64
+	ended   bool
+}
+
+// Start opens a root span on the timer. When collection is disabled it
+// returns the zero Span.
+func (t *Timer) Start() Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	return Span{timer: t, startNS: nowNanos()}
+}
+
+// Child opens a nested span on t whose duration will be excluded from
+// s's self time. Starting a child of the zero Span (collection disabled,
+// or s itself a child of a disabled region) yields the zero Span.
+func (s *Span) Child(t *Timer) Span {
+	if s.timer == nil || !enabled.Load() {
+		return Span{}
+	}
+	return Span{timer: t, parent: s, startNS: nowNanos()}
+}
+
+// Running reports whether the span is live (started with collection
+// enabled and not yet ended).
+func (s *Span) Running() bool { return s.timer != nil && !s.ended }
+
+// End closes the span, recording its wall time and self time into its
+// timer and charging the wall time to the parent's child account. End on
+// the zero Span or a second End on the same span is a no-op.
+func (s *Span) End() {
+	if s.timer == nil || s.ended {
+		return
+	}
+	s.ended = true
+	elapsed := time.Duration(nowNanos() - s.startNS)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	self := elapsed - time.Duration(s.childNS)
+	if self < 0 {
+		self = 0
+	}
+	s.timer.record(elapsed, self)
+	if s.parent != nil && s.parent.timer != nil {
+		s.parent.childNS += int64(elapsed)
+	}
+}

@@ -17,6 +17,17 @@ import (
 	"math"
 
 	"github.com/wiot-security/sift/internal/fixedpoint"
+	"github.com/wiot-security/sift/internal/obs"
+)
+
+// Observability handles for the frame codec. Encode/decode run once per
+// BLE connection event per sensor, so a span pair here prices the whole
+// wire path without touching the per-sample loops.
+var (
+	obsEncode      = obs.NewTimer("wiot.frame.encode")
+	obsDecode      = obs.NewTimer("wiot.frame.decode")
+	obsWireBytes   = obs.NewCounter("wiot.frame.wireBytes")
+	obsFramesCoded = obs.NewCounter("wiot.frame.framesCoded")
 )
 
 // SensorID identifies a physiological channel.
@@ -73,6 +84,8 @@ func EncodedSize(n int) int { return 1 + 1 + 4 + 2 + 4*n }
 
 // Encode serializes the frame.
 func (f *Frame) Encode() ([]byte, error) {
+	span := obsEncode.Start()
+	defer span.End()
 	if !f.Sensor.Valid() {
 		return nil, fmt.Errorf("%w: %d", ErrBadSensor, f.Sensor)
 	}
@@ -86,12 +99,16 @@ func (f *Frame) Encode() ([]byte, error) {
 	for _, q := range f.Samples {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(q.Raw()))
 	}
+	obsFramesCoded.Add(1)
+	obsWireBytes.Add(int64(len(buf)))
 	return buf, nil
 }
 
 // DecodeFrame parses one frame from buf, returning the frame and the
 // number of bytes consumed.
 func DecodeFrame(buf []byte) (Frame, int, error) {
+	span := obsDecode.Start()
+	defer span.End()
 	if len(buf) < EncodedSize(0) {
 		return Frame{}, 0, ErrShortFrame
 	}

@@ -56,7 +56,7 @@ func ServeTCP(ctx context.Context, lis net.Listener, station *BaseStation) (*TCP
 }
 
 func (s *TCPStation) serveConn(conn net.Conn) {
-	defer conn.Close()
+	defer func() { _ = conn.Close() }()
 	for {
 		f, err := ReadFrame(conn)
 		if err != nil {
