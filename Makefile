@@ -7,7 +7,7 @@ GO ?= go
 # Coverage floor (percent) enforced on the packages PR 1 race-proofed.
 COVER_FLOOR ?= 85.0
 
-.PHONY: check vet build test race fuzz fleet-demo lint cover bench bench-check
+.PHONY: check vet build test race fuzz fuzz-verify fleet-demo lint lint-custom vuln cover bench bench-check
 
 check: vet build race
 
@@ -31,6 +31,12 @@ race:
 fuzz:
 	$(GO) test ./internal/wiot/ -fuzz FuzzFrameRoundTrip -fuzztime 30s
 
+# Differential fuzz: vmlint's static verdicts against the interpreter's
+# actual behaviour. Minimization is capped so wall time goes to new
+# inputs rather than shrinking 2 KB detector mutants.
+fuzz-verify:
+	$(GO) test ./internal/amulet/ -run '^$$' -fuzz FuzzVerifyVsRun -fuzztime 30s -fuzzminimizetime 2s
+
 # The acceptance demo: 12 wearers streaming concurrently over a lossy
 # link, with the metrics snapshot printed at the end.
 fleet-demo:
@@ -44,6 +50,20 @@ lint:
 	else \
 		echo "golangci-lint not installed; falling back to go vet"; \
 		$(GO) vet ./...; \
+	fi
+
+# The repo's own analyzers (opcomplete, detrand, spanend, qmisuse) —
+# needs nothing beyond the go toolchain, so it always runs.
+lint-custom:
+	$(GO) run ./cmd/wiotlint ./...
+
+# Known-vulnerability scan; skipped gracefully where the scanner (or the
+# network to install it) is unavailable.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
 # Enforce the coverage floor on the packages the fleet work hardened.

@@ -14,6 +14,7 @@ import (
 	"github.com/wiot-security/sift/internal/portrait"
 	"github.com/wiot-security/sift/internal/sift"
 	"github.com/wiot-security/sift/internal/svm"
+	"github.com/wiot-security/sift/internal/vmlint"
 	"github.com/wiot-security/sift/internal/wiot"
 )
 
@@ -38,6 +39,9 @@ func allSuites() []suite {
 	suites = append(suites, codecSuite("codec/encode"), codecSuite("codec/decode"))
 	for _, w := range []int{1, 4, 8} {
 		suites = append(suites, fleetSuite(w))
+	}
+	for _, v := range features.Versions {
+		suites = append(suites, vmlintSuite(v))
 	}
 	return suites
 }
@@ -303,6 +307,43 @@ func fleetSuite(workers int) suite {
 				return Result{}, err
 			}
 			res.Extra = map[string]float64{"workers": float64(workers), "cohort": float64(fix.scenarios)}
+			return res, nil
+		},
+	}
+}
+
+// vmlintSuite prices static verification itself: one op is a full
+// vmlint.Analyze of a detector's bytecode — the cost every Assemble now
+// pays at build time. Extra carries the statically proven envelope so a
+// benchmark report doubles as a resource-bound audit trail.
+func vmlintSuite(v features.Version) suite {
+	name := "vmlint/" + v.String()
+	return suite{
+		name:     name,
+		describe: fmt.Sprintf("static bytecode verification of the %s detector", v),
+		run: func(cfg runConfig, quick bool) (Result, error) {
+			p, err := program.Build(v)
+			if err != nil {
+				return Result{}, err
+			}
+			op := func() error {
+				rep := vmlint.Analyze(p)
+				if errs := rep.Errs(); len(errs) > 0 {
+					return fmt.Errorf("%s failed verification: %v", p.Name, errs[0])
+				}
+				return nil
+			}
+			res, err := measure(name, "verifies/sec", cfg, 0, 1, op)
+			if err != nil {
+				return Result{}, err
+			}
+			rep := vmlint.Analyze(p)
+			res.Extra = map[string]float64{
+				"codeBytes":    float64(len(p.Code)),
+				"staticStack":  float64(rep.MaxStack),
+				"staticSRAM":   float64(rep.SRAMBytes()),
+				"staticCycles": float64(rep.StaticCycles),
+			}
 			return res, nil
 		},
 	}

@@ -23,6 +23,7 @@ import (
 func ParseAsm(name, src string, dataWords int) (*Program, error) {
 	b := NewBuilder()
 	for lineNo, raw := range strings.Split(src, "\n") {
+		b.AtLine(lineNo + 1)
 		line := stripComment(raw)
 		line = strings.TrimSpace(line)
 		if line == "" {
@@ -39,11 +40,17 @@ func ParseAsm(name, src string, dataWords int) (*Program, error) {
 		fields := strings.Fields(line)
 		op, ok := opByName(fields[0])
 		if !ok {
-			return nil, fmt.Errorf("amulet: line %d: unknown mnemonic %q", lineNo+1, fields[0])
+			return nil, diagErr(name, Diagnostic{
+				Line: lineNo + 1, Offset: -1, Mnemonic: fields[0],
+				Class: "syntax", Msg: fmt.Sprintf("unknown mnemonic %q", fields[0]),
+			})
 		}
 		operands := fields[1:]
 		if err := emit(b, op, operands); err != nil {
-			return nil, fmt.Errorf("amulet: line %d: %w", lineNo+1, err)
+			return nil, diagErr(name, Diagnostic{
+				Line: lineNo + 1, Offset: -1, Mnemonic: op.String(),
+				Class: "syntax", Msg: err.Error(),
+			})
 		}
 	}
 	return b.Assemble(name, dataWords)

@@ -21,6 +21,21 @@ type Program struct {
 	UsesSoftFloat bool // software IEEE-754 emulation
 	UsesLibm      bool // transcendental routines (sqrt/atan2)
 	UsesFixMath   bool // fixed-point multiply/divide/sqrt helpers
+
+	// SrcLines maps code offsets to 1-based assembly source lines when the
+	// program came through ParseAsm (or a Builder that called AtLine).
+	// Diagnostic-only: it is nil for generated programs and does not
+	// survive EncodeImage/DecodeImage.
+	SrcLines map[int]int
+}
+
+// SourceLine returns the assembly source line of the instruction at the
+// given code offset, or 0 when unknown.
+func (p *Program) SourceLine(offset int) int {
+	if p.SrcLines == nil {
+		return 0
+	}
+	return p.SrcLines[offset]
 }
 
 // CodeSize returns the program's VM encoding size in bytes.
@@ -52,15 +67,21 @@ type Builder struct {
 	code   []byte
 	labels map[string]int
 	fixups []fixup
-	errs   []error
+	errs   []Diagnostic
 
 	usesFloat, usesLibm, usesFix bool
 	autoLabel                    int
+
+	srcLine  int         // current assembly source line (AtLine), 0 = untracked
+	lineAt   map[int]int // code offset → source line
+	noVerify bool
 }
 
 type fixup struct {
 	at    int // offset of the 2-byte operand to patch
 	label string
+	line  int // source line of the branch (0 = untracked)
+	mnem  string
 }
 
 // NewBuilder creates an empty assembler.
@@ -68,17 +89,52 @@ func NewBuilder() *Builder {
 	return &Builder{labels: make(map[string]int)}
 }
 
-func (b *Builder) fail(format string, args ...any) {
-	b.errs = append(b.errs, fmt.Errorf(format, args...))
+// AtLine records the assembly source line the following emissions came
+// from, so diagnostics (including post-assembly verifier findings) can
+// point back at the source instead of bare code offsets.
+func (b *Builder) AtLine(line int) *Builder {
+	b.srcLine = line
+	return b
+}
+
+// NoVerify opts this assembly out of the registered static verifier —
+// the escape hatch the bytecode fuzzers use to produce deliberately
+// invalid programs for the interpreter's own error paths.
+func (b *Builder) NoVerify() *Builder {
+	b.noVerify = true
+	return b
+}
+
+// mark records the source line of the instruction about to be emitted at
+// the current code offset.
+func (b *Builder) mark() {
+	if b.srcLine <= 0 {
+		return
+	}
+	if b.lineAt == nil {
+		b.lineAt = make(map[int]int)
+	}
+	b.lineAt[len(b.code)] = b.srcLine
+}
+
+func (b *Builder) fail(class, mnem, format string, args ...any) {
+	b.errs = append(b.errs, Diagnostic{
+		Line:     b.srcLine,
+		Offset:   len(b.code),
+		Mnemonic: mnem,
+		Class:    class,
+		Msg:      fmt.Sprintf(format, args...),
+	})
 }
 
 // Op emits a zero-operand instruction.
 func (b *Builder) Op(op Op) *Builder {
 	if !op.Valid() || op.OperandBytes() != 0 {
-		b.fail("amulet: op %v cannot be emitted without operands", op)
+		b.fail("syntax", op.String(), "op %v cannot be emitted without operands", op)
 		return b
 	}
 	b.note(op)
+	b.mark()
 	b.code = append(b.code, byte(op))
 	return b
 }
@@ -97,6 +153,7 @@ func (b *Builder) note(op Op) {
 
 // Push emits a raw 32-bit immediate push.
 func (b *Builder) Push(v int32) *Builder {
+	b.mark()
 	b.code = append(b.code, byte(OpPush))
 	b.code = binary.LittleEndian.AppendUint32(b.code, uint32(v))
 	return b
@@ -119,9 +176,10 @@ func (b *Builder) StoreL(idx int) *Builder { return b.localOp(OpStoreL, idx) }
 
 func (b *Builder) localOp(op Op, idx int) *Builder {
 	if idx < 0 || idx >= MaxLocals {
-		b.fail("amulet: local index %d outside [0,%d)", idx, MaxLocals)
+		b.fail("local-range", op.String(), "local index %d outside [0,%d)", idx, MaxLocals)
 		return b
 	}
+	b.mark()
 	b.code = append(b.code, byte(op), byte(idx))
 	return b
 }
@@ -129,7 +187,7 @@ func (b *Builder) localOp(op Op, idx int) *Builder {
 // Label binds a name to the current code offset.
 func (b *Builder) Label(name string) *Builder {
 	if _, dup := b.labels[name]; dup {
-		b.fail("amulet: duplicate label %q", name)
+		b.fail("label", "", "duplicate label %q", name)
 		return b
 	}
 	b.labels[name] = len(b.code)
@@ -142,12 +200,12 @@ func (b *Builder) Label(name string) *Builder {
 func (b *Builder) BindLabelAt(name string, offset int) *Builder {
 	if prev, dup := b.labels[name]; dup {
 		if prev != offset {
-			b.fail("amulet: label %q rebound from %d to %d", name, prev, offset)
+			b.fail("label", "", "label %q rebound from %d to %d", name, prev, offset)
 		}
 		return b
 	}
 	if offset < 0 {
-		b.fail("amulet: label %q bound to negative offset %d", name, offset)
+		b.fail("label", "", "label %q bound to negative offset %d", name, offset)
 		return b
 	}
 	b.labels[name] = offset
@@ -167,8 +225,9 @@ func (b *Builder) Jnz(label string) *Builder  { return b.branch(OpJnz, label) }
 func (b *Builder) Call(label string) *Builder { return b.branch(OpCall, label) }
 
 func (b *Builder) branch(op Op, label string) *Builder {
+	b.mark()
 	b.code = append(b.code, byte(op))
-	b.fixups = append(b.fixups, fixup{at: len(b.code), label: label})
+	b.fixups = append(b.fixups, fixup{at: len(b.code), label: label, line: b.srcLine, mnem: op.String()})
 	b.code = append(b.code, 0, 0)
 	return b
 }
@@ -204,34 +263,68 @@ func (b *Builder) If(then func(*Builder), otherwise func(*Builder)) *Builder {
 	return b
 }
 
-// Assemble resolves branches and returns the finished program.
+// verifyHook is the registered static bytecode verifier, installed by
+// RegisterVerifier (internal/vmlint registers via the program package).
+// Registration must happen at init time, before any concurrent assembly.
+var verifyHook func(*Program) error
+
+// RegisterVerifier installs a static verifier that Assemble runs on every
+// finished program (unless the builder opted out with NoVerify). The
+// verifier's error is expected to be a *DiagError so assembler and
+// verifier findings surface through one type.
+func RegisterVerifier(f func(*Program) error) { verifyHook = f }
+
+// Assemble resolves branches, runs the registered static verifier (unless
+// NoVerify was set), and returns the finished program. All label
+// resolution errors are collected, not just the first.
 func (b *Builder) Assemble(name string, dataWords int) (*Program, error) {
-	if len(b.errs) > 0 {
-		return nil, fmt.Errorf("amulet: assemble %q: %w", name, b.errs[0])
-	}
+	diags := append([]Diagnostic(nil), b.errs...)
 	if dataWords < 0 {
-		return nil, fmt.Errorf("amulet: assemble %q: negative data segment", name)
+		diags = append(diags, Diagnostic{Offset: -1, Class: "data", Msg: "negative data segment"})
 	}
 	code := make([]byte, len(b.code))
 	copy(code, b.code)
 	for _, fx := range b.fixups {
 		target, ok := b.labels[fx.label]
 		if !ok {
-			return nil, fmt.Errorf("amulet: assemble %q: undefined label %q", name, fx.label)
+			diags = append(diags, Diagnostic{
+				Line: fx.line, Offset: fx.at - 1, Mnemonic: fx.mnem,
+				Class: "label", Msg: fmt.Sprintf("undefined label %q", fx.label),
+			})
+			continue
 		}
 		if target > 0xFFFF {
-			return nil, fmt.Errorf("amulet: assemble %q: label %q offset %d exceeds 16-bit range", name, fx.label, target)
+			diags = append(diags, Diagnostic{
+				Line: fx.line, Offset: fx.at - 1, Mnemonic: fx.mnem,
+				Class: "label", Msg: fmt.Sprintf("label %q offset %d exceeds 16-bit range", fx.label, target),
+			})
+			continue
 		}
 		binary.LittleEndian.PutUint16(code[fx.at:], uint16(target))
 	}
-	return &Program{
+	if len(diags) > 0 {
+		return nil, &DiagError{Name: name, Diags: diags}
+	}
+	p := &Program{
 		Name:          name,
 		Code:          code,
 		DataWords:     dataWords,
 		UsesSoftFloat: b.usesFloat,
 		UsesLibm:      b.usesLibm,
 		UsesFixMath:   b.usesFix,
-	}, nil
+	}
+	if b.lineAt != nil {
+		p.SrcLines = make(map[int]int, len(b.lineAt))
+		for off, line := range b.lineAt {
+			p.SrcLines[off] = line
+		}
+	}
+	if verifyHook != nil && !b.noVerify {
+		if err := verifyHook(p); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
 }
 
 // Disassemble renders the program's code as one instruction per line,

@@ -1,0 +1,66 @@
+package amulet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagnostic is one assembler or verifier finding with enough source
+// context to act on: the assembly source line (when the program came
+// through ParseAsm or a line-tracking Builder), the code offset, and the
+// mnemonic of the offending instruction. The same type carries syntax
+// errors, label-resolution errors, and static-verification (vmlint)
+// findings, so every failure mode of the firmware toolchain reports
+// uniformly.
+type Diagnostic struct {
+	Line     int    // 1-based assembly source line; 0 when built programmatically
+	Offset   int    // code offset of the offending instruction; -1 when unknown
+	Mnemonic string // mnemonic of the offending instruction; "" when unknown
+	Class    string // finding class, e.g. "syntax", "label", "stack-underflow"
+	Msg      string
+}
+
+// Error renders the diagnostic with whatever context it has:
+//
+//	line 12: jz (offset 0x0008): undefined label "done"
+func (d Diagnostic) Error() string {
+	var b strings.Builder
+	if d.Line > 0 {
+		fmt.Fprintf(&b, "line %d: ", d.Line)
+	}
+	switch {
+	case d.Mnemonic != "" && d.Offset >= 0:
+		fmt.Fprintf(&b, "%s (offset 0x%04x): ", d.Mnemonic, d.Offset)
+	case d.Mnemonic != "":
+		fmt.Fprintf(&b, "%s: ", d.Mnemonic)
+	case d.Offset >= 0:
+		fmt.Fprintf(&b, "offset 0x%04x: ", d.Offset)
+	}
+	b.WriteString(d.Msg)
+	return b.String()
+}
+
+// DiagError aggregates the diagnostics of one failed assembly or
+// verification. It always holds at least one Diagnostic.
+type DiagError struct {
+	Name  string // program name
+	Diags []Diagnostic
+}
+
+// Error reports the first diagnostic plus the count of any others, in the
+// same "amulet: assemble ..." shape the pre-diagnostic errors used.
+func (e *DiagError) Error() string {
+	if len(e.Diags) == 0 {
+		return fmt.Sprintf("amulet: assemble %q failed", e.Name)
+	}
+	msg := fmt.Sprintf("amulet: assemble %q: %s", e.Name, e.Diags[0].Error())
+	if n := len(e.Diags) - 1; n > 0 {
+		msg += fmt.Sprintf(" (and %d more)", n)
+	}
+	return msg
+}
+
+// diagErr builds a single-diagnostic error.
+func diagErr(name string, d Diagnostic) error {
+	return &DiagError{Name: name, Diags: []Diagnostic{d}}
+}

@@ -45,7 +45,7 @@ func TestRandomValidOpcodesNeverPanic(t *testing.T) {
 		}
 	}
 	for trial := 0; trial < 500; trial++ {
-		b := NewBuilder()
+		b := NewBuilder().NoVerify()
 		steps := 1 + rng.Intn(60)
 		for s := 0; s < steps; s++ {
 			op := ops[rng.Intn(len(ops))]
@@ -86,7 +86,7 @@ func TestRandomValidOpcodesNeverPanic(t *testing.T) {
 func TestQuickUsageNeverExceedsLimits(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		b := NewBuilder()
+		b := NewBuilder().NoVerify()
 		for s := 0; s < 30; s++ {
 			switch rng.Intn(4) {
 			case 0:

@@ -224,6 +224,54 @@ func (op Op) FootprintBytes() int {
 	}
 }
 
+// StackEffect returns the operand-stack pops and pushes of one execution
+// of op. Dup and Over re-push slots they inspect, so their pop count is
+// the depth the VM requires before executing them; the transient depth of
+// any opcode never exceeds the post-execution depth, which makes these
+// numbers sufficient for a sound static stack-depth analysis (vmlint).
+//
+//wiotlint:exhaustive
+func (op Op) StackEffect() (pops, pushes int) {
+	switch op {
+	case OpHalt, OpJmp, OpRet, OpCall:
+		return 0, 0
+	case OpPush, OpLoadL:
+		return 0, 1
+	case OpStoreL, OpDrop, OpJz, OpJnz:
+		return 1, 0
+	case OpLoadM, OpNeg, OpAbs, OpSqrtQ, OpFSqrt,
+		OpItoQ, OpQtoI, OpItoF, OpFtoI, OpQtoF, OpFtoQ:
+		return 1, 1
+	case OpStoreM:
+		return 2, 0
+	case OpDup:
+		return 1, 2
+	case OpSwap:
+		return 2, 2
+	case OpOver:
+		return 2, 3
+	case OpAdd, OpSub, OpMin, OpMax, OpMulI, OpDivI,
+		OpMulQ, OpDivQ, OpAtan2Q,
+		OpFAdd, OpFSub, OpFMul, OpFDiv, OpFAtan2, OpFMin, OpFMax,
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 2, 1
+	}
+	return 0, 0
+}
+
+// Opcodes returns every defined opcode in numeric order — the iteration
+// surface external tooling (verifier, fuzzers) uses instead of the
+// unexported opCount sentinel.
+func Opcodes() []Op {
+	ops := make([]Op, 0, int(opCount))
+	for op := Op(0); op < opCount; op++ {
+		if op.Valid() {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
 // isFloatOp reports whether op belongs to the software-float group (which
 // drags the soft-float library into the FRAM footprint).
 func (op Op) isFloatOp() bool {

@@ -1,0 +1,17 @@
+package program
+
+import (
+	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/vmlint"
+)
+
+// Static verification is wired in at assembly time: importing this
+// package (everything that builds firmware does) makes amulet.Assemble
+// reject programs that fail vmlint — bad control flow, unbalanced or
+// overflowing operand stacks, recursion, mixed-group arithmetic — before
+// they can ever be flashed onto a device. Builders that need to produce
+// deliberately broken bytecode (the interpreter fuzzers) opt out with
+// Builder.NoVerify.
+func init() {
+	amulet.RegisterVerifier(vmlint.Verify)
+}

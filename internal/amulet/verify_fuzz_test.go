@@ -1,0 +1,103 @@
+package amulet_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/amulet/program"
+	"github.com/wiot-security/sift/internal/features"
+	"github.com/wiot-security/sift/internal/vmlint"
+)
+
+// fuzzBudget bounds each fuzz execution; looping programs hit
+// ErrOutOfCycles, which the verifier does not (and cannot) rule out.
+const fuzzBudget = 200_000
+
+// verifierForbids are the VM faults static verification claims to have
+// ruled out: a verified program that still trips one of these is a
+// soundness bug in vmlint, the prize the differential fuzzer hunts.
+// ErrOutOfCycles and ErrBadAddress stay allowed — cycle budgets are a
+// caller policy and data addresses are runtime values.
+var verifierForbids = []error{
+	amulet.ErrBadOpcode,
+	amulet.ErrBadPC,
+	amulet.ErrStackUnderflow,
+	amulet.ErrStackOverflow,
+	amulet.ErrCallDepth,
+}
+
+// FuzzVerifyVsRun cross-checks vmlint against the interpreter: any input
+// the verifier accepts must run without the faults the verifier claims to
+// exclude, and the run's measured resource peaks must stay within the
+// statically proven bounds.
+func FuzzVerifyVsRun(f *testing.F) {
+	seed := func(p *amulet.Program, err error) {
+		if err == nil {
+			f.Add(p.Code, uint8(p.DataWords))
+		}
+	}
+	for _, v := range features.Versions {
+		seed(program.Build(v))
+	}
+	seed(program.BuildPedometer())
+	seed(program.BuildRPeakDetector())
+
+	// Handcrafted shapes steering the mutator at interesting structure.
+	halt := byte(amulet.OpHalt)
+	f.Add([]byte{halt}, uint8(0))
+	f.Add([]byte{byte(amulet.OpPush), 1, 0, 0, 0, byte(amulet.OpDrop), halt}, uint8(0))
+	// call 0x0005; halt; push; ret — one clean subroutine.
+	f.Add([]byte{
+		byte(amulet.OpCall), 5, 0, halt, 0,
+		byte(amulet.OpPush), 7, 0, 0, 0, byte(amulet.OpRet),
+	}, uint8(0))
+	// push 2; dup; jnz back over itself — a loop that burns the budget.
+	f.Add([]byte{
+		byte(amulet.OpPush), 2, 0, 0, 0,
+		byte(amulet.OpDup), byte(amulet.OpJnz), 5, 0, halt,
+	}, uint8(0))
+	// storem/loadm against a small data segment.
+	f.Add([]byte{
+		byte(amulet.OpPush), 0, 0, 0, 0,
+		byte(amulet.OpPush), 42, 0, 0, 0,
+		byte(amulet.OpStoreM), halt,
+	}, uint8(4))
+	// Rejects: jump into an operand, bare underflow, truncated push.
+	f.Add([]byte{byte(amulet.OpJmp), 2, 0, 0, halt}, uint8(0))
+	f.Add([]byte{byte(amulet.OpAdd), halt}, uint8(0))
+	f.Add([]byte{byte(amulet.OpPush), 1}, uint8(0))
+
+	f.Fuzz(func(t *testing.T, code []byte, dataWords uint8) {
+		p := &amulet.Program{Name: "fuzz", Code: code, DataWords: int(dataWords)}
+		rep := vmlint.Analyze(p)
+		if len(rep.Errs()) > 0 {
+			return // rejected: nothing claimed about this input
+		}
+
+		vm, err := amulet.NewVM(p, make([]int32, int(dataWords)))
+		if err != nil {
+			t.Fatalf("verified program rejected by NewVM: %v", err)
+		}
+		runErr := vm.Run(fuzzBudget)
+		for _, forbidden := range verifierForbids {
+			if errors.Is(runErr, forbidden) {
+				t.Fatalf("verifier accepted %x but the VM faulted: %v", code, runErr)
+			}
+		}
+
+		u := vm.Usage()
+		if u.MaxStack > rep.MaxStack {
+			t.Fatalf("measured stack peak %d exceeds static bound %d (code %x)", u.MaxStack, rep.MaxStack, code)
+		}
+		if u.MaxLocals > rep.MaxLocals {
+			t.Fatalf("measured locals %d exceed static bound %d (code %x)", u.MaxLocals, rep.MaxLocals, code)
+		}
+		if u.MaxCall > rep.CallDepth {
+			t.Fatalf("measured call depth %d exceeds static bound %d (code %x)", u.MaxCall, rep.CallDepth, code)
+		}
+		if rep.LoopFree && runErr == nil && u.Cycles > rep.StaticCycles {
+			t.Fatalf("loop-free static cycle bound %d below measured %d (code %x)", rep.StaticCycles, u.Cycles, code)
+		}
+	})
+}

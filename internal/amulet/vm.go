@@ -39,6 +39,7 @@ var (
 	ErrBadAddress     = errors.New("amulet: data address out of range")
 	ErrBadOpcode      = errors.New("amulet: invalid opcode")
 	ErrCallDepth      = errors.New("amulet: call stack overflow")
+	ErrBadPC          = errors.New("amulet: pc outside code")
 )
 
 // Usage captures the resource telemetry of one program run — the numbers
@@ -140,7 +141,7 @@ func (vm *VM) Run(maxCycles uint64) error {
 	code := vm.prog.Code
 	for {
 		if vm.pc < 0 || vm.pc >= len(code) {
-			return fmt.Errorf("amulet: pc %d outside code of %d bytes", vm.pc, len(code))
+			return fmt.Errorf("%w: pc %d of %d bytes", ErrBadPC, vm.pc, len(code))
 		}
 		op := Op(code[vm.pc])
 		if !op.Valid() {
@@ -153,6 +154,7 @@ func (vm *VM) Run(maxCycles uint64) error {
 		}
 		next := vm.pc + 1 + op.OperandBytes()
 
+		//wiotlint:exhaustive
 		switch op {
 		case OpHalt:
 			return nil

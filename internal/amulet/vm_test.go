@@ -286,7 +286,7 @@ func TestRetAtDepthZeroHalts(t *testing.T) {
 
 func TestRuntimeErrors(t *testing.T) {
 	run := func(build func(*Builder), data []int32, words int) error {
-		b := NewBuilder()
+		b := NewBuilder().NoVerify()
 		build(b)
 		b.Op(OpHalt)
 		p, err := b.Assemble("err", words)
@@ -335,7 +335,7 @@ func TestCycleBudgetEnforced(t *testing.T) {
 }
 
 func TestCallDepthLimit(t *testing.T) {
-	b := NewBuilder()
+	b := NewBuilder().NoVerify()
 	b.Label("rec").Call("rec")
 	p, err := b.Assemble("rec", 0)
 	if err != nil {

@@ -1,0 +1,153 @@
+// Package analysistest runs internal/analysis analyzers over fixture
+// packages under testdata and checks their findings against expectations
+// embedded in the fixtures — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, scaled down to what the
+// repo's analyzers need.
+//
+// An expectation is a comment of the form
+//
+//	// want "regex"
+//	// want "regex1" "regex2"
+//
+// on the line a diagnostic is expected. Each quoted pattern must match
+// the message of exactly one diagnostic reported on that line; findings
+// with no matching want, and wants with no matching finding, both fail
+// the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/analysis"
+)
+
+// want is one expectation: a pattern anchored to a file line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var (
+	wantRe  = regexp.MustCompile(`//\s*want\s+(".*)$`)
+	quoteRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// Run loads the fixture package in dir (absolute, or relative to the test
+// binary's working directory), runs the analyzers over it, and compares
+// the diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	root, err := moduleRoot(abs)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader := analysis.NewLoader(root)
+	pkg, err := loader.LoadDir(abs)
+	if err != nil {
+		t.Fatalf("analysistest: load %s: %v", dir, err)
+	}
+	diags, err := pkg.Run(analyzers...)
+	if err != nil {
+		t.Fatalf("analysistest: run: %v", err)
+	}
+
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// pattern matches the message.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts want expectations from every comment of the
+// loaded fixture package.
+func collectWants(pkg *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ws, err := parseWant(pkg, c)
+				if err != nil {
+					return nil, err
+				}
+				wants = append(wants, ws...)
+			}
+		}
+	}
+	return wants, nil
+}
+
+func parseWant(pkg *analysis.Package, c *ast.Comment) ([]*want, error) {
+	m := wantRe.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil, nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var wants []*want
+	for _, q := range quoteRe.FindAllString(m[1], -1) {
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, q, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, lit, err)
+		}
+		wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+	}
+	if len(wants) == 0 {
+		return nil, fmt.Errorf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+	}
+	return wants, nil
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod, so the
+// loader can resolve the fixture's intra-module imports.
+func moduleRoot(dir string) (string, error) {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

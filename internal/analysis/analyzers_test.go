@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/analysis"
+	"github.com/wiot-security/sift/internal/analysis/analysistest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestOpComplete(t *testing.T) {
+	analysistest.Run(t, fixture("opcomplete"), analysis.OpComplete)
+}
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, fixture("physio"), analysis.DetRand)
+}
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, fixture("spans"), analysis.SpanEnd)
+}
+
+func TestQMisuse(t *testing.T) {
+	analysistest.Run(t, fixture("qarith"), analysis.QMisuse)
+}
+
+// TestAllOverFixtures runs the full analyzer set over each fixture: the
+// wants in one fixture must hold when the other analyzers run too (no
+// cross-analyzer false positives on the fixtures).
+func TestAllOverFixtures(t *testing.T) {
+	for _, name := range []string{"opcomplete", "physio", "spans", "qarith"} {
+		t.Run(name, func(t *testing.T) {
+			analysistest.Run(t, fixture(name), analysis.All()...)
+		})
+	}
+}

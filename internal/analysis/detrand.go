@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// DetRand polices the determinism contract of the simulation packages:
+// fleet results must be bit-identical for a given BaseSeed regardless of
+// worker count, and physio/experiments outputs must reproduce across
+// hosts. Wall-clock reads (time.Now and friends) and the process-global
+// math/rand source (rand.Intn etc., seeded from runtime entropy) both
+// break that, usually long after the code merges. Explicitly seeded
+// generators — rand.New(rand.NewSource(seed)) — are the sanctioned
+// pattern and stay allowed.
+//
+// Wall-clock telemetry that never feeds simulation state (latency
+// histograms) is suppressed at the call site with //wiotlint:allow
+// detrand.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock and process-global randomness in deterministic packages (physio, fleet, experiments)",
+	Run:  runDetRand,
+}
+
+// deterministicPackages names the packages under the reproducibility
+// contract.
+var deterministicPackages = map[string]bool{
+	"physio":      true,
+	"fleet":       true,
+	"experiments": true,
+}
+
+// bannedTime are the wall-clock entry points of package time.
+var bannedTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// allowedRand are math/rand functions that construct explicitly seeded
+// state instead of touching the global source.
+var allowedRand = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2 seeded constructors
+	"NewChaCha8": true,
+}
+
+func runDetRand(pass *Pass) error {
+	if !deterministicPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	// Iterate resolved uses rather than call expressions so passing
+	// time.Now as a value is caught the same as calling it.
+	type use struct {
+		pos  token.Pos
+		name string
+		via  string
+	}
+	var uses []use
+	for ident, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if bannedTime[fn.Name()] {
+				uses = append(uses, use{ident.Pos(), fn.Name(), "time"})
+			}
+		case "math/rand", "math/rand/v2":
+			if !allowedRand[fn.Name()] {
+				uses = append(uses, use{ident.Pos(), fn.Name(), fn.Pkg().Path()})
+			}
+		}
+	}
+	sort.Slice(uses, func(i, j int) bool { return uses[i].pos < uses[j].pos })
+	for _, u := range uses {
+		switch u.via {
+		case "time":
+			pass.Reportf(u.pos, "time.%s in deterministic package %s: wall-clock state breaks seeded reproducibility", u.name, pass.Pkg.Name())
+		default:
+			pass.Reportf(u.pos, "%s.%s uses the process-global random source in deterministic package %s: use rand.New(rand.NewSource(seed))", u.via, u.name, pass.Pkg.Name())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// OpComplete verifies the exhaustiveness opt-ins: a switch statement or a
+// keyed composite literal (array or map indexed by named constants)
+// annotated with //wiotlint:exhaustive must cover every exported
+// constant of the switched named type. The amulet ISA relies on this: the
+// VM dispatch switch, Op.StackEffect, and the opTable literal must all
+// track opCount, and a new opcode that misses one of them becomes a lint
+// failure instead of a silent runtime ErrBadOpcode or a zero-cost
+// instruction.
+//
+// Unexported constants of the type (sentinels like opCount) are excluded
+// from the universe, which is exactly what makes them usable as
+// sentinels.
+var OpComplete = &Analyzer{
+	Name: "opcomplete",
+	Doc:  "check //wiotlint:exhaustive switches and tables against the full constant set of their type",
+	Run:  runOpComplete,
+}
+
+const exhaustiveMarker = "wiotlint:exhaustive"
+
+func runOpComplete(pass *Pass) error {
+	for _, file := range pass.Files {
+		markers := markerLines(file, exhaustiveMarker)
+		if len(markers) == 0 {
+			continue
+		}
+		// Candidate targets in position order: switch statements and
+		// keyed composite literals.
+		var cands []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				cands = append(cands, n)
+			case *ast.CompositeLit:
+				if isKeyedLit(n) {
+					cands = append(cands, n)
+				}
+			}
+			return true
+		})
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Pos() < cands[j].Pos() })
+
+		for _, m := range markers {
+			var target ast.Node
+			for _, c := range cands {
+				if c.Pos() > m {
+					target = c
+					break
+				}
+			}
+			if target == nil {
+				pass.Reportf(m, "dangling //%s marker: no switch or keyed literal follows it", exhaustiveMarker)
+				continue
+			}
+			switch n := target.(type) {
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CompositeLit:
+				checkLiteral(pass, n)
+			}
+		}
+	}
+	return nil
+}
+
+// markerLines returns the position of each directive-form marker
+// comment: the marker must directly follow // with no space (the Go
+// directive convention), so prose mentioning the marker is inert.
+func markerLines(file *ast.File, marker string) []token.Pos {
+	var out []token.Pos
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//"+marker)
+			if ok && (rest == "" || strings.HasPrefix(rest, " ") || strings.HasPrefix(rest, "\t")) {
+				out = append(out, c.Slash)
+			}
+		}
+	}
+	return out
+}
+
+func isKeyedLit(lit *ast.CompositeLit) bool {
+	if len(lit.Elts) == 0 {
+		return false
+	}
+	for _, e := range lit.Elts {
+		if _, ok := e.(*ast.KeyValueExpr); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		pass.Reportf(sw.Pos(), "exhaustive marker on a tagless switch: nothing to enumerate")
+		return
+	}
+	named := namedType(pass.Info.TypeOf(sw.Tag))
+	if named == nil {
+		pass.Reportf(sw.Pos(), "exhaustive marker on a switch over a non-named type %v", pass.Info.TypeOf(sw.Tag))
+		return
+	}
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range clause.List {
+			if tv, ok := pass.Info.Types[expr]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	reportMissing(pass, sw.Pos(), "switch", named, covered)
+}
+
+func checkLiteral(pass *Pass, lit *ast.CompositeLit) {
+	var named *types.Named
+	covered := make(map[string]bool)
+	for _, e := range lit.Elts {
+		kv := e.(*ast.KeyValueExpr)
+		tv, ok := pass.Info.Types[kv.Key]
+		if !ok || tv.Value == nil {
+			continue
+		}
+		if named == nil {
+			named = namedType(tv.Type)
+		}
+		covered[tv.Value.ExactString()] = true
+	}
+	if named == nil {
+		pass.Reportf(lit.Pos(), "exhaustive marker on a literal without named-constant keys")
+		return
+	}
+	reportMissing(pass, lit.Pos(), "table", named, covered)
+}
+
+// reportMissing compares covered constant values against the universe of
+// exported constants of the named type and reports the gap.
+func reportMissing(pass *Pass, pos token.Pos, kind string, named *types.Named, covered map[string]bool) {
+	type missing struct {
+		name string
+		val  constant.Value
+	}
+	var gaps []missing
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if !covered[c.Val().ExactString()] {
+			gaps = append(gaps, missing{name, c.Val()})
+		}
+	}
+	if len(gaps) == 0 {
+		return
+	}
+	sort.Slice(gaps, func(i, j int) bool {
+		if constant.Compare(gaps[i].val, token.NEQ, gaps[j].val) {
+			return constant.Compare(gaps[i].val, token.LSS, gaps[j].val)
+		}
+		return gaps[i].name < gaps[j].name
+	})
+	names := make([]string, len(gaps))
+	for i, g := range gaps {
+		names[i] = g.name
+	}
+	tname := named.Obj().Name()
+	if p := named.Obj().Pkg(); p != nil && p != pass.Pkg {
+		tname = p.Name() + "." + tname
+	}
+	pass.Reportf(pos, "%s over %s is not exhaustive: missing %s", kind, tname, strings.Join(names, ", "))
+}
+
+// namedType unwraps aliases and returns the named type, or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// QMisuse flags raw multiplicative arithmetic on Q16.16 fixed-point
+// values. fixedpoint.Q is an int32 whose represented value is raw/2^16,
+// so the language happily compiles q1*q2 and q1/q2 — but the product of
+// two raws carries a 2^32 scale and the quotient carries none, both
+// silently wrong by a factor of 65536. fixedpoint.Mul and fixedpoint.Div
+// perform the 64-bit rescaled (and saturating) versions.
+//
+// Additive operators are fine (the scale is linear), and multiplying or
+// dividing by an untyped constant is deliberate integer scaling (q*2,
+// q/4) and stays allowed, as do explicit int32(q) escapes.
+var QMisuse = &Analyzer{
+	Name: "qmisuse",
+	Doc:  "forbid raw * and / on two fixedpoint.Q values; use fixedpoint.Mul/Div",
+	Run:  runQMisuse,
+}
+
+func runQMisuse(pass *Pass) error {
+	// The fixedpoint package itself implements Mul/Div over raw words.
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/fixedpoint") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.MUL && n.Op != token.QUO {
+					return true
+				}
+				if bothRawQ(pass, n.X, n.Y) {
+					pass.Reportf(n.OpPos, "raw %s on two fixedpoint.Q values is off by 2^16: use fixedpoint.%s", n.Op, qFix(n.Op))
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.MUL_ASSIGN && n.Tok != token.QUO_ASSIGN {
+					return true
+				}
+				op := token.MUL
+				if n.Tok == token.QUO_ASSIGN {
+					op = token.QUO
+				}
+				if len(n.Lhs) == 1 && len(n.Rhs) == 1 && bothRawQ(pass, n.Lhs[0], n.Rhs[0]) {
+					pass.Reportf(n.TokPos, "raw %s on two fixedpoint.Q values is off by 2^16: use fixedpoint.%s", n.Tok, qFix(op))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func qFix(op token.Token) string {
+	if op == token.QUO {
+		return "Div"
+	}
+	return "Mul"
+}
+
+// bothRawQ reports whether both operands are fixedpoint.Q and neither is
+// a compile-time constant (constant operands are scale factors).
+func bothRawQ(pass *Pass, x, y ast.Expr) bool {
+	return isRawQ(pass, x) && isRawQ(pass, y)
+}
+
+func isRawQ(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	named := namedType(tv.Type)
+	if named == nil || named.Obj().Name() != "Q" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/fixedpoint")
+}

@@ -1,0 +1,64 @@
+// Package opcomplete is an analyzer fixture: a miniature ISA whose
+// dispatch sites opt into exhaustiveness checking.
+package opcomplete
+
+// Op mirrors the amulet opcode pattern: exported constants form the
+// instruction set, an unexported sentinel closes it.
+type Op int
+
+// The instruction set.
+const (
+	OpA Op = iota
+	OpB
+	OpC
+	opCount // sentinel, excluded from the universe
+)
+
+// incomplete misses OpC.
+//
+//wiotlint:exhaustive
+func incomplete(op Op) int {
+	switch op { // want "switch over Op is not exhaustive: missing OpC"
+	case OpA:
+		return 1
+	case OpB:
+		return 2
+	}
+	return 0
+}
+
+// complete covers every exported constant; the sentinel does not count.
+//
+//wiotlint:exhaustive
+func complete(op Op) int {
+	switch op {
+	case OpA:
+		return 1
+	case OpB:
+		return 2
+	case OpC:
+		return 3
+	}
+	return 0
+}
+
+// names is a keyed table missing two entries.
+//
+//wiotlint:exhaustive
+var names = map[Op]string{ // want "table over Op is not exhaustive: missing OpB, OpC"
+	OpA: "a",
+}
+
+// costs is a complete keyed table.
+//
+//wiotlint:exhaustive
+var costs = [opCount]int{
+	OpA: 1,
+	OpB: 2,
+	OpC: 3,
+}
+
+// unmarked tables are not checked.
+var unmarked = map[Op]string{OpA: "a"}
+
+var _ = []any{incomplete, complete, names, costs, unmarked}

@@ -1,0 +1,40 @@
+// Package physio is a detrand fixture: it carries the name of a
+// deterministic simulation package, so wall-clock and global-randomness
+// uses must be flagged.
+package physio
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badClock reads the wall clock twice.
+func badClock() time.Duration {
+	start := time.Now() // want "wall-clock state breaks seeded reproducibility"
+	work()
+	return time.Since(start) // want "wall-clock state breaks seeded reproducibility"
+}
+
+// badGlobalRand draws from the process-global source.
+func badGlobalRand() int {
+	return rand.Intn(6) // want "process-global random source"
+}
+
+// badFuncValue passes a banned function as a value; resolved uses catch
+// it the same as a call.
+func badFuncValue() func() time.Time {
+	return time.Now // want "wall-clock state breaks seeded reproducibility"
+}
+
+// goodSeeded uses an explicitly seeded generator, the sanctioned pattern.
+func goodSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// goodSuppressed is telemetry that never feeds simulation state.
+func goodSuppressed() time.Time {
+	return time.Now() //wiotlint:allow detrand
+}
+
+func work() {}

@@ -1,0 +1,50 @@
+// Package qarith is a qmisuse fixture: raw multiplicative arithmetic on
+// Q16.16 values versus the sanctioned forms.
+package qarith
+
+import "github.com/wiot-security/sift/internal/fixedpoint"
+
+// badProduct multiplies two raw Q values: the result carries a 2^32
+// scale.
+func badProduct(a, b fixedpoint.Q) fixedpoint.Q {
+	return a * b // want "use fixedpoint.Mul"
+}
+
+// badQuotient divides two raw Q values: the scale cancels entirely.
+func badQuotient(a, b fixedpoint.Q) fixedpoint.Q {
+	return a / b // want "use fixedpoint.Div"
+}
+
+// badCompound covers the assignment operators.
+func badCompound(a, b fixedpoint.Q) fixedpoint.Q {
+	a *= b // want "use fixedpoint.Mul"
+	a /= b // want "use fixedpoint.Div"
+	return a
+}
+
+// goodRescaled uses the 64-bit rescaling helpers.
+func goodRescaled(a, b fixedpoint.Q) fixedpoint.Q {
+	return fixedpoint.Mul(a, b)
+}
+
+// goodConstantScale multiplies by an untyped constant: deliberate
+// integer scaling, the linear case.
+func goodConstantScale(a fixedpoint.Q) fixedpoint.Q {
+	return a * 2 / 4
+}
+
+// goodAdditive: the Q scale is linear under + and -.
+func goodAdditive(a, b fixedpoint.Q) fixedpoint.Q {
+	return a + b - a
+}
+
+// goodEscaped converts away from Q first, taking responsibility for the
+// scale explicitly.
+func goodEscaped(a, b fixedpoint.Q) int32 {
+	return int32(a) * int32(b)
+}
+
+// goodSuppressed documents a deliberate raw product.
+func goodSuppressed(a, b fixedpoint.Q) fixedpoint.Q {
+	return a * b //wiotlint:allow qmisuse
+}

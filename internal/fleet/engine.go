@@ -235,11 +235,15 @@ func runSlot(ctx context.Context, cfg Config, index int, out *outcome) {
 		}
 		sc.Channel = &observedChannel{inner: sc.Channel, m: cfg.Metrics}
 	}
-	start := time.Now()
-	runSpan := span.Child(obsScenarioRun)
+	// Wall-clock latency feeds only the Metrics histogram (operator
+	// telemetry), never scenario state, so determinism is preserved; the
+	// child span likewise must end before the error path or the failure
+	// handling would be billed to the scenario timer.
+	start := time.Now()                   //wiotlint:allow detrand
+	runSpan := span.Child(obsScenarioRun) //wiotlint:allow spanend
 	res, err := wiot.RunScenarioContext(ctx, sc)
 	runSpan.End()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //wiotlint:allow detrand
 	if err != nil {
 		out.err = ScenarioError{Index: index, Err: err}
 		if cfg.Metrics != nil {

@@ -1,0 +1,577 @@
+package vmlint
+
+import (
+	"github.com/wiot-security/sift/internal/amulet"
+)
+
+// tag is the abstract type of one stack slot or local. The VM stores raw
+// int32 words that programs interpret as integers, Q16.16 fixed point, or
+// float32 bit patterns depending on the opcode group; the lattice proves
+// a value produced under one view is never consumed under an incompatible
+// one (e.g. OpMulQ on an OpItoF result). Immediates and memory loads are
+// tagAny — the encoding cannot distinguish PushQ from PushI — so only
+// values with a group-specific producer are constrained.
+type tag uint8
+
+const (
+	tagAny tag = iota
+	tagInt
+	tagQ
+	tagFloat
+)
+
+func (t tag) String() string {
+	switch t {
+	case tagInt:
+		return "int"
+	case tagQ:
+		return "Q16.16"
+	case tagFloat:
+		return "float32"
+	}
+	return "any"
+}
+
+func joinTag(a, b tag) tag {
+	if a == b {
+		return a
+	}
+	return tagAny
+}
+
+// state is the abstract machine state at one program point: the operand
+// stack depth (relative to the context's entry; negative in subroutines
+// that consume caller slots), the tags of slots pushed above the entry
+// base, the set of definitely-written locals, and per-local tags.
+type state struct {
+	depth   int
+	tags    []tag // tags[i] is entry-relative slot i; len == max(depth, 0)
+	written uint64
+	ltags   [amulet.MaxLocals]tag
+}
+
+func (st *state) clone() state {
+	out := *st
+	out.tags = append([]tag(nil), st.tags...)
+	return out
+}
+
+// popN removes n slots, returning their tags top-first. Slots below the
+// entry base (subroutines) are tagAny.
+func (st *state) popN(n int) []tag {
+	ts := make([]tag, n)
+	for i := 0; i < n; i++ {
+		idx := st.depth - 1 - i
+		if idx >= 0 && idx < len(st.tags) {
+			ts[i] = st.tags[idx]
+		} else {
+			ts[i] = tagAny
+		}
+	}
+	st.depth -= n
+	if st.depth >= 0 {
+		st.tags = st.tags[:st.depth]
+	} else {
+		st.tags = st.tags[:0]
+	}
+	return ts
+}
+
+func (st *state) push(t tag) {
+	if st.depth >= 0 {
+		st.tags = append(st.tags, t)
+	}
+	st.depth++
+}
+
+// merge folds src into dst, returning whether dst moved down the lattice
+// and whether the stack depths conflicted (an unbalanced join).
+func merge(dst *state, src *state) (changed, conflict bool) {
+	if dst.depth != src.depth {
+		return false, true
+	}
+	for i := range dst.tags {
+		if j := joinTag(dst.tags[i], src.tags[i]); j != dst.tags[i] {
+			dst.tags[i] = j
+			changed = true
+		}
+	}
+	if w := dst.written & src.written; w != dst.written {
+		dst.written = w
+		changed = true
+	}
+	for i := range dst.ltags {
+		if j := joinTag(dst.ltags[i], src.ltags[i]); j != dst.ltags[i] {
+			dst.ltags[i] = j
+			changed = true
+		}
+	}
+	return changed, false
+}
+
+// summary is a subroutine's interprocedural contract, computed callee-
+// first over the acyclic call graph and applied at every call site.
+type summary struct {
+	entry       int
+	rets        bool // has at least one ret path back to the caller
+	netSet      bool
+	net         int // stack delta of a return (must agree across rets)
+	minRel      int // lowest entry-relative depth touched (<= 0)
+	maxRel      int // highest entry-relative depth reached (>= 0)
+	maxLocals   int
+	writes      uint64 // locals definitely written on every ret path
+	maybeWrites uint64 // locals possibly written (tag invalidation)
+	cycles      uint64 // acyclic longest-path cycle bound incl. callees
+	loopFree    bool
+}
+
+// interp drives the worklist abstract interpretation of one context.
+type interp struct {
+	a         *analysis
+	sub       bool // subroutine context: relative depths, no uninit reports
+	summaries map[int]*summary
+	sum       *summary // aggregation target when sub
+	peak      int      // absolute peak depth (main only)
+	maxLocals int
+	retWrites uint64
+}
+
+func (it *interp) calleeReturns(entry int) bool {
+	s := it.summaries[entry]
+	return s == nil || s.rets
+}
+
+// run interprets the context rooted at entry to a fixpoint.
+func (it *interp) run(entry int) {
+	ins, _ := it.a.body(entry)
+	it.retWrites = ^uint64(0)
+	start := state{}
+	if it.sub {
+		for i := range start.ltags {
+			start.ltags[i] = tagAny
+		}
+		start.written = ^uint64(0) // callers may have written anything; reads are not reported here
+	}
+	states := map[int]*state{entry: &start}
+	work := []int{entry}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		in, ok := ins[pc]
+		if !ok {
+			continue
+		}
+		st := states[pc].clone()
+		out, propagate := it.step(in, &st)
+		if !propagate {
+			continue
+		}
+		for _, succ := range it.a.successors(in, it.calleeReturns) {
+			if _, ok := ins[succ]; !ok {
+				continue
+			}
+			prev, seen := states[succ]
+			if !seen {
+				cp := out.clone()
+				states[succ] = &cp
+				work = append(work, succ)
+				continue
+			}
+			changed, conflict := merge(prev, &out)
+			if conflict {
+				it.a.errf("stack-imbalance", succ,
+					"unbalanced stack at join: depth %d on one path, %d on another", prev.depth, out.depth)
+				continue
+			}
+			if changed {
+				work = append(work, succ)
+			}
+		}
+	}
+}
+
+// step applies one instruction to the abstract state. propagate is false
+// when the path is provably broken (already reported) or terminates.
+func (it *interp) step(in *instr, st *state) (state, bool) {
+	op := in.op
+	pops, pushes := op.StackEffect()
+
+	if op == amulet.OpCall {
+		return it.stepCall(in, st)
+	}
+
+	low := st.depth - pops
+	if it.sub {
+		if low < it.sum.minRel {
+			it.sum.minRel = low
+		}
+	} else if low < 0 {
+		it.a.errf("stack-underflow", in.pc, "%s pops %d slot(s), stack depth is %d", op, pops, st.depth)
+		return *st, false
+	}
+	popped := st.popN(pops)
+	it.typeCheck(in, popped, st)
+	newDepth := st.depth + pushes
+	if it.sub {
+		if newDepth > it.sum.maxRel {
+			it.sum.maxRel = newDepth
+		}
+	} else {
+		if newDepth > amulet.MaxStack {
+			it.a.errf("stack-overflow", in.pc, "%s raises stack depth to %d, MaxStack is %d", op, newDepth, amulet.MaxStack)
+			return *st, false
+		}
+		if newDepth > it.peak {
+			it.peak = newDepth
+		}
+	}
+	it.pushResults(in, popped, st)
+
+	switch op {
+	case amulet.OpHalt:
+		return *st, false
+	case amulet.OpRet:
+		if it.sub {
+			it.sum.rets = true
+			it.retWrites &= st.written
+			if !it.sum.netSet {
+				it.sum.netSet = true
+				it.sum.net = st.depth
+			} else if it.sum.net != st.depth {
+				it.a.errf("stack-imbalance", in.pc,
+					"ret with net stack delta %d; an earlier ret path had %d", st.depth, it.sum.net)
+			}
+		}
+		return *st, false
+	case amulet.OpLoadL, amulet.OpStoreL:
+		if in.idx+1 > it.maxLocals {
+			it.maxLocals = in.idx + 1
+		}
+	}
+	return *st, true
+}
+
+// stepCall applies a callee summary at a call site.
+func (it *interp) stepCall(in *instr, st *state) (state, bool) {
+	s := it.summaries[in.target]
+	if s == nil {
+		// Only possible if the call graph pass failed; already reported.
+		return *st, false
+	}
+	low := st.depth + s.minRel
+	high := st.depth + s.maxRel
+	if it.sub {
+		if low < it.sum.minRel {
+			it.sum.minRel = low
+		}
+		if high > it.sum.maxRel {
+			it.sum.maxRel = high
+		}
+	} else {
+		if low < 0 {
+			it.a.errf("stack-underflow", in.pc,
+				"call 0x%04x consumes %d caller slot(s), stack depth is %d", in.target, -s.minRel, st.depth)
+			return *st, false
+		}
+		if high > amulet.MaxStack {
+			it.a.errf("stack-overflow", in.pc,
+				"call 0x%04x raises stack depth to %d, MaxStack is %d", in.target, high, amulet.MaxStack)
+			return *st, false
+		}
+		if high > it.peak {
+			it.peak = high
+		}
+	}
+	if s.maxLocals > it.maxLocals {
+		it.maxLocals = s.maxLocals
+	}
+
+	// The callee may rewrite anything from `low` up; its returned slots
+	// carry unknown tags.
+	newDepth := st.depth + s.net
+	keep := low
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > len(st.tags) {
+		keep = len(st.tags)
+	}
+	st.tags = st.tags[:keep]
+	st.depth = keep
+	for st.depth < newDepth {
+		st.push(tagAny)
+	}
+	st.depth = newDepth
+	st.written |= s.writes
+	for l := 0; l < amulet.MaxLocals; l++ {
+		if s.maybeWrites&(1<<uint(l)) != 0 {
+			st.ltags[l] = tagAny
+		}
+	}
+	return *st, s.rets
+}
+
+// opTags describes one opcode's operand-group requirement.
+var groupOf = map[amulet.Op]struct {
+	reject []tag
+	label  string
+	result tag
+}{
+	amulet.OpAdd:    {[]tag{tagFloat}, "int/Q16.16", 0 /* join */},
+	amulet.OpSub:    {[]tag{tagFloat}, "int/Q16.16", 0},
+	amulet.OpNeg:    {[]tag{tagFloat}, "int/Q16.16", 0},
+	amulet.OpAbs:    {[]tag{tagFloat}, "int/Q16.16", 0},
+	amulet.OpMin:    {[]tag{tagFloat}, "int/Q16.16", 0},
+	amulet.OpMax:    {[]tag{tagFloat}, "int/Q16.16", 0},
+	amulet.OpMulI:   {[]tag{tagFloat, tagQ}, "int", tagInt},
+	amulet.OpDivI:   {[]tag{tagFloat, tagQ}, "int", tagInt},
+	amulet.OpMulQ:   {[]tag{tagFloat, tagInt}, "Q16.16", tagQ},
+	amulet.OpSqrtQ:  {[]tag{tagFloat, tagInt}, "Q16.16", tagQ},
+	amulet.OpFAdd:   {[]tag{tagInt, tagQ}, "float32", tagFloat},
+	amulet.OpFSub:   {[]tag{tagInt, tagQ}, "float32", tagFloat},
+	amulet.OpFMul:   {[]tag{tagInt, tagQ}, "float32", tagFloat},
+	amulet.OpFDiv:   {[]tag{tagInt, tagQ}, "float32", tagFloat},
+	amulet.OpFSqrt:  {[]tag{tagInt, tagQ}, "float32", tagFloat},
+	amulet.OpFAtan2: {[]tag{tagInt, tagQ}, "float32", tagFloat},
+	amulet.OpFMin:   {[]tag{tagInt, tagQ}, "float32", tagFloat},
+	amulet.OpFMax:   {[]tag{tagInt, tagQ}, "float32", tagFloat},
+	amulet.OpItoQ:   {[]tag{tagFloat, tagQ}, "int", tagQ},
+	amulet.OpQtoI:   {[]tag{tagFloat, tagInt}, "Q16.16", tagInt},
+	amulet.OpItoF:   {[]tag{tagFloat, tagQ}, "int", tagFloat},
+	amulet.OpFtoI:   {[]tag{tagInt, tagQ}, "float32", tagInt},
+	amulet.OpQtoF:   {[]tag{tagFloat, tagInt}, "Q16.16", tagFloat},
+	amulet.OpFtoQ:   {[]tag{tagInt, tagQ}, "float32", tagQ},
+	amulet.OpEq:     {[]tag{tagFloat}, "int/Q16.16", tagInt},
+	amulet.OpNe:     {[]tag{tagFloat}, "int/Q16.16", tagInt},
+	amulet.OpLt:     {[]tag{tagFloat}, "int/Q16.16", tagInt},
+	amulet.OpLe:     {[]tag{tagFloat}, "int/Q16.16", tagInt},
+	amulet.OpGt:     {[]tag{tagFloat}, "int/Q16.16", tagInt},
+	amulet.OpGe:     {[]tag{tagFloat}, "int/Q16.16", tagInt},
+}
+
+// typeCheck flags mixed-group arithmetic: an operand whose producing
+// group provably conflicts with the group the opcode applies. Comparisons
+// and conditional jumps reject float32 operands because the VM compares
+// raw int32 bit patterns, which misorders negative floats.
+func (it *interp) typeCheck(in *instr, popped []tag, st *state) {
+	op := in.op
+	if g, ok := groupOf[op]; ok {
+		for _, got := range popped {
+			for _, bad := range g.reject {
+				if got == bad {
+					it.a.errf("type", in.pc,
+						"%s expects %s operands, stack has a %s value (mixed-group arithmetic)",
+						op, g.label, got)
+				}
+			}
+		}
+		return
+	}
+	switch op {
+	case amulet.OpDivQ, amulet.OpAtan2Q:
+		// Ratio ops: DivQ computes (a<<16)/b, which is the Q16.16
+		// encoding of a/b whether both operands are raw ints or both
+		// Q16.16; Atan2Q depends only on the operand ratio and signs.
+		// Homogeneous pairs are fine, mixing the two scales is not.
+		a, b := popped[1], popped[0]
+		if a == tagFloat || b == tagFloat {
+			it.a.errf("type", in.pc,
+				"%s expects int or Q16.16 operands, stack has a float32 value (mixed-group arithmetic)", op)
+		} else if (a == tagInt && b == tagQ) || (a == tagQ && b == tagInt) {
+			it.a.errf("type", in.pc,
+				"%s mixes an int operand with a Q16.16 operand (ratio is off by 2^16)", op)
+		}
+	case amulet.OpLoadM:
+		it.rejectAddr(in, popped[0])
+	case amulet.OpStoreM:
+		it.rejectAddr(in, popped[1]) // stack: [... addr value]
+	case amulet.OpJz, amulet.OpJnz:
+		if popped[0] == tagFloat {
+			it.a.errf("type", in.pc,
+				"%s tests a float32 bit pattern against integer zero (mixed-group arithmetic)", op)
+		}
+	}
+}
+
+func (it *interp) rejectAddr(in *instr, t tag) {
+	if t == tagQ || t == tagFloat {
+		it.a.errf("type", in.pc, "%s uses a %s value as a data-segment address", in.op, t)
+	}
+}
+
+// pushResults pushes the result tags of the instruction.
+func (it *interp) pushResults(in *instr, popped []tag, st *state) {
+	op := in.op
+	if g, ok := groupOf[op]; ok {
+		t := g.result
+		if t == tagAny { // shared int/Q group: result follows operands
+			t = popped[0]
+			for _, p := range popped[1:] {
+				t = joinTag(t, p)
+			}
+		}
+		st.push(t)
+		return
+	}
+	switch op {
+	case amulet.OpDivQ, amulet.OpAtan2Q:
+		st.push(tagQ)
+	case amulet.OpPush:
+		st.push(tagAny)
+	case amulet.OpLoadL:
+		if it.sub {
+			st.push(tagAny)
+		} else {
+			if st.written&(1<<uint(in.idx)) == 0 {
+				it.a.warnf("local-uninit", in.pc,
+					"local %d is read before any write on some path (reads zero)", in.idx)
+			}
+			st.push(st.ltags[in.idx])
+		}
+	case amulet.OpStoreL:
+		st.written |= 1 << uint(in.idx)
+		st.ltags[in.idx] = popped[0]
+		if it.sub {
+			it.sum.maybeWrites |= 1 << uint(in.idx)
+		}
+	case amulet.OpLoadM:
+		st.push(tagAny)
+	case amulet.OpDup:
+		st.push(popped[0])
+		st.push(popped[0])
+	case amulet.OpSwap:
+		st.push(popped[0])
+		st.push(popped[1])
+	case amulet.OpOver:
+		st.push(popped[1])
+		st.push(popped[0])
+		st.push(popped[1])
+	}
+}
+
+// summarize computes a subroutine's summary; callees are already done.
+func (a *analysis) summarize(entry int, summaries map[int]*summary) *summary {
+	sum := &summary{entry: entry}
+	it := &interp{a: a, sub: true, summaries: summaries, sum: sum}
+	it.run(entry)
+	if sum.rets {
+		sum.writes = it.retWrites
+		if sum.writes == ^uint64(0) { // no ret path actually merged
+			sum.writes = 0
+		}
+	}
+	if sum.maxLocals < it.maxLocals {
+		sum.maxLocals = it.maxLocals
+	}
+	return sum
+}
+
+// interpretMain runs the entry context with absolute stack depths and
+// fills the report's proven bounds.
+func (a *analysis) interpretMain(rep *Report, summaries map[int]*summary) {
+	it := &interp{a: a, summaries: summaries}
+	it.run(0)
+	rep.MaxStack = it.peak
+	rep.MaxLocals = it.maxLocals
+}
+
+// cycleBound computes the longest-path cycle cost of each context with
+// back edges removed: an exact worst case for loop-free programs, a
+// per-acyclic-pass bound otherwise.
+func (a *analysis) cycleBound(rep *Report, order []int, summaries map[int]*summary) {
+	for _, entry := range order {
+		s := summaries[entry]
+		s.cycles, s.loopFree = a.contextBound(entry, summaries)
+	}
+	rep.StaticCycles, rep.LoopFree = a.contextBound(0, summaries)
+}
+
+func (a *analysis) contextBound(entry int, summaries map[int]*summary) (uint64, bool) {
+	ins, calls := a.body(entry)
+	loopFree := true
+	for callee := range calls {
+		if s := summaries[callee]; s != nil && !s.loopFree {
+			loopFree = false
+		}
+	}
+	returns := func(e int) bool {
+		s := summaries[e]
+		return s == nil || s.rets
+	}
+	succ := func(pc int) []int {
+		in := ins[pc]
+		var out []int
+		for _, s := range a.successors(in, returns) {
+			if _, ok := ins[s]; ok {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+
+	// Iterative DFS marking back edges (gray targets).
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int, len(ins))
+	back := make(map[[2]int]bool)
+	type frame struct {
+		pc   int
+		next int
+	}
+	stack := []frame{{pc: entry}}
+	color[entry] = gray
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ss := succ(f.pc)
+		if f.next >= len(ss) {
+			color[f.pc] = black
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		s := ss[f.next]
+		f.next++
+		switch color[s] {
+		case white:
+			color[s] = gray
+			stack = append(stack, frame{pc: s})
+		case gray:
+			back[[2]int{f.pc, s}] = true
+			loopFree = false
+		}
+	}
+
+	// Longest path over the remaining DAG, memoized.
+	memo := make(map[int]uint64, len(ins))
+	var lp func(pc int) uint64
+	lp = func(pc int) uint64 {
+		if v, ok := memo[pc]; ok {
+			return v
+		}
+		in := ins[pc]
+		w := in.op.Cycles()
+		if in.op == amulet.OpCall {
+			if s := summaries[in.target]; s != nil {
+				w += s.cycles
+			}
+		}
+		memo[pc] = w // cycle guard; back edges are skipped below anyway
+		best := uint64(0)
+		for _, s := range succ(pc) {
+			if back[[2]int{pc, s}] {
+				continue
+			}
+			if v := lp(s); v > best {
+				best = v
+			}
+		}
+		memo[pc] = w + best
+		return w + best
+	}
+	if _, ok := ins[entry]; !ok {
+		return 0, loopFree
+	}
+	return lp(entry), loopFree
+}

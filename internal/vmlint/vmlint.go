@@ -1,0 +1,445 @@
+// Package vmlint statically verifies assembled Amulet bytecode.
+//
+// The paper's deployment question — does a detector fit the
+// MSP430FR5989's 2 KB SRAM / 128 KB FRAM envelope and its cycle budget?
+// — is answered in the rest of the repo by *running* programs and
+// measuring amulet.Usage. vmlint turns those resource bounds into
+// compile-time guarantees: it decodes the variable-width instruction
+// stream into a control-flow graph and runs an abstract interpretation
+// that proves, for every accepted program:
+//
+//   - all control flow lands on instruction starts inside the code
+//     segment (no jumps into the middle of operands, no running off the
+//     end — every terminating path ends in halt or a top-level ret);
+//   - the operand stack is balanced at every join, never underflows,
+//     and its static peak is a sound upper bound on the peak any run of
+//     the VM can measure (the Table III "peak SRAM" quantity);
+//   - calls form an acyclic graph (no recursion) whose longest chain
+//     fits amulet.MaxCallDepth, with per-subroutine stack summaries;
+//   - a type-tag lattice over the three stack views (int / Q16.16 /
+//     float32) flags mixed-group arithmetic such as OpMulQ on an
+//     OpItoF result;
+//   - locals are written before read (warning: a read of a
+//     never-written local observes zero) and unreachable code is
+//     flagged.
+//
+// It also emits a static worst-case cycle bound: exact for loop-free
+// programs, a per-acyclic-pass bound otherwise, feeding the arp battery
+// model with a pre-deployment cost instead of a measured one.
+//
+// Error-severity findings reject the program; warnings inform. The
+// amulet/program package registers Verify as amulet.Assemble's verifier
+// hook, so every detector build is checked at assembly time.
+package vmlint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/wiot-security/sift/internal/amulet"
+)
+
+// Severity grades a finding: Error findings reject the program (they
+// prove a class of runtime fault or an unverifiable property), Warning
+// findings are advisory.
+type Severity int
+
+const (
+	// Warning marks an advisory finding (dead code, zero-read locals).
+	Warning Severity = iota
+	// Error marks a rejecting finding.
+	Error
+)
+
+// String returns "warning" or "error".
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one verifier diagnostic, anchored to a code offset.
+type Finding struct {
+	Class    string // e.g. "bad-jump", "stack-underflow", "type", "dead-code"
+	Severity Severity
+	PC       int // code offset, -1 for whole-program findings
+	Msg      string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s [%s] offset 0x%04x: %s", f.Severity, f.Class, f.PC, f.Msg)
+}
+
+// Report is the full result of analyzing one program: the findings plus
+// the statically proven resource envelope.
+type Report struct {
+	Program  *amulet.Program
+	Findings []Finding
+
+	// MaxStack is the static peak operand-stack depth in slots, a sound
+	// upper bound on amulet.Usage.MaxStack for any run. Valid when the
+	// report has no Error findings.
+	MaxStack int
+	// MaxLocals is the highest local index statically touched plus one,
+	// an upper bound on amulet.Usage.MaxLocals.
+	MaxLocals int
+	// CallDepth is the longest static call chain, an upper bound on
+	// amulet.Usage.MaxCall.
+	CallDepth int
+	// LoopFree reports whether the control-flow graph (including every
+	// reachable subroutine) is acyclic.
+	LoopFree bool
+	// StaticCycles is the longest-path cycle cost through the acyclic
+	// portion of the CFG: an exact worst-case bound when LoopFree, and a
+	// per-pass bound (back edges excluded) otherwise.
+	StaticCycles uint64
+	// LiveBytes and DeadBytes partition the code segment into bytes
+	// covered by reachable instructions and bytes that are not.
+	LiveBytes int
+	DeadBytes int
+}
+
+// SRAMBytes returns the static peak SRAM footprint implied by the proven
+// bounds, computed with the same bill amulet.Usage.SRAMBytes charges a
+// measured run — the quantity checked against the 2 KB budget.
+func (r *Report) SRAMBytes() int {
+	u := amulet.Usage{MaxStack: r.MaxStack, MaxLocals: r.MaxLocals, MaxCall: r.CallDepth}
+	return u.SRAMBytes()
+}
+
+// Errs returns the Error-severity findings.
+func (r *Report) Errs() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == Error {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Err converts the Error-severity findings into a *amulet.DiagError (nil
+// when the program verified), mapping offsets back to assembly source
+// lines when the program carries a line table.
+func (r *Report) Err() error {
+	errs := r.Errs()
+	if len(errs) == 0 {
+		return nil
+	}
+	diags := make([]amulet.Diagnostic, len(errs))
+	for i, f := range errs {
+		d := amulet.Diagnostic{Offset: f.PC, Class: f.Class, Msg: f.Msg}
+		if f.PC >= 0 && f.PC < len(r.Program.Code) {
+			if op := amulet.Op(r.Program.Code[f.PC]); op.Valid() {
+				d.Mnemonic = op.String()
+			}
+			d.Line = r.Program.SourceLine(f.PC)
+		}
+		diags[i] = d
+	}
+	return &amulet.DiagError{Name: r.Program.Name, Diags: diags}
+}
+
+// Verify analyzes the program and returns the rejecting findings as an
+// error, or nil when the program passes static verification.
+func Verify(p *amulet.Program) error { return Analyze(p).Err() }
+
+// instr is one decoded instruction.
+type instr struct {
+	pc     int
+	op     amulet.Op
+	size   int
+	idx    int // local index for loadl/storel
+	target int // branch/call target for jmp/jz/jnz/call
+}
+
+type analysis struct {
+	p        *amulet.Program
+	code     []byte
+	instrs   map[int]*instr
+	findings []Finding
+	reported map[string]bool // dedup key class:pc
+}
+
+// Analyze runs the full static verification and returns the report. It
+// never returns nil and never panics on arbitrary code bytes.
+func Analyze(p *amulet.Program) *Report {
+	a := &analysis{p: p, code: p.Code, instrs: make(map[int]*instr), reported: make(map[string]bool)}
+	rep := &Report{Program: p}
+
+	if len(a.code) == 0 {
+		a.errf("empty", -1, "program has no code")
+		rep.Findings = a.findings
+		return rep
+	}
+
+	a.decode()
+	a.checkOverlap()
+	for _, in := range a.instrs {
+		rep.LiveBytes += in.size
+	}
+	rep.DeadBytes = len(a.code) - rep.LiveBytes
+	a.flagDeadCode()
+
+	if len(a.errs()) > 0 {
+		// Decode-level faults: the instruction stream is not even
+		// well-formed, so the dataflow stages below have nothing sound
+		// to run on.
+		sortFindings(a.findings)
+		rep.Findings = a.findings
+		return rep
+	}
+
+	order, summaries, callDepth, ok := a.callGraph()
+	if ok {
+		rep.CallDepth = callDepth
+		for _, entry := range order {
+			summaries[entry] = a.summarize(entry, summaries)
+		}
+		a.interpretMain(rep, summaries)
+		a.cycleBound(rep, order, summaries)
+	}
+
+	sortFindings(a.findings)
+	rep.Findings = a.findings
+	return rep
+}
+
+func (a *analysis) errf(class string, pc int, format string, args ...any) {
+	a.report(Finding{Class: class, Severity: Error, PC: pc, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (a *analysis) warnf(class string, pc int, format string, args ...any) {
+	a.report(Finding{Class: class, Severity: Warning, PC: pc, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (a *analysis) report(f Finding) {
+	key := fmt.Sprintf("%s:%d", f.Class, f.PC)
+	if a.reported[key] {
+		return
+	}
+	a.reported[key] = true
+	a.findings = append(a.findings, f)
+}
+
+func (a *analysis) errs() []Finding {
+	var out []Finding
+	for _, f := range a.findings {
+		if f.Severity == Error {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Severity != fs[j].Severity {
+			return fs[i].Severity > fs[j].Severity // errors first
+		}
+		return fs[i].PC < fs[j].PC
+	})
+}
+
+// decode discovers every reachable instruction by control-flow traversal
+// from offset 0 — the same discipline a classfile verifier uses, so a
+// branch landing mid-operand is a decode conflict rather than a silent
+// re-interpretation of operand bytes as opcodes.
+func (a *analysis) decode() {
+	work := []int{0}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		if _, done := a.instrs[pc]; done {
+			continue
+		}
+		op := amulet.Op(a.code[pc])
+		if !op.Valid() {
+			a.errf("bad-opcode", pc, "invalid opcode %d", a.code[pc])
+			continue
+		}
+		in := &instr{pc: pc, op: op, size: 1 + op.OperandBytes()}
+		if pc+in.size > len(a.code) {
+			a.errf("truncated", pc, "%s needs %d operand byte(s), only %d left", op, op.OperandBytes(), len(a.code)-pc-1)
+			continue
+		}
+		switch op.OperandBytes() {
+		case 1:
+			in.idx = int(a.code[pc+1])
+		case 2:
+			in.target = int(binary.LittleEndian.Uint16(a.code[pc+1:]))
+		}
+		a.instrs[pc] = in
+
+		switch op {
+		case amulet.OpHalt, amulet.OpRet:
+			// terminators
+		case amulet.OpJmp:
+			work = a.pushTarget(work, in)
+		case amulet.OpJz, amulet.OpJnz, amulet.OpCall:
+			work = a.pushTarget(work, in)
+			work = a.pushFall(work, in)
+		default:
+			work = a.pushFall(work, in)
+		}
+
+		if op == amulet.OpLoadL || op == amulet.OpStoreL {
+			if in.idx >= amulet.MaxLocals {
+				a.errf("local-range", pc, "%s local %d outside [0,%d)", op, in.idx, amulet.MaxLocals)
+			}
+		}
+	}
+}
+
+func (a *analysis) pushTarget(work []int, in *instr) []int {
+	if in.target < 0 || in.target >= len(a.code) {
+		a.errf("bad-jump", in.pc, "%s target 0x%04x outside code of %d bytes", in.op, in.target, len(a.code))
+		return work
+	}
+	return append(work, in.target)
+}
+
+func (a *analysis) pushFall(work []int, in *instr) []int {
+	fall := in.pc + in.size
+	if fall >= len(a.code) {
+		a.errf("no-halt", in.pc, "control falls off the end of code after %s (no halt on this path)", in.op)
+		return work
+	}
+	return append(work, fall)
+}
+
+// checkOverlap rejects instruction streams where one reachable
+// instruction starts inside another's operand bytes.
+func (a *analysis) checkOverlap() {
+	for _, in := range a.instrs {
+		for b := in.pc + 1; b < in.pc+in.size; b++ {
+			if other, ok := a.instrs[b]; ok {
+				a.errf("bad-jump", other.pc,
+					"%s at 0x%04x starts inside the operand of %s at 0x%04x (jump into the middle of an instruction)",
+					other.op, other.pc, in.op, in.pc)
+			}
+		}
+	}
+}
+
+// flagDeadCode warns about code bytes no control path reaches.
+func (a *analysis) flagDeadCode() {
+	covered := make([]bool, len(a.code))
+	for _, in := range a.instrs {
+		for b := in.pc; b < in.pc+in.size && b < len(covered); b++ {
+			covered[b] = true
+		}
+	}
+	for start := 0; start < len(covered); {
+		if covered[start] {
+			start++
+			continue
+		}
+		end := start
+		for end < len(covered) && !covered[end] {
+			end++
+		}
+		a.warnf("dead-code", start, "%d unreachable byte(s) at [0x%04x,0x%04x)", end-start, start, end)
+		start = end
+	}
+}
+
+// successors returns the intra-context successor PCs of in: calls fall
+// through to their return point (the callee is modeled by its summary),
+// and ret/halt terminate.
+func (a *analysis) successors(in *instr, returns func(entry int) bool) []int {
+	switch in.op {
+	case amulet.OpHalt, amulet.OpRet:
+		return nil
+	case amulet.OpJmp:
+		return []int{in.target}
+	case amulet.OpJz, amulet.OpJnz:
+		return []int{in.target, in.pc + in.size}
+	case amulet.OpCall:
+		if returns != nil && !returns(in.target) {
+			return nil // callee provably never returns
+		}
+		return []int{in.pc + in.size}
+	default:
+		return []int{in.pc + in.size}
+	}
+}
+
+// body collects the instructions of one context (main or a subroutine
+// entry) without descending into callees, and the set of call targets.
+func (a *analysis) body(entry int) (ins map[int]*instr, calls map[int][]int) {
+	ins = make(map[int]*instr)
+	calls = make(map[int][]int) // callee entry -> call sites
+	work := []int{entry}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		in, ok := a.instrs[pc]
+		if !ok {
+			continue
+		}
+		if _, done := ins[pc]; done {
+			continue
+		}
+		ins[pc] = in
+		if in.op == amulet.OpCall {
+			calls[in.target] = append(calls[in.target], pc)
+		}
+		work = append(work, a.successors(in, nil)...)
+	}
+	return ins, calls
+}
+
+// callGraph builds the static call graph from the main context, rejects
+// recursion, bounds the static call depth, and returns subroutine
+// entries in callee-first order.
+func (a *analysis) callGraph() (order []int, summaries map[int]*summary, callDepth int, ok bool) {
+	summaries = make(map[int]*summary)
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int)
+	depth := make(map[int]int) // longest chain of calls below the entry
+	ok = true
+
+	var visit func(entry int, isMain bool) int
+	visit = func(entry int, isMain bool) int {
+		key := entry
+		if isMain {
+			key = -1 // main is a distinct context even if offset 0 is also called
+		}
+		switch color[key] {
+		case gray:
+			a.errf("recursion", entry, "recursive call cycle through subroutine 0x%04x", entry)
+			ok = false
+			return 0
+		case black:
+			return depth[key]
+		}
+		color[key] = gray
+		_, calls := a.body(entry)
+		d := 0
+		for callee := range calls {
+			cd := 1 + visit(callee, false)
+			if cd > d {
+				d = cd
+			}
+		}
+		color[key] = black
+		depth[key] = d
+		if !isMain {
+			order = append(order, entry)
+		}
+		return d
+	}
+	total := visit(0, true)
+	if total > amulet.MaxCallDepth {
+		a.errf("call-depth", 0, "static call depth %d exceeds MaxCallDepth %d", total, amulet.MaxCallDepth)
+		ok = false
+	}
+	return order, summaries, total, ok
+}

@@ -1,0 +1,389 @@
+package vmlint_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/vmlint"
+)
+
+// raw wraps hand-crafted code bytes in a Program.
+func raw(code ...byte) *amulet.Program {
+	return &amulet.Program{Name: "raw", Code: code}
+}
+
+// build assembles a builder, failing the test on assembler diagnostics.
+// The vmlint package's own tests never register the verifier hook, so
+// Assemble returns even unverifiable programs.
+func build(t *testing.T, b *amulet.Builder) *amulet.Program {
+	t.Helper()
+	p, err := b.Assemble("t", 0)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+// wantClass asserts the report contains a finding of the class at the
+// severity.
+func wantClass(t *testing.T, rep *vmlint.Report, class string, sev vmlint.Severity) vmlint.Finding {
+	t.Helper()
+	for _, f := range rep.Findings {
+		if f.Class == class && f.Severity == sev {
+			return f
+		}
+	}
+	t.Fatalf("no %s finding of class %q; findings: %v", sev, class, rep.Findings)
+	return vmlint.Finding{}
+}
+
+// wantClean asserts the program verifies with no findings at all.
+func wantClean(t *testing.T, rep *vmlint.Report) {
+	t.Helper()
+	if len(rep.Findings) != 0 {
+		t.Fatalf("expected no findings, got %v", rep.Findings)
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	rep := vmlint.Analyze(raw())
+	wantClass(t, rep, "empty", vmlint.Error)
+}
+
+func TestBadOpcode(t *testing.T) {
+	rep := vmlint.Analyze(raw(200))
+	wantClass(t, rep, "bad-opcode", vmlint.Error)
+}
+
+func TestTruncatedOperand(t *testing.T) {
+	// push wants 4 operand bytes; only 2 remain.
+	rep := vmlint.Analyze(raw(byte(amulet.OpPush), 1, 2))
+	wantClass(t, rep, "truncated", vmlint.Error)
+}
+
+func TestJumpOutsideCode(t *testing.T) {
+	b := amulet.NewBuilder()
+	b.BindLabelAt("far", 500)
+	b.Jmp("far").Op(amulet.OpHalt)
+	rep := vmlint.Analyze(build(t, b))
+	wantClass(t, rep, "bad-jump", vmlint.Error)
+}
+
+func TestJumpIntoOperand(t *testing.T) {
+	// push's 4-byte immediate occupies offsets 1..4; the jmp at 5 lands
+	// on offset 2, re-interpreting immediate bytes as an instruction.
+	rep := vmlint.Analyze(raw(
+		byte(amulet.OpPush), 0, 0, 0, 0,
+		byte(amulet.OpJmp), 2, 0,
+	))
+	wantClass(t, rep, "bad-jump", vmlint.Error)
+}
+
+func TestFallOffEnd(t *testing.T) {
+	rep := vmlint.Analyze(raw(byte(amulet.OpDup)))
+	wantClass(t, rep, "no-halt", vmlint.Error)
+}
+
+func TestDeadCodeWarns(t *testing.T) {
+	b := amulet.NewBuilder()
+	b.Jmp("end")
+	b.PushI(1).Op(amulet.OpDrop) // unreachable
+	b.Label("end").Op(amulet.OpHalt)
+	rep := vmlint.Analyze(build(t, b))
+	f := wantClass(t, rep, "dead-code", vmlint.Warning)
+	if !strings.Contains(f.Msg, "unreachable") {
+		t.Errorf("dead-code message = %q", f.Msg)
+	}
+	if rep.DeadBytes == 0 || rep.LiveBytes == 0 {
+		t.Errorf("live/dead split = %d/%d, want both nonzero", rep.LiveBytes, rep.DeadBytes)
+	}
+	if err := rep.Err(); err != nil {
+		t.Errorf("warnings alone must not reject: %v", err)
+	}
+}
+
+func TestLocalIndexOutOfRange(t *testing.T) {
+	rep := vmlint.Analyze(raw(byte(amulet.OpLoadL), 200, byte(amulet.OpHalt)))
+	wantClass(t, rep, "local-range", vmlint.Error)
+}
+
+func TestStackUnderflow(t *testing.T) {
+	b := amulet.NewBuilder()
+	b.Op(amulet.OpAdd).Op(amulet.OpHalt)
+	rep := vmlint.Analyze(build(t, b))
+	wantClass(t, rep, "stack-underflow", vmlint.Error)
+}
+
+func TestStackOverflow(t *testing.T) {
+	b := amulet.NewBuilder()
+	for i := 0; i < amulet.MaxStack+1; i++ {
+		b.PushI(int(i))
+	}
+	b.Op(amulet.OpHalt)
+	rep := vmlint.Analyze(build(t, b))
+	wantClass(t, rep, "stack-overflow", vmlint.Error)
+}
+
+func TestUnbalancedJoin(t *testing.T) {
+	// The two paths into "join" arrive with depths 0 and 1.
+	b := amulet.NewBuilder()
+	b.PushI(1).Jz("join")
+	b.PushI(2)
+	b.Label("join").Op(amulet.OpHalt)
+	rep := vmlint.Analyze(build(t, b))
+	wantClass(t, rep, "stack-imbalance", vmlint.Error)
+}
+
+func TestRecursionRejected(t *testing.T) {
+	b := amulet.NewBuilder()
+	b.Label("s").Call("s").Op(amulet.OpHalt)
+	rep := vmlint.Analyze(build(t, b))
+	wantClass(t, rep, "recursion", vmlint.Error)
+}
+
+func TestCallDepthExceeded(t *testing.T) {
+	// A chain of MaxCallDepth+1 nested calls.
+	b := amulet.NewBuilder()
+	b.Call(sub(1)).Op(amulet.OpHalt)
+	for i := 1; i <= amulet.MaxCallDepth+1; i++ {
+		b.Label(sub(i))
+		if i <= amulet.MaxCallDepth {
+			b.Call(sub(i + 1))
+		}
+		b.Op(amulet.OpRet)
+	}
+	rep := vmlint.Analyze(build(t, b))
+	wantClass(t, rep, "call-depth", vmlint.Error)
+}
+
+func sub(i int) string { return "f" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+func TestCallDepthWithinBound(t *testing.T) {
+	b := amulet.NewBuilder()
+	b.Call("f01").Op(amulet.OpHalt)
+	for i := 1; i <= amulet.MaxCallDepth; i++ {
+		b.Label(sub(i))
+		if i < amulet.MaxCallDepth {
+			b.Call(sub(i + 1))
+		}
+		b.Op(amulet.OpRet)
+	}
+	rep := vmlint.Analyze(build(t, b))
+	wantClean(t, rep)
+	if rep.CallDepth != amulet.MaxCallDepth {
+		t.Errorf("CallDepth = %d, want %d", rep.CallDepth, amulet.MaxCallDepth)
+	}
+}
+
+func TestRetPathImbalance(t *testing.T) {
+	// One ret path returns the caller's slot, the other consumes it.
+	b := amulet.NewBuilder()
+	b.PushI(1).PushI(1).Call("s").Op(amulet.OpHalt)
+	b.Label("s").Jz("consume")
+	b.Op(amulet.OpRet)                                    // net 0 beyond the popped condition
+	b.Label("consume").Op(amulet.OpDrop).Op(amulet.OpRet) // net -1
+	rep := vmlint.Analyze(build(t, b))
+	wantClass(t, rep, "stack-imbalance", vmlint.Error)
+}
+
+func TestUninitializedLocalWarns(t *testing.T) {
+	b := amulet.NewBuilder()
+	b.LoadL(3).Op(amulet.OpDrop).Op(amulet.OpHalt)
+	rep := vmlint.Analyze(build(t, b))
+	wantClass(t, rep, "local-uninit", vmlint.Warning)
+	if err := rep.Err(); err != nil {
+		t.Errorf("local-uninit is advisory, got rejection: %v", err)
+	}
+}
+
+func TestWrittenLocalIsClean(t *testing.T) {
+	b := amulet.NewBuilder()
+	b.PushI(7).StoreL(3).LoadL(3).Op(amulet.OpDrop).Op(amulet.OpHalt)
+	rep := vmlint.Analyze(build(t, b))
+	wantClean(t, rep)
+	if rep.MaxLocals != 4 {
+		t.Errorf("MaxLocals = %d, want 4", rep.MaxLocals)
+	}
+}
+
+func TestTypeMixedGroupArithmetic(t *testing.T) {
+	// itof produces a float32 bit pattern; sqrtq reads it as Q16.16.
+	b := amulet.NewBuilder()
+	b.PushI(1).Op(amulet.OpItoF).Op(amulet.OpSqrtQ).Op(amulet.OpDrop).Op(amulet.OpHalt)
+	rep := vmlint.Analyze(build(t, b))
+	wantClass(t, rep, "type", vmlint.Error)
+}
+
+func TestTypeDivQMixedScales(t *testing.T) {
+	// eq produces an int flag; itoq produces a Q — divq on the pair has a
+	// ratio off by 2^16.
+	b := amulet.NewBuilder()
+	b.PushI(1).PushI(2).Op(amulet.OpEq)
+	b.PushI(3).Op(amulet.OpItoQ)
+	b.Op(amulet.OpDivQ).Op(amulet.OpDrop).Op(amulet.OpHalt)
+	rep := vmlint.Analyze(build(t, b))
+	f := wantClass(t, rep, "type", vmlint.Error)
+	if !strings.Contains(f.Msg, "2^16") {
+		t.Errorf("divq message = %q", f.Msg)
+	}
+}
+
+func TestTypeDivQHomogeneousPairsAllowed(t *testing.T) {
+	// divq over two ints and over two Qs both encode the true ratio.
+	b := amulet.NewBuilder()
+	b.PushI(1).PushI(2).Op(amulet.OpEq)
+	b.PushI(1).PushI(3).Op(amulet.OpEq)
+	b.Op(amulet.OpDivQ).Op(amulet.OpDrop)
+	b.PushI(4).Op(amulet.OpItoQ)
+	b.PushI(5).Op(amulet.OpItoQ)
+	b.Op(amulet.OpDivQ).Op(amulet.OpDrop)
+	b.Op(amulet.OpHalt)
+	rep := vmlint.Analyze(build(t, b))
+	wantClean(t, rep)
+}
+
+func TestTypeJzOnFloat(t *testing.T) {
+	b := amulet.NewBuilder()
+	b.PushI(1).Op(amulet.OpItoF).Jz("end").Label("end").Op(amulet.OpHalt)
+	rep := vmlint.Analyze(build(t, b))
+	wantClass(t, rep, "type", vmlint.Error)
+}
+
+func TestTypeFloatAsAddress(t *testing.T) {
+	b := amulet.NewBuilder()
+	b.PushI(0).Op(amulet.OpItoF).Op(amulet.OpLoadM).Op(amulet.OpDrop).Op(amulet.OpHalt)
+	rep := vmlint.Analyze(build(t, b))
+	wantClass(t, rep, "type", vmlint.Error)
+}
+
+func TestStaticBoundsSoundOnStraightLine(t *testing.T) {
+	b := amulet.NewBuilder()
+	b.PushI(2).PushI(3).Op(amulet.OpAdd).StoreL(0).Op(amulet.OpHalt)
+	p := build(t, b)
+	rep := vmlint.Analyze(p)
+	wantClean(t, rep)
+
+	vm, err := amulet.NewVM(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(1_000); err != nil {
+		t.Fatal(err)
+	}
+	u := vm.Usage()
+	if u.MaxStack > rep.MaxStack {
+		t.Errorf("measured stack %d exceeds static bound %d", u.MaxStack, rep.MaxStack)
+	}
+	if u.MaxLocals > rep.MaxLocals {
+		t.Errorf("measured locals %d exceed static bound %d", u.MaxLocals, rep.MaxLocals)
+	}
+	if !rep.LoopFree {
+		t.Error("straight-line program reported as not loop-free")
+	}
+	// Loop-free bound is exact: every instruction executes once.
+	if rep.StaticCycles != u.Cycles {
+		t.Errorf("StaticCycles = %d, measured %d (loop-free bound should be exact)", rep.StaticCycles, u.Cycles)
+	}
+	if rep.SRAMBytes() < u.SRAMBytes() {
+		t.Errorf("static SRAM %d below measured %d", rep.SRAMBytes(), u.SRAMBytes())
+	}
+}
+
+func TestBranchBoundTakesWorstPath(t *testing.T) {
+	// The two arms cost differently; the static bound must price the
+	// expensive one even if a run takes the cheap one.
+	b := amulet.NewBuilder()
+	b.PushI(0).Jz("cheap")
+	b.PushI(1).Op(amulet.OpItoQ).Op(amulet.OpSqrtQ).Op(amulet.OpDrop).Jmp("end")
+	b.Label("cheap").PushI(1).Op(amulet.OpDrop)
+	b.Label("end").Op(amulet.OpHalt)
+	p := build(t, b)
+	rep := vmlint.Analyze(p)
+	wantClean(t, rep)
+
+	vm, err := amulet.NewVM(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.Usage().Cycles; rep.StaticCycles < got {
+		t.Errorf("StaticCycles = %d below a measured run's %d", rep.StaticCycles, got)
+	}
+}
+
+func TestLoopLosesLoopFree(t *testing.T) {
+	b := amulet.NewBuilder()
+	b.PushI(3).StoreL(1)
+	b.ForRange(0, 1, func(b *amulet.Builder) {
+		b.PushI(1).Op(amulet.OpDrop)
+	})
+	b.Op(amulet.OpHalt)
+	rep := vmlint.Analyze(build(t, b))
+	if err := rep.Err(); err != nil {
+		t.Fatalf("loop program should verify: %v", err)
+	}
+	if rep.LoopFree {
+		t.Error("program with a loop reported LoopFree")
+	}
+	if rep.StaticCycles == 0 {
+		t.Error("per-pass cycle bound should be positive")
+	}
+}
+
+func TestErrIsDiagError(t *testing.T) {
+	b := amulet.NewBuilder()
+	b.Op(amulet.OpAdd).Op(amulet.OpHalt)
+	rep := vmlint.Analyze(build(t, b))
+	err := rep.Err()
+	if err == nil {
+		t.Fatal("expected a rejection")
+	}
+	var de *amulet.DiagError
+	if !errors.As(err, &de) {
+		t.Fatalf("Err() = %T, want *amulet.DiagError", err)
+	}
+	if len(de.Diags) == 0 || de.Diags[0].Class != "stack-underflow" {
+		t.Errorf("diags = %v", de.Diags)
+	}
+	if de.Diags[0].Mnemonic != "add" {
+		t.Errorf("mnemonic = %q, want add", de.Diags[0].Mnemonic)
+	}
+}
+
+func TestVerifyCleanProgram(t *testing.T) {
+	b := amulet.NewBuilder()
+	b.PushI(2).PushI(3).Op(amulet.OpAdd).Op(amulet.OpDrop).Op(amulet.OpHalt)
+	if err := vmlint.Verify(build(t, b)); err != nil {
+		t.Fatalf("Verify = %v, want nil", err)
+	}
+}
+
+func TestCallSummaryPeakCoversCallee(t *testing.T) {
+	// The callee pushes three slots above the caller's depth before
+	// dropping back to one; the static peak must include the transient.
+	b := amulet.NewBuilder()
+	b.Call("s").Op(amulet.OpDrop).Op(amulet.OpHalt)
+	b.Label("s").PushI(1).PushI(2).PushI(3).Op(amulet.OpDrop).Op(amulet.OpDrop).Op(amulet.OpRet)
+	p := build(t, b)
+	rep := vmlint.Analyze(p)
+	wantClean(t, rep)
+	if rep.MaxStack < 3 {
+		t.Errorf("MaxStack = %d, want >= 3 (callee transient)", rep.MaxStack)
+	}
+	vm, err := amulet.NewVM(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	u := vm.Usage()
+	if u.MaxStack > rep.MaxStack || u.MaxCall > rep.CallDepth {
+		t.Errorf("measured (stack %d, call %d) exceeds static (%d, %d)",
+			u.MaxStack, u.MaxCall, rep.MaxStack, rep.CallDepth)
+	}
+}
