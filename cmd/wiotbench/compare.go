@@ -58,7 +58,40 @@ func compareReports(old, cur Report, thresholdPct float64, w io.Writer) int {
 			fmt.Fprintf(w, "%-20s %14s %14.0f %9s  new suite\n", n.Name, "-", compared(n), "-")
 		}
 	}
+	regressions += gateTraceOverhead(cur, thresholdPct, w)
 	return regressions
+}
+
+// gateTraceOverhead enforces the flight-recorder budget inside the new
+// report: the instrumented classification path with a recorder attached
+// (trace/on) may cost at most thresholdPct percent more than the same
+// path without one (trace/off). This is an absolute property of the
+// build under test, not a drift check, so it compares within one report
+// rather than across the two.
+func gateTraceOverhead(cur Report, thresholdPct float64, w io.Writer) int {
+	byName := make(map[string]Result, len(cur.Suites))
+	for _, s := range cur.Suites {
+		byName[s.Name] = s
+	}
+	off, okOff := byName["trace/off"]
+	on, okOn := byName["trace/on"]
+	if !okOff || !okOn {
+		return 0
+	}
+	offNS, onNS := compared(off), compared(on)
+	if offNS <= 0 {
+		return 0
+	}
+	overhead := (onNS - offNS) / offNS * 100
+	verdict := "within budget"
+	fail := 0
+	if overhead > thresholdPct {
+		verdict = "OVER BUDGET"
+		fail = 1
+	}
+	fmt.Fprintf(w, "flight recorder overhead: trace/on %+.1f%% vs trace/off (budget %.1f%%) — %s\n",
+		overhead, thresholdPct, verdict)
+	return fail
 }
 
 // compared picks the suite's gated statistic.

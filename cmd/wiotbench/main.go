@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	wiotbench [-quick] [-o out.json] [-suite regex] [-obs] [-cpuprofile p.pprof]
+//	wiotbench [-quick] [-o out.json] [-suite regex] [-obs] [-cpuprofile p.pprof] [-trace t.json]
 //	wiotbench -compare old.json new.json [-threshold 10]
 //	wiotbench -list
 //
@@ -216,6 +216,7 @@ func run(args []string, out io.Writer) error {
 	compare := fs.Bool("compare", false, "compare two BENCH json files: wiotbench -compare old.json new.json")
 	threshold := fs.Float64("threshold", 10, "compare mode: max tolerated mean-latency regression, percent")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	tracePath := fs.String("trace", "", "after the suites, run one traced fleet cohort and write its Chrome trace_event dump here")
 	printObs := fs.Bool("obs", false, "enable internal/obs collection and print its snapshot after the run")
 	// Stdlib flag parsing stops at the first positional argument, but the
 	// documented compare CLI is `-compare old.json new.json -threshold 10`
@@ -327,6 +328,14 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %s\n", path)
+
+	if *tracePath != "" {
+		n, err := captureBenchTrace(*tracePath, *quick)
+		if err != nil {
+			return fmt.Errorf("trace capture: %w", err)
+		}
+		fmt.Fprintf(out, "trace: wrote %d events to %s (load in chrome://tracing or Perfetto)\n", n, *tracePath)
+	}
 
 	if *printObs {
 		fmt.Fprintf(out, "\ninternal/obs snapshot:\n%s", obs.TakeSnapshot())

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/obs/trace"
+)
+
+func TestGateTraceOverheadWithinBudget(t *testing.T) {
+	cur := report(
+		Result{Name: "trace/off", MeanNS: 1000, MinNS: 1000},
+		Result{Name: "trace/on", MeanNS: 1050, MinNS: 1050},
+	)
+	var sb strings.Builder
+	if n := gateTraceOverhead(cur, 10, &sb); n != 0 {
+		t.Errorf("5%% overhead failed a 10%% budget:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "within budget") {
+		t.Errorf("output missing budget verdict:\n%s", sb.String())
+	}
+}
+
+func TestGateTraceOverheadOverBudget(t *testing.T) {
+	cur := report(
+		Result{Name: "trace/off", MeanNS: 1000, MinNS: 1000},
+		Result{Name: "trace/on", MeanNS: 1300, MinNS: 1300},
+	)
+	var sb strings.Builder
+	if n := gateTraceOverhead(cur, 10, &sb); n != 1 {
+		t.Errorf("30%% overhead passed a 10%% budget:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "OVER BUDGET") {
+		t.Errorf("output missing OVER BUDGET verdict:\n%s", sb.String())
+	}
+}
+
+func TestGateTraceOverheadSkipsWhenSuitesAbsent(t *testing.T) {
+	var sb strings.Builder
+	if n := gateTraceOverhead(report(Result{Name: "vm/Original", MeanNS: 1}), 10, &sb); n != 0 {
+		t.Errorf("gate fired without trace suites: %d", n)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("gate printed without trace suites: %q", sb.String())
+	}
+}
+
+func TestCompareRunsOverheadGate(t *testing.T) {
+	old := report(Result{Name: "trace/off", MinNS: 1000}, Result{Name: "trace/on", MinNS: 1010})
+	cur := report(Result{Name: "trace/off", MinNS: 1000}, Result{Name: "trace/on", MinNS: 1500})
+	var sb strings.Builder
+	// trace/on regressed 48.5% across reports AND blew the intra-report
+	// budget: both must count.
+	if n := compareReports(old, cur, 10, &sb); n != 2 {
+		t.Errorf("regressions = %d, want 2 (drift + overhead budget)\n%s", n, sb.String())
+	}
+}
+
+func TestObsBenchStateRestores(t *testing.T) {
+	rec := trace.New(16, 1)
+	restore := obsBenchState(rec)
+	if trace.Attached() != rec {
+		t.Fatal("obsBenchState did not attach the recorder")
+	}
+	restore()
+	if trace.Attached() != nil {
+		t.Fatal("restore left the recorder attached")
+	}
+}
+
+func TestTraceAndTelemetrySuitesRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range allSuites() {
+		names[s.name] = true
+	}
+	for _, want := range []string{"trace/off", "trace/on", "telemetry/sample"} {
+		if !names[want] {
+			t.Errorf("allSuites is missing %s", want)
+		}
+	}
+}
+
+func TestTelemetrySuiteRuns(t *testing.T) {
+	res, err := telemetrySuite().run(runConfig{warmup: 1, samples: 2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extra["deviceSeries"] == 0 {
+		t.Error("telemetry suite sampled no device series")
+	}
+}

@@ -43,6 +43,7 @@ func allSuites() []suite {
 	for _, v := range features.Versions {
 		suites = append(suites, vmlintSuite(v))
 	}
+	suites = append(suites, traceSuite(false), traceSuite(true), telemetrySuite())
 	return suites
 }
 

@@ -53,12 +53,14 @@ func run() error {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "fleet worker pool size (must be positive)")
 	loss := flag.Float64("loss", 0.02, "fleet mode: frame loss probability on the wireless link")
 	dup := flag.Float64("dup", 0.01, "fleet mode: frame duplication probability")
+	serve := flag.String("serve", "", "fleet mode: serve /metrics, /debug/trace, /healthz on this address during and after the run")
+	tracePath := flag.String("trace", "", "fleet mode: write a Chrome trace_event JSON dump of the run to this file at exit")
 	flag.Parse()
 
 	// Reject nonsense values outright instead of silently coercing them
 	// (the fleet engine would otherwise map a non-positive -workers to
 	// GOMAXPROCS behind the user's back).
-	if err := validateFlags(*fleetN, *workers, *loss, *dup, *trainSec, *liveSec, *attackAt); err != nil {
+	if err := validateFlags(*fleetN, *workers, *loss, *dup, *trainSec, *liveSec, *attackAt, *serve, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "wiotsim:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -70,15 +72,17 @@ func run() error {
 	}
 	if *fleetN > 0 {
 		return runFleet(fleetOptions{
-			subjects: *fleetN,
-			workers:  *workers,
-			seed:     *seed,
-			trainSec: *trainSec,
-			liveSec:  *liveSec,
-			attackAt: *attackAt,
-			loss:     *loss,
-			dup:      *dup,
-			version:  version,
+			subjects:  *fleetN,
+			workers:   *workers,
+			seed:      *seed,
+			trainSec:  *trainSec,
+			liveSec:   *liveSec,
+			attackAt:  *attackAt,
+			loss:      *loss,
+			dup:       *dup,
+			version:   version,
+			serve:     *serve,
+			tracePath: *tracePath,
 		})
 	}
 
@@ -158,15 +162,17 @@ func run() error {
 
 // fleetOptions parameterizes a -fleet run.
 type fleetOptions struct {
-	subjects int
-	workers  int
-	seed     int64
-	trainSec float64
-	liveSec  float64
-	attackAt float64
-	loss     float64
-	dup      float64
-	version  features.Version
+	subjects  int
+	workers   int
+	seed      int64
+	trainSec  float64
+	liveSec   float64
+	attackAt  float64
+	loss      float64
+	dup       float64
+	version   features.Version
+	serve     string // addr for the live observability endpoint; "" = off
+	tracePath string // Chrome trace dump path; "" = off
 }
 
 // runFleet trains one detector per cohort subject and streams every
@@ -186,6 +192,8 @@ func runFleet(opt fleetOptions) error {
 		opt.subjects, physio.MeanAge(subjects), opt.version, opt.trainSec, opt.liveSec)
 	fmt.Printf("channel: loss %.1f%%, dup %.1f%%; MITM hijacks ECG at t=%.0f s\n",
 		100*opt.loss, 100*opt.dup, opt.attackAt)
+
+	obsv := newObservability(opt.serve, opt.tracePath)
 
 	src := func(index int, seed int64) (wiot.Scenario, error) {
 		wearer := subjects[index%len(subjects)]
@@ -224,9 +232,19 @@ func runFleet(opt fleetOptions) error {
 			return wiot.Scenario{}, err
 		}
 		attackFrom := int(opt.attackAt * live.SampleRate)
+		detector := wiot.Detector(hostDetector{det})
+		if obsv != nil {
+			// Shadow-run each window on an emulated Amulet for real VM
+			// cycle/SRAM/energy telemetry; host verdicts stay authoritative
+			// so instrumentation never changes the fleet result.
+			detector, err = newShadowDetector(detector, det, obsv, wearer.ID)
+			if err != nil {
+				return wiot.Scenario{}, err
+			}
+		}
 		return wiot.Scenario{
 			Record:     live,
-			Detector:   hostDetector{det},
+			Detector:   detector,
 			Attack:     &wiot.SubstitutionMITM{Donor: donorLive.ECG, ActiveFrom: attackFrom},
 			AttackFrom: attackFrom,
 			Channel:    ch,
@@ -234,27 +252,41 @@ func runFleet(opt fleetOptions) error {
 	}
 
 	m := &fleet.Metrics{}
-	start := time.Now()
-	res, err := fleet.Run(context.Background(), fleet.Config{
+	cfg := fleet.Config{
 		Scenarios: opt.subjects,
 		Workers:   opt.workers,
 		BaseSeed:  opt.seed,
 		Metrics:   m,
 		Source:    src,
-	})
+	}
+	if obsv != nil {
+		cfg.Telemetry = obsv.reg
+		obsv.start()
+	}
+	start := time.Now()
+	res, err := fleet.Run(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\n%s", res)
 	fmt.Printf("\nmetrics snapshot after %v:\n%s", time.Since(start).Round(time.Millisecond), m.Snapshot())
+	if obsv != nil {
+		if err := obsv.finish(); err != nil {
+			return err
+		}
+	}
 	return res.Err()
 }
 
 // validateFlags rejects out-of-domain flag values before any work runs.
-func validateFlags(fleetN, workers int, loss, dup, trainSec, liveSec, attackAt float64) error {
+func validateFlags(fleetN, workers int, loss, dup, trainSec, liveSec, attackAt float64, serve, tracePath string) error {
 	switch {
 	case fleetN < 0:
 		return fmt.Errorf("-fleet %d: subject count cannot be negative", fleetN)
+	case serve != "" && fleetN == 0:
+		return fmt.Errorf("-serve %s: the observability endpoint needs a fleet run (-fleet N)", serve)
+	case tracePath != "" && fleetN == 0:
+		return fmt.Errorf("-trace %s: trace capture needs a fleet run (-fleet N)", tracePath)
 	case workers <= 0:
 		return fmt.Errorf("-workers %d: worker pool size must be positive", workers)
 	case loss < 0 || loss > 1:

@@ -131,6 +131,12 @@ type RunResult struct {
 // checking the resulting SRAM footprint against the hardware budget (the
 // OS and the app share the 2 KB).
 func (d *Device) Run(name string, data []int32, maxCycles uint64) (RunResult, error) {
+	return d.RunTraced(name, data, maxCycles, 0)
+}
+
+// RunTraced is Run with an explicit trace parent for the VM span; see
+// VM.RunTraced. A zero parent behaves exactly like Run.
+func (d *Device) RunTraced(name string, data []int32, maxCycles uint64, traceParent uint64) (RunResult, error) {
 	p, ok := d.programs[name]
 	if !ok {
 		return RunResult{}, fmt.Errorf("amulet: no program %q installed", name)
@@ -139,7 +145,7 @@ func (d *Device) Run(name string, data []int32, maxCycles uint64) (RunResult, er
 	if err != nil {
 		return RunResult{}, err
 	}
-	if err := vm.Run(maxCycles); err != nil {
+	if err := vm.RunTraced(maxCycles, traceParent); err != nil {
 		return RunResult{}, fmt.Errorf("amulet: run %q: %w", name, err)
 	}
 	u := vm.Usage()

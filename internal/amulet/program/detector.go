@@ -5,8 +5,10 @@ import (
 	"fmt"
 
 	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/arp"
 	"github.com/wiot-security/sift/internal/dataset"
 	"github.com/wiot-security/sift/internal/features"
+	"github.com/wiot-security/sift/internal/obs/telemetry"
 	"github.com/wiot-security/sift/internal/svm"
 )
 
@@ -24,6 +26,14 @@ type DeviceDetector struct {
 	Windows     int
 	TotalCycles uint64
 	PeakUsage   amulet.Usage
+
+	// Optional live observability hooks. When set, Classify streams each
+	// window's cycles, SRAM watermark, and modeled energy into the device
+	// series (Telemetry), bills the window against the energy model
+	// (Energy), and links the VM's trace span under TraceParent.
+	Telemetry   *telemetry.Device
+	Energy      *arp.Accounting
+	TraceParent uint64
 }
 
 // NewDeviceDetector assembles and flashes the version's program onto the
@@ -58,12 +68,22 @@ func (d *DeviceDetector) Classify(w dataset.Window) (Output, error) {
 	if err != nil {
 		return Output{}, err
 	}
-	res, err := d.Device.Run(d.prog.Name, data, MaxCycles)
+	res, err := d.Device.RunTraced(d.prog.Name, data, MaxCycles, d.TraceParent)
 	if err != nil {
 		return Output{}, err
 	}
 	d.Windows++
 	d.TotalCycles += res.Usage.Cycles
+	var energyMicroJ float64
+	if d.Energy != nil {
+		energyMicroJ = d.Energy.AccountWindow(res.Usage.Cycles)
+	}
+	if d.Telemetry != nil {
+		d.Telemetry.ObserveWindow(res.Usage.Cycles, res.Usage.SRAMBytes(), energyMicroJ)
+		if d.Energy != nil {
+			d.Telemetry.SetLifetimeDays(d.Energy.ProjectedLifetimeDays())
+		}
+	}
 	if res.Usage.MaxStack > d.PeakUsage.MaxStack {
 		d.PeakUsage.MaxStack = res.Usage.MaxStack
 	}

@@ -131,7 +131,20 @@ func f32frombits(u uint32) float32 { return math.Float32frombits(u) }
 // watchdog a run-to-completion OS needs: a detector that cannot finish
 // within its window must be treated as failed, not hung.
 func (vm *VM) Run(maxCycles uint64) error {
-	span := obsRun.Start()
+	return vm.RunTraced(maxCycles, 0)
+}
+
+// RunTraced is Run with an explicit trace parent: when a flight
+// recorder is attached, the VM's span links under traceParent so fleet
+// traces nest scenario → window → vm even across goroutines. A zero
+// parent behaves exactly like Run.
+func (vm *VM) RunTraced(maxCycles uint64, traceParent uint64) error {
+	var span obs.Span
+	if traceParent != 0 {
+		span = obsRun.StartChildOf(traceParent)
+	} else {
+		span = obsRun.Start()
+	}
 	startInstrs, startCycles := vm.usage.Instrs, vm.usage.Cycles
 	defer func() {
 		obsInstrs.Add(int64(vm.usage.Instrs - startInstrs))

@@ -1,8 +1,11 @@
 // Package spans is a spanend fixture covering the accepted and rejected
-// lifetimes of an obs.Span.
+// lifetimes of an obs.Span and a trace.Region.
 package spans
 
-import "github.com/wiot-security/sift/internal/obs"
+import (
+	"github.com/wiot-security/sift/internal/obs"
+	"github.com/wiot-security/sift/internal/obs/trace"
+)
 
 var timer = obs.NewTimer("fixture.spans")
 var child = obs.NewTimer("fixture.spans.child")
@@ -68,6 +71,50 @@ func goodChild() {
 	work()
 }
 
+// goodRegionDeferred is the canonical region shape.
+func goodRegionDeferred() {
+	g := trace.Begin("fixture.region")
+	defer g.End()
+	work()
+}
+
+// goodRegionFused is legal for regions (value-receiver End) and leaves
+// no variable to track.
+func goodRegionFused() {
+	defer trace.Begin("fixture.region.fused").End()
+	work()
+}
+
+// badRegionNotDeferred ends the region on the straight-line path only.
+func badRegionNotDeferred() {
+	g := trace.Begin("fixture.region") // want "trace.Region .g. is ended but not via defer"
+	work()
+	g.End()
+}
+
+// badRegionNeverEnded opens a region and abandons it: the flight
+// recorder keeps an unmatched B event forever.
+func badRegionNeverEnded() {
+	g := trace.BeginChildOf("fixture.region", 7) // want "trace.Region .g. is started but never ended"
+	if g.TraceID() != 0 {
+		work()
+	}
+}
+
+// badRegionBlank discards the region at birth.
+func badRegionBlank() {
+	_ = trace.Begin("fixture.region") // want "trace.Region assigned to _ is never ended"
+	work()
+}
+
+// goodRegionEscaping hands the region to someone else.
+func goodRegionEscaping() {
+	g := trace.Begin("fixture.region")
+	keepRegion(g)
+}
+
 func keep(obs.Span) {}
+
+func keepRegion(trace.Region) {}
 
 func work() {}

@@ -120,6 +120,7 @@ type EnergyModel struct {
 	ActiveCurrentmA float64 // MCU current while computing
 	SystemCurrentmA float64 // baseline: BLE reception, display, sensing, sleep
 	BatterymAh      float64
+	SupplyV         float64 // supply voltage; 0 means the 3.0 V default
 }
 
 // DefaultEnergyModel returns the calibrated model: a 16 MHz MSP430FR5989
@@ -131,6 +132,7 @@ func DefaultEnergyModel() EnergyModel {
 		ActiveCurrentmA: 2.9,
 		SystemCurrentmA: 0.0786,
 		BatterymAh:      amulet.BatterymAh,
+		SupplyV:         defaultSupplyV,
 	}
 }
 

@@ -1,4 +1,4 @@
-package arp
+package arp_test
 
 import (
 	"math"
@@ -7,17 +7,18 @@ import (
 
 	"github.com/wiot-security/sift/internal/amulet"
 	"github.com/wiot-security/sift/internal/amulet/program"
+	"github.com/wiot-security/sift/internal/arp"
 	"github.com/wiot-security/sift/internal/features"
 )
 
-func buildProfile(t *testing.T, v features.Version, cycles float64) *AppProfile {
+func buildProfile(t *testing.T, v features.Version, cycles float64) *arp.AppProfile {
 	t.Helper()
 	p, err := program.Build(v)
 	if err != nil {
 		t.Fatal(err)
 	}
 	usage := amulet.Usage{MaxStack: 10, MaxLocals: 19, MaxCall: 0}
-	prof, err := ProfileDetector(p, usage, cycles, 3, 4*(1+3*v.Dim()), v != features.Reduced)
+	prof, err := arp.ProfileDetector(p, usage, cycles, 3, 4*(1+3*v.Dim()), v != features.Reduced)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,26 +26,26 @@ func buildProfile(t *testing.T, v features.Version, cycles float64) *AppProfile 
 }
 
 func TestProfileDetectorValidation(t *testing.T) {
-	if _, err := ProfileDetector(nil, amulet.Usage{}, 0, 3, 0, false); err == nil {
+	if _, err := arp.ProfileDetector(nil, amulet.Usage{}, 0, 3, 0, false); err == nil {
 		t.Error("nil program should error")
 	}
 	p, err := program.Build(features.Reduced)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ProfileDetector(p, amulet.Usage{}, 0, 0, 0, false); err == nil {
+	if _, err := arp.ProfileDetector(p, amulet.Usage{}, 0, 0, 0, false); err == nil {
 		t.Error("zero window should error")
 	}
-	if _, err := ProfileDetector(p, amulet.Usage{}, -1, 3, 0, false); err == nil {
+	if _, err := arp.ProfileDetector(p, amulet.Usage{}, -1, 3, 0, false); err == nil {
 		t.Error("negative cycles should error")
 	}
-	if _, err := ProfileDetector(p, amulet.Usage{}, 1, 3, -1, false); err == nil {
+	if _, err := arp.ProfileDetector(p, amulet.Usage{}, 1, 3, -1, false); err == nil {
 		t.Error("negative constants should error")
 	}
 }
 
 func TestSystemFRAMOrdering(t *testing.T) {
-	mem := DefaultMemoryModel()
+	mem := arp.DefaultMemoryModel()
 	orig := mem.SystemFRAM(buildProfile(t, features.Original, 2e6))
 	simp := mem.SystemFRAM(buildProfile(t, features.Simplified, 1e6))
 	red := mem.SystemFRAM(buildProfile(t, features.Reduced, 1e5))
@@ -69,7 +70,7 @@ func TestDetectorFRAMOrdering(t *testing.T) {
 }
 
 func TestEnergyModelBasics(t *testing.T) {
-	e := DefaultEnergyModel()
+	e := arp.DefaultEnergyModel()
 	if d := e.DutyCycle(0, 3); d != 0 {
 		t.Errorf("idle duty = %v", d)
 	}
@@ -91,7 +92,7 @@ func TestEnergyModelBasics(t *testing.T) {
 }
 
 func TestLifetimeDegenerate(t *testing.T) {
-	e := EnergyModel{}
+	e := arp.EnergyModel{}
 	if e.LifetimeDays(100, 3) != 0 {
 		t.Error("zero-current model should yield zero lifetime")
 	}
@@ -103,7 +104,7 @@ func TestLifetimeDegenerate(t *testing.T) {
 func TestLifetimeOrderingAcrossVersions(t *testing.T) {
 	// With measured-like cycle counts, lifetimes must order Reduced >
 	// Simplified > Original (Table III's shape).
-	e := DefaultEnergyModel()
+	e := arp.DefaultEnergyModel()
 	orig := e.LifetimeDays(2.0e6, 3)
 	simp := e.LifetimeDays(1.2e6, 3)
 	red := e.LifetimeDays(1.7e5, 3)
@@ -120,7 +121,7 @@ func TestLifetimeOrderingAcrossVersions(t *testing.T) {
 
 func TestBuildReport(t *testing.T) {
 	prof := buildProfile(t, features.Simplified, 1e6)
-	rep, err := BuildReport(prof, DefaultMemoryModel(), DefaultEnergyModel(), amulet.DefaultSystemSRAM)
+	rep, err := arp.BuildReport(prof, arp.DefaultMemoryModel(), arp.DefaultEnergyModel(), amulet.DefaultSystemSRAM)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,18 +131,18 @@ func TestBuildReport(t *testing.T) {
 	if rep.LifetimeDays <= 0 {
 		t.Error("report lifetime should be positive")
 	}
-	if _, err := BuildReport(nil, DefaultMemoryModel(), DefaultEnergyModel(), 0); err == nil {
+	if _, err := arp.BuildReport(nil, arp.DefaultMemoryModel(), arp.DefaultEnergyModel(), 0); err == nil {
 		t.Error("nil profile should error")
 	}
 }
 
 func TestRenderView(t *testing.T) {
 	prof := buildProfile(t, features.Original, 2e6)
-	rep, err := BuildReport(prof, DefaultMemoryModel(), DefaultEnergyModel(), amulet.DefaultSystemSRAM)
+	rep, err := arp.BuildReport(prof, arp.DefaultMemoryModel(), arp.DefaultEnergyModel(), amulet.DefaultSystemSRAM)
 	if err != nil {
 		t.Fatal(err)
 	}
-	view := RenderView(rep, DefaultEnergyModel(), 2e6, nil)
+	view := arp.RenderView(rep, arp.DefaultEnergyModel(), 2e6, nil)
 	for _, want := range []string{"Amulet Resource Profiler", "FRAM", "SRAM", "battery life", "w =  3.0"} {
 		if !strings.Contains(view, want) {
 			t.Errorf("view missing %q:\n%s", want, view)
@@ -154,20 +155,8 @@ func TestRenderView(t *testing.T) {
 	}
 }
 
-func TestBar(t *testing.T) {
-	if got := bar(5, 10, 10); !strings.HasPrefix(got, "[█████") {
-		t.Errorf("bar(5,10) = %q", got)
-	}
-	if got := bar(20, 10, 10); strings.Contains(got, "·") {
-		t.Errorf("overfull bar should be solid: %q", got)
-	}
-	if bar(1, 0, 10) != "" {
-		t.Error("zero capacity should render empty")
-	}
-}
-
 func TestDutyCycleMonotonicInCycles(t *testing.T) {
-	e := DefaultEnergyModel()
+	e := arp.DefaultEnergyModel()
 	prev := -1.0
 	for _, c := range []float64{0, 1e4, 1e5, 1e6, 1e7, 1e8} {
 		d := e.DutyCycle(c, 3)
@@ -186,7 +175,7 @@ func TestLifetimeVsWindowTradeoff(t *testing.T) {
 	// compute but fewer per-window overheads; in this simple model cycles
 	// scale linearly with w, so lifetime should be flat. Sanity-check the
 	// math stays consistent rather than drifting.
-	e := DefaultEnergyModel()
+	e := arp.DefaultEnergyModel()
 	perSec := 4e5
 	l3 := e.LifetimeDays(perSec*3, 3)
 	l6 := e.LifetimeDays(perSec*6, 6)

@@ -1,0 +1,90 @@
+package arp
+
+import (
+	"sync/atomic"
+)
+
+// defaultSupplyV is the nominal CR2032-class supply voltage assumed
+// when an EnergyModel does not specify one.
+const defaultSupplyV = 3.0
+
+// supplyV returns the model's supply voltage, defaulting to 3.0 V so
+// zero-valued and pre-existing models keep working.
+func (e EnergyModel) supplyV() float64 {
+	if e.SupplyV > 0 {
+		return e.SupplyV
+	}
+	return defaultSupplyV
+}
+
+// WindowEnergyMicroJ returns the modeled energy one sensing window
+// consumes: active-mode draw for the window's VM cycles plus the system
+// baseline (BLE, display, sensing, sleep) over the whole window.
+// E[µJ] = (I_active·t_active + I_system·t_window)[mA·s] · V · 1000.
+func (e EnergyModel) WindowEnergyMicroJ(cycles uint64, windowSec float64) float64 {
+	if e.ClockHz <= 0 || windowSec <= 0 {
+		return 0
+	}
+	activeSec := float64(cycles) / e.ClockHz
+	if activeSec > windowSec {
+		activeSec = windowSec
+	}
+	mAs := e.ActiveCurrentmA*activeSec + e.SystemCurrentmA*windowSec
+	return mAs * e.supplyV() * 1000
+}
+
+// Accounting incrementally attributes energy to a stream of classified
+// windows — the live counterpart of the batch Report/Table III path.
+// All mutation is atomic: fleet workers account windows concurrently
+// while an HTTP scraper reads totals.
+type Accounting struct {
+	model     EnergyModel
+	windowSec float64
+
+	windows atomic.Int64
+	cycles  atomic.Int64
+	nanoJ   atomic.Int64
+}
+
+// NewAccounting returns an accumulator that bills each window at
+// windowSec seconds under the given model.
+func NewAccounting(model EnergyModel, windowSec float64) *Accounting {
+	if windowSec <= 0 {
+		windowSec = 1
+	}
+	return &Accounting{model: model, windowSec: windowSec}
+}
+
+// AccountWindow bills one classified window's VM cycles and returns the
+// energy (µJ) that window consumed under the model.
+func (a *Accounting) AccountWindow(cycles uint64) float64 {
+	uj := a.model.WindowEnergyMicroJ(cycles, a.windowSec)
+	a.windows.Add(1)
+	a.cycles.Add(int64(cycles))
+	a.nanoJ.Add(int64(uj * 1e3))
+	return uj
+}
+
+// Windows returns the number of windows billed so far.
+func (a *Accounting) Windows() int64 { return a.windows.Load() }
+
+// CyclesPerWindow returns the mean VM cycle cost per billed window.
+func (a *Accounting) CyclesPerWindow() float64 {
+	w := a.windows.Load()
+	if w == 0 {
+		return 0
+	}
+	return float64(a.cycles.Load()) / float64(w)
+}
+
+// TotalMicroJ returns the total energy billed so far.
+func (a *Accounting) TotalMicroJ() float64 {
+	return float64(a.nanoJ.Load()) / 1e3
+}
+
+// ProjectedLifetimeDays projects battery life from the observed mean
+// duty cycle — the Table III lifetime column, but computed from live
+// telemetry instead of a one-shot profile.
+func (a *Accounting) ProjectedLifetimeDays() float64 {
+	return a.model.LifetimeDays(a.CyclesPerWindow(), a.windowSec)
+}

@@ -1,0 +1,91 @@
+package arp
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestWindowEnergyMicroJ(t *testing.T) {
+	m := EnergyModel{ClockHz: 1e6, ActiveCurrentmA: 2.0, SystemCurrentmA: 0.1, SupplyV: 3.0}
+	// 500k cycles at 1 MHz = 0.5 s active in a 1 s window:
+	// (2.0·0.5 + 0.1·1.0) mA·s · 3 V · 1000 = 3300 µJ.
+	got := m.WindowEnergyMicroJ(500_000, 1.0)
+	if math.Abs(got-3300) > 1e-9 {
+		t.Errorf("WindowEnergyMicroJ = %.6f µJ, want 3300", got)
+	}
+	// Active time clamps at the window: 10M cycles can't exceed 1 s.
+	capped := m.WindowEnergyMicroJ(10_000_000, 1.0)
+	want := (2.0 + 0.1) * 3.0 * 1000
+	if math.Abs(capped-want) > 1e-9 {
+		t.Errorf("clamped energy = %.6f µJ, want %.6f", capped, want)
+	}
+	if m.WindowEnergyMicroJ(1000, 0) != 0 {
+		t.Error("zero-length window must bill zero energy")
+	}
+}
+
+func TestSupplyVoltageDefaults(t *testing.T) {
+	unset := EnergyModel{ClockHz: 1e6, ActiveCurrentmA: 1, SystemCurrentmA: 0}
+	explicit := unset
+	explicit.SupplyV = 3.0
+	if a, b := unset.WindowEnergyMicroJ(1000, 1), explicit.WindowEnergyMicroJ(1000, 1); a != b {
+		t.Errorf("unset SupplyV billed %.6f µJ, explicit 3.0 V billed %.6f", a, b)
+	}
+	if DefaultEnergyModel().SupplyV != 3.0 {
+		t.Errorf("DefaultEnergyModel SupplyV = %g, want 3.0", DefaultEnergyModel().SupplyV)
+	}
+}
+
+func TestAccountingAccumulates(t *testing.T) {
+	m := EnergyModel{ClockHz: 1e6, ActiveCurrentmA: 2.0, SystemCurrentmA: 0.1, SupplyV: 3.0}
+	acc := NewAccounting(m, 1.0)
+	uj := acc.AccountWindow(500_000)
+	if math.Abs(uj-3300) > 1e-9 {
+		t.Errorf("AccountWindow returned %.6f µJ, want 3300", uj)
+	}
+	acc.AccountWindow(100_000)
+	if acc.Windows() != 2 {
+		t.Errorf("Windows = %d, want 2", acc.Windows())
+	}
+	if cpw := acc.CyclesPerWindow(); math.Abs(cpw-300_000) > 1e-9 {
+		t.Errorf("CyclesPerWindow = %.1f, want 300000", cpw)
+	}
+	want := 3300 + m.WindowEnergyMicroJ(100_000, 1.0)
+	if math.Abs(acc.TotalMicroJ()-want) > 1e-6 {
+		t.Errorf("TotalMicroJ = %.6f, want %.6f", acc.TotalMicroJ(), want)
+	}
+	// Projection consistency: lifetime from the accounting's observed
+	// duty cycle equals the model's own projection for that load.
+	if got, want := acc.ProjectedLifetimeDays(), m.LifetimeDays(300_000, 1.0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ProjectedLifetimeDays = %.6f, want %.6f", got, want)
+	}
+}
+
+func TestAccountingConcurrent(t *testing.T) {
+	acc := NewAccounting(DefaultEnergyModel(), 3.0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				acc.AccountWindow(10_000)
+			}
+		}()
+	}
+	wg.Wait()
+	if acc.Windows() != 2000 {
+		t.Fatalf("Windows = %d after concurrent accounting, want 2000", acc.Windows())
+	}
+	if cpw := acc.CyclesPerWindow(); cpw != 10_000 {
+		t.Fatalf("CyclesPerWindow = %.1f, want 10000", cpw)
+	}
+}
+
+func TestAccountingGuardsWindowSec(t *testing.T) {
+	acc := NewAccounting(DefaultEnergyModel(), -5)
+	if uj := acc.AccountWindow(1000); uj <= 0 {
+		t.Errorf("guarded accounting billed %.6f µJ, want positive", uj)
+	}
+}

@@ -1,0 +1,18 @@
+package arp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBar(t *testing.T) {
+	if got := bar(5, 10, 10); !strings.HasPrefix(got, "[█████") {
+		t.Errorf("bar(5,10) = %q", got)
+	}
+	if got := bar(20, 10, 10); strings.Contains(got, "·") {
+		t.Errorf("overfull bar should be solid: %q", got)
+	}
+	if bar(1, 0, 10) != "" {
+		t.Error("zero capacity should render empty")
+	}
+}

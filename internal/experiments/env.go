@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/obs/telemetry"
 	"github.com/wiot-security/sift/internal/physio"
 )
 
@@ -53,6 +54,11 @@ type Env struct {
 	// 0 means runtime.GOMAXPROCS(0), 1 forces the serial path. Records
 	// are read-only after NewEnv, so any positive value is safe.
 	Workers int
+
+	// Telemetry, when set, streams device measurement runs (Table III /
+	// Fig 3 profiling) into per-version device series an exposition
+	// endpoint can scrape while the experiment runs.
+	Telemetry *telemetry.Registry
 }
 
 // NewEnv synthesizes the cohort and its training/test recordings. Test

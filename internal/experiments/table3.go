@@ -78,6 +78,10 @@ func measureVersion(env *Env, v features.Version) (DeviceTelemetry, error) {
 	if err != nil {
 		return DeviceTelemetry{}, err
 	}
+	if env.Telemetry != nil {
+		dev.Telemetry = env.Telemetry.Device("arp/" + v.String())
+		dev.Energy = arp.NewAccounting(arp.DefaultEnergyModel(), dataset.WindowSec)
+	}
 	for _, w := range wins {
 		if _, err := dev.Classify(w); err != nil {
 			return DeviceTelemetry{}, err

@@ -18,18 +18,30 @@ import (
 	"time"
 
 	"github.com/wiot-security/sift/internal/obs"
+	"github.com/wiot-security/sift/internal/obs/telemetry"
 	"github.com/wiot-security/sift/internal/wiot"
 )
 
-// Observability handles for the engine. obsSlot prices a whole slot
-// (scenario construction — often including detector training — plus the
-// run); obsScenarioRun is its child covering just the simulation, so
-// obsSlot's self time is the construction cost.
+// Observability handles for the engine. obsFleetRun prices the whole
+// fleet and roots the trace tree; obsSlot prices a whole slot (scenario
+// construction — often including detector training — plus the run);
+// obsScenarioRun is its child covering just the simulation, so obsSlot's
+// self time is the construction cost.
 var (
+	obsFleetRun    = obs.NewTimer("fleet.run")
 	obsSlot        = obs.NewTimer("fleet.slot")
 	obsScenarioRun = obs.NewTimer("fleet.scenario.run")
 	obsSlotsRun    = obs.NewCounter("fleet.slots")
 )
+
+// TraceParentSetter lets a scenario's detector link its own trace spans
+// (e.g. per-window VM runs) under the fleet slot that drives it. The
+// engine hands the scenario-run span's trace ID to any detector that
+// implements it, so a flight recorder renders fleet → scenario → vm as
+// one nested tree even though each layer runs its own instrumentation.
+type TraceParentSetter interface {
+	SetTraceParent(id uint64)
+}
 
 // Source builds the scenario for one fleet slot. It is called from
 // worker goroutines, so it must be safe for concurrent use and — for
@@ -49,7 +61,11 @@ type Config struct {
 	// and the rest of the fleet keeps running.
 	FailFast bool
 	Metrics  *Metrics // optional; nil disables instrumentation
-	Source   Source
+	// Telemetry, when set, accumulates per-device (per-subject) series:
+	// each completed slot records its windows, raised alerts, and wall
+	// time under the scenario's subject ID.
+	Telemetry *telemetry.Registry
+	Source    Source
 }
 
 // ScenarioError ties a failure to its fleet slot.
@@ -176,6 +192,12 @@ func Run(ctx context.Context, cfg Config) (FleetResult, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// The root span covers the whole fleet; worker slots parent under it
+	// via StartChildOf so an attached flight recorder sees one tree.
+	rootSpan := obsFleetRun.Start()
+	defer rootSpan.End()
+	rootID := rootSpan.TraceID()
+
 	outcomes := make([]outcome, cfg.Scenarios)
 	indices := make(chan int)
 	var wg sync.WaitGroup
@@ -187,7 +209,7 @@ func Run(ctx context.Context, cfg Config) (FleetResult, error) {
 				if ctx.Err() != nil {
 					return
 				}
-				runSlot(ctx, cfg, i, &outcomes[i])
+				runSlot(ctx, cfg, i, &outcomes[i], rootID)
 				if outcomes[i].err != nil && cfg.FailFast {
 					cancel()
 					return
@@ -209,9 +231,11 @@ feed:
 	return aggregate(cfg.Scenarios, outcomes), nil
 }
 
-// runSlot executes one scenario slot into out.
-func runSlot(ctx context.Context, cfg Config, index int, out *outcome) {
-	span := obsSlot.Start()
+// runSlot executes one scenario slot into out. traceRoot is the fleet
+// root span's trace ID (0 when no recorder is attached); the slot span
+// links under it so slot trees group per worker task in a trace dump.
+func runSlot(ctx context.Context, cfg Config, index int, out *outcome, traceRoot uint64) {
+	span := obsSlot.StartChildOf(traceRoot)
 	defer span.End()
 	obsSlotsRun.Add(1)
 	out.ran = true
@@ -241,6 +265,9 @@ func runSlot(ctx context.Context, cfg Config, index int, out *outcome) {
 	// handling would be billed to the scenario timer.
 	start := time.Now()                   //wiotlint:allow detrand
 	runSpan := span.Child(obsScenarioRun) //wiotlint:allow spanend
+	if ts, ok := sc.Detector.(TraceParentSetter); ok {
+		ts.SetTraceParent(runSpan.TraceID())
+	}
 	res, err := wiot.RunScenarioContext(ctx, sc)
 	runSpan.End()
 	elapsed := time.Since(start) //wiotlint:allow detrand
@@ -252,15 +279,18 @@ func runSlot(ctx context.Context, cfg Config, index int, out *outcome) {
 		return
 	}
 	out.res = res
-	if cfg.Metrics != nil {
-		raised := 0
-		for _, a := range res.Alerts {
-			if a.Altered {
-				raised++
-			}
+	raised := 0
+	for _, a := range res.Alerts {
+		if a.Altered {
+			raised++
 		}
+	}
+	if cfg.Metrics != nil {
 		cfg.Metrics.WindowsScored(res.Windows, raised)
 		cfg.Metrics.ScenarioCompleted(elapsed)
+	}
+	if cfg.Telemetry != nil && out.subject != "" {
+		cfg.Telemetry.Device(out.subject).ObserveScenario(res.Windows, raised, elapsed)
 	}
 }
 

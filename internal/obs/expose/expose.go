@@ -1,0 +1,215 @@
+// Package expose serves the observability layer over HTTP: Prometheus
+// text exposition of device telemetry and obs metrics at /metrics, the
+// flight recorder's Chrome trace at /debug/trace (and JSONL at
+// /debug/trace.jsonl), and a liveness probe at /healthz. It holds no
+// state of its own — every request renders the live registries, so a
+// scraper always sees the current fleet run.
+package expose
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/wiot-security/sift/internal/obs"
+	"github.com/wiot-security/sift/internal/obs/telemetry"
+	"github.com/wiot-security/sift/internal/obs/trace"
+)
+
+// Options selects which observability sources the handler exposes. Any
+// field may be nil; the corresponding sections are simply omitted.
+type Options struct {
+	Telemetry *telemetry.Registry // per-device series on /metrics
+	Sampler   *telemetry.Sampler  // time-series rollups on /metrics
+	Recorder  *trace.Recorder     // /debug/trace and drop counters
+}
+
+// Handler returns the observability mux: /metrics, /debug/trace,
+// /debug/trace.jsonl, and /healthz.
+func Handler(opts Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, opts)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		if opts.Recorder == nil {
+			http.Error(w, "no trace recorder attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = opts.Recorder.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/trace.jsonl", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		if opts.Recorder == nil {
+			http.Error(w, "no trace recorder attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = opts.Recorder.WriteJSONL(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func allowGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+// escapeLabel escapes a Prometheus label value (backslash, quote,
+// newline — the three characters the text format reserves).
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// family writes one metric family: HELP/TYPE header plus each sample as
+// name{label="value"} v.
+type family struct {
+	name string
+	help string
+	typ  string // "counter" or "gauge"
+}
+
+func (f family) header(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+}
+
+func (f family) sample(w io.Writer, label, value string, v float64) {
+	if label == "" {
+		fmt.Fprintf(w, "%s %g\n", f.name, v)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s=%q} %g\n", f.name, label, escapeLabel(value), v)
+}
+
+// writeMetrics renders everything the options expose in Prometheus text
+// exposition format (version 0.0.4).
+func writeMetrics(w io.Writer, opts Options) {
+	if opts.Telemetry != nil {
+		writeDevices(w, opts.Telemetry.Snapshot())
+	}
+	writeObs(w, obs.TakeSnapshot())
+	if opts.Sampler != nil {
+		writeSeries(w, opts.Sampler.Series())
+	}
+	if opts.Recorder != nil {
+		writeRecorder(w, opts.Recorder)
+	}
+}
+
+// writeDevices emits the per-device Table III quantities: windows and
+// cycles classified, the SRAM peak watermark, modeled energy, projected
+// battery lifetime, and scenario/alert totals.
+func writeDevices(w io.Writer, devices []telemetry.DeviceSnapshot) {
+	if len(devices) == 0 {
+		return
+	}
+	families := []struct {
+		family
+		value func(telemetry.DeviceSnapshot) float64
+	}{
+		{family{"wiot_device_windows_total", "VM windows classified on the device.", "counter"},
+			func(d telemetry.DeviceSnapshot) float64 { return float64(d.Windows) }},
+		{family{"wiot_device_cycles_total", "Total VM cycles spent classifying windows.", "counter"},
+			func(d telemetry.DeviceSnapshot) float64 { return float64(d.Cycles) }},
+		{family{"wiot_device_cycles_per_window", "Mean VM cycles per classified window.", "gauge"},
+			func(d telemetry.DeviceSnapshot) float64 { return d.CyclesPerWindow() }},
+		{family{"wiot_device_sram_peak_bytes", "Highest per-window SRAM watermark observed.", "gauge"},
+			func(d telemetry.DeviceSnapshot) float64 { return float64(d.SRAMPeakBytes) }},
+		{family{"wiot_device_energy_microjoules", "Modeled energy consumed by on-device inference.", "counter"},
+			func(d telemetry.DeviceSnapshot) float64 { return d.EnergyMicroJ }},
+		{family{"wiot_device_lifetime_days", "Projected battery lifetime at the observed duty cycle.", "gauge"},
+			func(d telemetry.DeviceSnapshot) float64 { return d.LifetimeDays }},
+		{family{"wiot_device_scenarios_total", "Fleet scenarios completed against the device.", "counter"},
+			func(d telemetry.DeviceSnapshot) float64 { return float64(d.Scenarios) }},
+		{family{"wiot_device_alerts_total", "Altered-window alerts the device raised.", "counter"},
+			func(d telemetry.DeviceSnapshot) float64 { return float64(d.Alerts) }},
+	}
+	for _, f := range families {
+		f.header(w)
+		for _, d := range devices {
+			f.sample(w, "device", d.Name, f.value(d))
+		}
+	}
+}
+
+// writeObs emits every registered obs counter and timer, labeled by
+// metric name so dotted obs names survive Prometheus' identifier rules.
+func writeObs(w io.Writer, snap obs.Snapshot) {
+	if len(snap.Counters) > 0 {
+		f := family{"wiot_obs_counter", "Registered obs counter value.", "gauge"}
+		f.header(w)
+		for _, c := range snap.Counters {
+			f.sample(w, "name", c.Name, float64(c.Value))
+		}
+	}
+	if len(snap.Timers) > 0 {
+		count := family{"wiot_obs_timer_count", "Spans recorded by the obs timer.", "counter"}
+		count.header(w)
+		for _, t := range snap.Timers {
+			count.sample(w, "name", t.Name, float64(t.Count))
+		}
+		total := family{"wiot_obs_timer_seconds_total", "Total span time recorded by the obs timer.", "counter"}
+		total.header(w)
+		for _, t := range snap.Timers {
+			total.sample(w, "name", t.Name, t.Total.Seconds())
+		}
+	}
+}
+
+// writeSeries emits the sampler's rollups: last and p99 per series.
+func writeSeries(w io.Writer, series []telemetry.SeriesSnapshot) {
+	var nonEmpty []telemetry.SeriesSnapshot
+	for _, s := range series {
+		if s.Rollup.Count > 0 {
+			nonEmpty = append(nonEmpty, s)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return
+	}
+	last := family{"wiot_series_last", "Most recent sample of the telemetry series.", "gauge"}
+	last.header(w)
+	for _, s := range nonEmpty {
+		last.sample(w, "series", s.Name, s.Rollup.Last)
+	}
+	p99 := family{"wiot_series_p99", "99th percentile of the series' retained window.", "gauge"}
+	p99.header(w)
+	for _, s := range nonEmpty {
+		p99.sample(w, "series", s.Name, s.Rollup.P99)
+	}
+}
+
+// writeRecorder emits the flight recorder's write/drop accounting so a
+// scraper can tell when the ring wrapped mid-run.
+func writeRecorder(w io.Writer, r *trace.Recorder) {
+	written := family{"wiot_trace_events_written_total", "Events offered to the flight recorder.", "counter"}
+	written.header(w)
+	written.sample(w, "", "", float64(r.Written()))
+	dropped := family{"wiot_trace_events_dropped_total", "Events evicted by ring wrap.", "counter"}
+	dropped.header(w)
+	dropped.sample(w, "", "", float64(r.Drops()))
+}

@@ -1,0 +1,170 @@
+package expose
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/obs"
+	"github.com/wiot-security/sift/internal/obs/telemetry"
+	"github.com/wiot-security/sift/internal/obs/trace"
+)
+
+// sampleLine matches one Prometheus text-format sample:
+// name{label="value"} number
+var sampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"\})? [-+]?([0-9.]+([eE][-+]?[0-9]+)?|Inf|NaN)$`)
+
+func testHandler(t *testing.T) (http.Handler, *telemetry.Registry) {
+	t.Helper()
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(prev) })
+
+	reg := telemetry.NewRegistry()
+	reg.Device("amulet-00").ObserveWindow(4200, 512, 17.5)
+	reg.Device("amulet-00").SetLifetimeDays(38.2)
+	reg.Device("amulet-01").ObserveWindow(3100, 448, 12.25)
+
+	obs.NewCounter("expose.test.counter").Add(11)
+	tm := obs.NewTimer("expose.test.timer")
+	sp := tm.Start()
+	sp.End()
+
+	sampler := telemetry.NewSampler(0, 16, reg)
+	sampler.SampleOnce(1_000_000)
+
+	rec := trace.New(64, 1)
+	rec.Attach()
+	t.Cleanup(trace.Detach)
+	g := trace.Begin("expose.test.region")
+	g.End()
+
+	return Handler(Options{Telemetry: reg, Sampler: sampler, Recorder: rec}), reg
+}
+
+func TestMetricsRoundTrip(t *testing.T) {
+	h, _ := testHandler(t)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// Every non-comment line must parse as a Prometheus sample.
+	samples := 0
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("line %d is not valid exposition text: %q", i+1, line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("exposition contained no samples")
+	}
+
+	for _, want := range []string{
+		`wiot_device_energy_microjoules{device="amulet-00"} 17.5`,
+		`wiot_device_energy_microjoules{device="amulet-01"} 12.25`,
+		`wiot_device_sram_peak_bytes{device="amulet-00"} 512`,
+		`wiot_device_lifetime_days{device="amulet-00"} 38.2`,
+		`wiot_obs_counter{name="expose.test.counter"}`,
+		`wiot_obs_timer_count{name="expose.test.timer"}`,
+		`wiot_series_last{series="device/amulet-00/energy_uj"} 17.5`,
+		"# TYPE wiot_device_energy_microjoules counter",
+		"wiot_trace_events_written_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestTraceEndpointServesChromeJSON(t *testing.T) {
+	h, _ := testHandler(t)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/trace status %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace endpoint returned invalid JSON: %v", err)
+	}
+	var found bool
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "expose.test.region" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("trace dump does not contain the recorded region")
+	}
+}
+
+func TestHealthzAndMethodGuards(t *testing.T) {
+	h, _ := testHandler(t)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("GET /healthz = %d %q, want 200 ok", resp.StatusCode, body)
+	}
+
+	post, err := http.Post(srv.URL+"/metrics", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics = %d, want 405", post.StatusCode)
+	}
+}
+
+func TestTraceEndpointWithoutRecorder(t *testing.T) {
+	srv := httptest.NewServer(Handler(Options{}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /debug/trace without recorder = %d, want 404", resp.StatusCode)
+	}
+}

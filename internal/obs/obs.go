@@ -35,19 +35,95 @@ func SetEnabled(on bool) { enabled.Store(on) }
 // Enabled reports whether collection is currently on.
 func Enabled() bool { return enabled.Load() }
 
+// EventSink receives event-level telemetry from every instrumentation
+// site while attached: one SpanBegin/SpanEnd pair per live span and one
+// CounterSample per Counter.Add. Implementations must be safe for
+// concurrent use from any goroutine and must not allocate or block —
+// they sit directly on the hot paths (the flight recorder in obs/trace
+// is the canonical implementation). Metric IDs resolve to names via
+// MetricName; timestamps are NowNanos offsets.
+type EventSink interface {
+	SpanBegin(metricID int32, spanID, parentID uint64, startNS int64)
+	SpanEnd(metricID int32, spanID, parentID uint64, startNS, endNS int64)
+	CounterSample(metricID int32, tsNS int64, total int64)
+}
+
+// sinkBox wraps the sink interface so hot paths can load it with a
+// single atomic pointer read.
+type sinkBox struct{ s EventSink }
+
+var sink atomic.Pointer[sinkBox]
+
+// AttachSink routes event-level telemetry to s (detaching any previous
+// sink). Events only fire while collection is enabled — a sink without
+// SetEnabled(true) sees nothing.
+func AttachSink(s EventSink) {
+	if s == nil {
+		sink.Store(nil)
+		return
+	}
+	sink.Store(&sinkBox{s: s})
+}
+
+// DetachSink stops event emission. Aggregate counters and timers keep
+// collecting as long as the package is enabled.
+func DetachSink() { sink.Store(nil) }
+
+// SinkAttached reports whether an event sink is currently attached.
+func SinkAttached() bool { return sink.Load() != nil }
+
+// nextSpanID allocates trace-wide unique span IDs. ID 0 is reserved to
+// mean "no span" (roots have parent 0; disabled spans have ID 0).
+var nextSpanID atomic.Uint64
+
+// NewSpanID allocates a span ID from the same sequence Timer spans use,
+// so sinks that mint their own regions (obs/trace) never collide with
+// instrumented spans.
+func NewSpanID() uint64 { return nextSpanID.Add(1) }
+
 // registry holds every metric ever created, keyed by name, so snapshots
 // and resets can enumerate them. Creation is rare (package init);
-// lookups on the hot path never touch it.
+// lookups on the hot path never touch it. Every metric also gets a
+// small sequential ID so event sinks can record a metric as one int32
+// and resolve the name only at export time.
 var registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	timers   map[string]*Timer
+	names    []string // metric ID -> name, counters and timers interleaved
+}
+
+// assignID registers a metric name and returns its ID. Caller holds
+// registry.mu.
+func assignID(name string) int32 {
+	registry.names = append(registry.names, name)
+	return int32(len(registry.names) - 1)
+}
+
+// MetricName resolves a metric ID (as delivered to an EventSink) back
+// to its registered name; unknown IDs yield "".
+func MetricName(id int32) string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if id < 0 || int(id) >= len(registry.names) {
+		return ""
+	}
+	return registry.names[id]
+}
+
+// MaxMetricID returns the highest metric ID assigned so far (-1 when no
+// metric exists yet). Sinks size their ID-indexed caches from it.
+func MaxMetricID() int32 {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	return int32(len(registry.names) - 1)
 }
 
 // Counter is a named monotonic counter. The zero value is unusable;
 // construct with NewCounter.
 type Counter struct {
 	name string
+	id   int32
 	v    atomic.Int64
 }
 
@@ -63,7 +139,7 @@ func NewCounter(name string) *Counter {
 	if c, ok := registry.counters[name]; ok {
 		return c
 	}
-	c := &Counter{name: name}
+	c := &Counter{name: name, id: assignID(name)}
 	registry.counters[name] = c
 	return c
 }
@@ -71,12 +147,18 @@ func NewCounter(name string) *Counter {
 // Name returns the counter's registered name.
 func (c *Counter) Name() string { return c.name }
 
+// ID returns the counter's metric ID (the value an EventSink sees).
+func (c *Counter) ID() int32 { return c.id }
+
 // Add increments the counter by n when collection is enabled.
 func (c *Counter) Add(n int64) {
 	if !enabled.Load() {
 		return
 	}
-	c.v.Add(n)
+	v := c.v.Add(n)
+	if sb := sink.Load(); sb != nil {
+		sb.s.CounterSample(c.id, nowNanos(), v)
+	}
 }
 
 // Value returns the current count.
@@ -88,6 +170,7 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // with NewTimer.
 type Timer struct {
 	name   string
+	id     int32
 	count  atomic.Int64
 	totalN atomic.Int64 // nanoseconds, wall time
 	selfN  atomic.Int64 // nanoseconds, wall time minus child spans
@@ -105,13 +188,16 @@ func NewTimer(name string) *Timer {
 	if t, ok := registry.timers[name]; ok {
 		return t
 	}
-	t := &Timer{name: name}
+	t := &Timer{name: name, id: assignID(name)}
 	registry.timers[name] = t
 	return t
 }
 
 // Name returns the timer's registered name.
 func (t *Timer) Name() string { return t.name }
+
+// ID returns the timer's metric ID (the value an EventSink sees).
+func (t *Timer) ID() int32 { return t.id }
 
 func (t *Timer) record(total, self time.Duration) {
 	t.count.Add(1)

@@ -9,6 +9,11 @@ var epoch = time.Now()
 
 func nowNanos() int64 { return int64(time.Since(epoch)) }
 
+// NowNanos returns the current offset of the package's monotonic clock
+// (nanoseconds since process start). Event sinks and samplers use it so
+// their timestamps share the span timeline.
+func NowNanos() int64 { return nowNanos() }
+
 // Span is one timed region in flight. It is a plain value: when
 // collection is disabled Start returns the zero Span, whose End is a nil
 // check and nothing else, so disabled spans live entirely in registers.
@@ -17,12 +22,28 @@ func nowNanos() int64 { return int64(time.Since(epoch)) }
 // to its own timer and, on End, subtracts it from the parent's self
 // time. A span must End on the goroutine that started it, before its
 // parent does — the natural shape of defer-paired instrumentation.
+//
+// While an EventSink is attached every live span additionally carries a
+// trace-wide unique ID and emits begin/end events, so a flight recorder
+// can reconstruct the span tree — including across goroutines, via
+// StartChildOf.
 type Span struct {
-	timer   *Timer
-	parent  *Span
-	startNS int64
-	childNS int64
-	ended   bool
+	timer    *Timer
+	parent   *Span
+	id       uint64 // trace ID; 0 when no sink was attached at Start
+	parentID uint64 // trace ID of the parent (same- or cross-goroutine)
+	startNS  int64
+	childNS  int64
+	ended    bool
+}
+
+// begin stamps the span's trace identity and emits the begin event when
+// a sink is attached. Called only on live spans.
+func (s *Span) begin() {
+	if sb := sink.Load(); sb != nil {
+		s.id = nextSpanID.Add(1)
+		sb.s.SpanBegin(s.timer.id, s.id, s.parentID, s.startNS)
+	}
 }
 
 // Start opens a root span on the timer. When collection is disabled it
@@ -31,7 +52,25 @@ func (t *Timer) Start() Span {
 	if !enabled.Load() {
 		return Span{}
 	}
-	return Span{timer: t, startNS: nowNanos()}
+	s := Span{timer: t, startNS: nowNanos()}
+	s.begin()
+	return s
+}
+
+// StartChildOf opens a span that is a trace child of the span identified
+// by parentID — typically a span running on another goroutine, whose
+// TraceID was handed over explicitly (the fleet engine parents worker
+// slots under the run's root span this way). Unlike Span.Child it does
+// no self-time accounting: the parent's timer is not charged, only the
+// trace tree records the relationship. parentID 0 yields a root span,
+// so call sites can pass an unconditional ID.
+func (t *Timer) StartChildOf(parentID uint64) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	s := Span{timer: t, parentID: parentID, startNS: nowNanos()}
+	s.begin()
+	return s
 }
 
 // Child opens a nested span on t whose duration will be excluded from
@@ -41,12 +80,19 @@ func (s *Span) Child(t *Timer) Span {
 	if s.timer == nil || !enabled.Load() {
 		return Span{}
 	}
-	return Span{timer: t, parent: s, startNS: nowNanos()}
+	c := Span{timer: t, parent: s, parentID: s.id, startNS: nowNanos()}
+	c.begin()
+	return c
 }
 
 // Running reports whether the span is live (started with collection
 // enabled and not yet ended).
 func (s *Span) Running() bool { return s.timer != nil && !s.ended }
+
+// TraceID returns the span's trace-wide ID: nonzero only for spans
+// started while an EventSink was attached. Hand it to StartChildOf to
+// parent work on another goroutine under this span.
+func (s *Span) TraceID() uint64 { return s.id }
 
 // End closes the span, recording its wall time and self time into its
 // timer and charging the wall time to the parent's child account. End on
@@ -56,7 +102,8 @@ func (s *Span) End() {
 		return
 	}
 	s.ended = true
-	elapsed := time.Duration(nowNanos() - s.startNS)
+	endNS := nowNanos()
+	elapsed := time.Duration(endNS - s.startNS)
 	if elapsed < 0 {
 		elapsed = 0
 	}
@@ -67,5 +114,10 @@ func (s *Span) End() {
 	s.timer.record(elapsed, self)
 	if s.parent != nil && s.parent.timer != nil {
 		s.parent.childNS += int64(elapsed)
+	}
+	if s.id != 0 {
+		if sb := sink.Load(); sb != nil {
+			sb.s.SpanEnd(s.timer.id, s.id, s.parentID, s.startNS, endNS)
+		}
 	}
 }
