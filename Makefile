@@ -7,7 +7,7 @@ GO ?= go
 # Coverage floor (percent) enforced on the packages PR 1 race-proofed.
 COVER_FLOOR ?= 85.0
 
-.PHONY: check vet build test race fuzz fuzz-verify fleet-demo lint lint-custom vuln cover bench bench-check
+.PHONY: check vet build test race chaos fuzz fuzz-verify fleet-demo lint lint-custom vuln cover bench bench-check
 
 check: vet build race
 
@@ -25,6 +25,14 @@ test:
 # exercised concurrently by their tests.
 race:
 	$(GO) test -race ./...
+
+# The fault-injected transport suite: the chaos injector itself, the
+# reconnecting sinks, and the over-TCP scenario/fleet parity tests, all
+# under the race detector and run twice (-count=2 catches state leaking
+# between runs through package-level counters or lingering goroutines).
+chaos:
+	$(GO) test -race -count=2 ./internal/wiot/chaos/ ./internal/wiot/ -run 'Chaos|Reconnect|RunScenarioOverTCP|FrameScanner|ServeTCP|ServeConn|TCPStation|PeekRecord|AcceptLoop|ConnSink|ErrorRing|RequireChecksums|DialSensor|Corruption|Cut|Partition|ControlRecords|Latency'
+	$(GO) test -race -count=2 ./internal/fleet/ -run 'FleetRunnerOverChaosTCP'
 
 # Short coverage-guided session on the frame codec (beyond the seed
 # corpus that `go test` always runs).

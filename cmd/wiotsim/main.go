@@ -24,6 +24,7 @@ import (
 	"github.com/wiot-security/sift/internal/sift"
 	"github.com/wiot-security/sift/internal/svm"
 	"github.com/wiot-security/sift/internal/wiot"
+	"github.com/wiot-security/sift/internal/wiot/chaos"
 )
 
 func main() {
@@ -53,6 +54,7 @@ func run() error {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "fleet worker pool size (must be positive)")
 	loss := flag.Float64("loss", 0.02, "fleet mode: frame loss probability on the wireless link")
 	dup := flag.Float64("dup", 0.01, "fleet mode: frame duplication probability")
+	chaosMode := flag.Bool("chaos", false, "fleet mode: stream every scenario over real TCP through a fault injector (-loss becomes the frame corruption probability, half of it the mid-frame cut probability)")
 	serve := flag.String("serve", "", "fleet mode: serve /metrics, /debug/trace, /healthz on this address during and after the run")
 	tracePath := flag.String("trace", "", "fleet mode: write a Chrome trace_event JSON dump of the run to this file at exit")
 	flag.Parse()
@@ -60,7 +62,7 @@ func run() error {
 	// Reject nonsense values outright instead of silently coercing them
 	// (the fleet engine would otherwise map a non-positive -workers to
 	// GOMAXPROCS behind the user's back).
-	if err := validateFlags(*fleetN, *workers, *loss, *dup, *trainSec, *liveSec, *attackAt, *serve, *tracePath); err != nil {
+	if err := validateFlags(*fleetN, *workers, *loss, *dup, *trainSec, *liveSec, *attackAt, *serve, *tracePath, *chaosMode); err != nil {
 		fmt.Fprintln(os.Stderr, "wiotsim:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -80,6 +82,7 @@ func run() error {
 			attackAt:  *attackAt,
 			loss:      *loss,
 			dup:       *dup,
+			chaos:     *chaosMode,
 			version:   version,
 			serve:     *serve,
 			tracePath: *tracePath,
@@ -170,6 +173,7 @@ type fleetOptions struct {
 	attackAt  float64
 	loss      float64
 	dup       float64
+	chaos     bool
 	version   features.Version
 	serve     string // addr for the live observability endpoint; "" = off
 	tracePath string // Chrome trace dump path; "" = off
@@ -190,8 +194,13 @@ func runFleet(opt fleetOptions) error {
 	}
 	fmt.Printf("fleet: %d subjects (mean age %.1f), training %s detectors on %.0f s each, streaming %.0f s live\n",
 		opt.subjects, physio.MeanAge(subjects), opt.version, opt.trainSec, opt.liveSec)
-	fmt.Printf("channel: loss %.1f%%, dup %.1f%%; MITM hijacks ECG at t=%.0f s\n",
-		100*opt.loss, 100*opt.dup, opt.attackAt)
+	if opt.chaos {
+		fmt.Printf("transport: TCP + chaos injector (corrupt %.1f%%, mid-frame cut %.1f%%); MITM hijacks ECG at t=%.0f s\n",
+			100*opt.loss, 100*opt.loss/2, opt.attackAt)
+	} else {
+		fmt.Printf("channel: loss %.1f%%, dup %.1f%%; MITM hijacks ECG at t=%.0f s\n",
+			100*opt.loss, 100*opt.dup, opt.attackAt)
+	}
 
 	obsv := newObservability(opt.serve, opt.tracePath)
 
@@ -227,9 +236,15 @@ func runFleet(opt fleetOptions) error {
 		if err != nil {
 			return wiot.Scenario{}, err
 		}
-		ch, err := wiot.NewLossy(opt.loss, opt.dup, seed)
-		if err != nil {
-			return wiot.Scenario{}, err
+		// In chaos mode the damage happens on the TCP wire instead of in
+		// an application-level lossy channel, so the scenario itself stays
+		// clean and the run doubles as a delivery-guarantee check.
+		var ch wiot.ChannelEffect = wiot.Reliable{}
+		if !opt.chaos {
+			ch, err = wiot.NewLossy(opt.loss, opt.dup, seed)
+			if err != nil {
+				return wiot.Scenario{}, err
+			}
 		}
 		attackFrom := int(opt.attackAt * live.SampleRate)
 		detector := wiot.Detector(hostDetector{det})
@@ -259,6 +274,18 @@ func runFleet(opt fleetOptions) error {
 		Metrics:   m,
 		Source:    src,
 	}
+	if opt.chaos {
+		cfg.Runner = func(ctx context.Context, slot fleet.Slot, sc wiot.Scenario) (wiot.ScenarioResult, error) {
+			return wiot.RunScenarioOverTCP(ctx, sc, wiot.NetConfig{
+				Seed: slot.Seed,
+				WrapListener: chaos.WrapListener(chaos.Config{
+					Seed:        slot.Seed,
+					CorruptProb: opt.loss,
+					CutProb:     opt.loss / 2,
+				}),
+			})
+		}
+	}
 	if obsv != nil {
 		cfg.Telemetry = obsv.reg
 		obsv.start()
@@ -279,10 +306,12 @@ func runFleet(opt fleetOptions) error {
 }
 
 // validateFlags rejects out-of-domain flag values before any work runs.
-func validateFlags(fleetN, workers int, loss, dup, trainSec, liveSec, attackAt float64, serve, tracePath string) error {
+func validateFlags(fleetN, workers int, loss, dup, trainSec, liveSec, attackAt float64, serve, tracePath string, chaosMode bool) error {
 	switch {
 	case fleetN < 0:
 		return fmt.Errorf("-fleet %d: subject count cannot be negative", fleetN)
+	case chaosMode && fleetN == 0:
+		return fmt.Errorf("-chaos: fault-injected transport needs a fleet run (-fleet N)")
 	case serve != "" && fleetN == 0:
 		return fmt.Errorf("-serve %s: the observability endpoint needs a fleet run (-fleet N)", serve)
 	case tracePath != "" && fleetN == 0:

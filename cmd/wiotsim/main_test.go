@@ -18,7 +18,7 @@ func TestRunFleetRejectsTinyCohorts(t *testing.T) {
 
 func TestValidateFlags(t *testing.T) {
 	ok := func(fleetN, workers int, loss, dup, trainSec, liveSec, attackAt float64) error {
-		return validateFlags(fleetN, workers, loss, dup, trainSec, liveSec, attackAt, "", "")
+		return validateFlags(fleetN, workers, loss, dup, trainSec, liveSec, attackAt, "", "", false)
 	}
 	if err := ok(0, 4, 0.02, 0.01, 300, 120, 60); err != nil {
 		t.Errorf("default-shaped flags rejected: %v", err)
@@ -38,8 +38,9 @@ func TestValidateFlags(t *testing.T) {
 		{"-train", ok(4, 4, 0.02, 0.01, 0, 120, 60)},
 		{"-live", ok(4, 4, 0.02, 0.01, 300, -5, 60)},
 		{"-attack-at", ok(4, 4, 0.02, 0.01, 300, 120, -1)},
-		{"-serve", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, ":9090", "")},
-		{"-trace", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, "", "out.json")},
+		{"-serve", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, ":9090", "", false)},
+		{"-trace", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, "", "out.json", false)},
+		{"-chaos", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, "", "", true)},
 	}
 	for _, c := range bad {
 		if c.err == nil {

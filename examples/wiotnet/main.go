@@ -3,6 +3,11 @@
 // frames, and a man-in-the-middle on the ECG connection substitutes a
 // donor's heartbeat halfway through — the full Fig 1 topology on the
 // loopback interface.
+//
+// The wire is deliberately hostile: a chaos proxy corrupts ~5% of frames
+// and occasionally severs a connection mid-frame. The sensors stream
+// through reconnecting sinks and the station requires checksums, so the
+// detector still sees every sample exactly once.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"github.com/wiot-security/sift/internal/sift"
 	"github.com/wiot-security/sift/internal/svm"
 	"github.com/wiot-security/sift/internal/wiot"
+	"github.com/wiot-security/sift/internal/wiot/chaos"
 )
 
 func main() {
@@ -77,12 +83,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv, err := wiot.ServeTCP(context.Background(), lis, station)
+	addr := lis.Addr().String()
+	// Every sensor byte crosses this fault injector before the station
+	// sees it.
+	faulty := chaos.Wrap(lis, chaos.Config{Seed: 7, CorruptProb: 0.05, CutProb: 0.02})
+	srv, err := wiot.ServeTCPConfig(context.Background(), faulty, station, wiot.TCPConfig{RequireChecksums: true})
 	if err != nil {
 		return err
 	}
 	defer func() { _ = srv.Close() }()
-	fmt.Println("base station listening on", lis.Addr())
+	fmt.Println("base station listening on", addr, "(chaos: 5% corruption, 2% mid-frame cuts)")
 
 	// Live signals: 60 s; the MITM hijacks the ECG wire at t = 30 s.
 	live, err := gen(subjects[0], 60, 100)
@@ -96,30 +106,34 @@ func run() error {
 	attackFrom := int(30 * live.SampleRate)
 	mitm := &wiot.SubstitutionMITM{Donor: donorLive.ECG, ActiveFrom: attackFrom}
 
-	stream := func(id wiot.SensorID, intercept wiot.Interceptor) error {
-		out, closeFn, err := wiot.DialSensor(lis.Addr().String())
+	stream := func(id wiot.SensorID, intercept wiot.Interceptor, seed int64) error {
+		out, err := wiot.NewReconnectSink(wiot.ReconnectConfig{Addr: addr, Seed: seed})
 		if err != nil {
 			return err
 		}
-		defer closeFn()
 		sensor, err := wiot.NewSensor(id, live, 90)
 		if err != nil {
+			_ = out.Close()
 			return err
 		}
 		for {
 			f, ok := sensor.Next()
 			if !ok {
-				return nil
+				// Close blocks until every buffered frame is acknowledged
+				// (or the drain deadline passes) — this is the delivery
+				// guarantee the plain DialSensor path never had.
+				return out.Close()
 			}
 			if err := out.HandleFrame(intercept.Intercept(f)); err != nil {
+				_ = out.Close()
 				return err
 			}
 		}
 	}
 
 	errc := make(chan error, 2)
-	go func() { errc <- stream(wiot.SensorECG, mitm) }()
-	go func() { errc <- stream(wiot.SensorABP, wiot.PassThrough{}) }()
+	go func() { errc <- stream(wiot.SensorECG, mitm, 1) }()
+	go func() { errc <- stream(wiot.SensorABP, wiot.PassThrough{}, 2) }()
 	for i := 0; i < 2; i++ {
 		if err := <-errc; err != nil {
 			return err
@@ -145,5 +159,8 @@ func run() error {
 		fmt.Printf("  %s window %2d (t=%2d s): %s\n", marker, a.WindowIndex, a.WindowIndex*3, status)
 	}
 	fmt.Printf("\nsink timeline: %s\nsink summary:  %s\n", sink.Timeline(40), sink.Summary())
+	st := srv.Stats()
+	fmt.Printf("transport: %d conns, %d resyncs (%d bytes skipped), %d frames faulted of %d, %d cuts\n",
+		st.Conns, st.Resyncs, st.SkippedBytes, faulty.Stats().Corrupted(), faulty.Stats().Frames(), faulty.Stats().Cuts())
 	return nil
 }

@@ -8,8 +8,9 @@ import (
 
 // DetRand polices the determinism contract of the simulation packages:
 // fleet results must be bit-identical for a given BaseSeed regardless of
-// worker count, and physio/experiments outputs must reproduce across
-// hosts. Wall-clock reads (time.Now and friends) and the process-global
+// worker count, physio/experiments outputs must reproduce across hosts,
+// and chaos fault schedules must replay byte-identically from their
+// seed. Wall-clock reads (time.Now and friends) and the process-global
 // math/rand source (rand.Intn etc., seeded from runtime entropy) both
 // break that, usually long after the code merges. Explicitly seeded
 // generators — rand.New(rand.NewSource(seed)) — are the sanctioned
@@ -20,7 +21,7 @@ import (
 // detrand.
 var DetRand = &Analyzer{
 	Name: "detrand",
-	Doc:  "forbid wall-clock and process-global randomness in deterministic packages (physio, fleet, experiments)",
+	Doc:  "forbid wall-clock and process-global randomness in deterministic packages (physio, fleet, experiments, chaos)",
 	Run:  runDetRand,
 }
 
@@ -30,6 +31,7 @@ var deterministicPackages = map[string]bool{
 	"physio":      true,
 	"fleet":       true,
 	"experiments": true,
+	"chaos":       true,
 }
 
 // bannedTime are the wall-clock entry points of package time.

@@ -1,0 +1,32 @@
+// Package chaos is a detrand fixture: fault injection must replay
+// byte-identically from its seed, so wall-clock reads and the
+// process-global random source are banned — but time.Sleep (shaping
+// latency without feeding state back) stays legal.
+package chaos
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badFaultSchedule decides faults from runtime entropy.
+func badFaultSchedule() bool {
+	return rand.Float64() < 0.05 // want "process-global random source"
+}
+
+// badDeadline derives fault timing from the wall clock.
+func badDeadline() time.Time {
+	return time.Now().Add(time.Second) // want "wall-clock state breaks seeded reproducibility"
+}
+
+// goodSeededFaults draws every decision from an explicit seed.
+func goodSeededFaults(seed int64) bool {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64() < 0.05
+}
+
+// goodShaping delays delivery; sleeping consumes time without reading
+// it, so determinism of the byte stream is preserved.
+func goodShaping(latency time.Duration) {
+	time.Sleep(latency)
+}

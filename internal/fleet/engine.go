@@ -51,6 +51,21 @@ type TraceParentSetter interface {
 // regardless of worker count or scheduling.
 type Source func(index int, seed int64) (wiot.Scenario, error)
 
+// Slot identifies one fleet slot to a Runner: its index and the derived
+// seed (BaseSeed + index) that all slot-local randomness must flow from.
+type Slot struct {
+	Index int
+	Seed  int64
+}
+
+// Runner executes one scenario. The default (nil) runs the in-process
+// simulation via wiot.RunScenarioContext; a custom Runner can route the
+// scenario over a real transport instead — e.g. loopback TCP through a
+// fault-injection proxy — while the engine keeps owning scheduling,
+// metrics, and aggregation. Runners are called from worker goroutines
+// and must be safe for concurrent use.
+type Runner func(ctx context.Context, slot Slot, sc wiot.Scenario) (wiot.ScenarioResult, error)
+
 // Config parameterizes a fleet run.
 type Config struct {
 	Scenarios int   // number of scenario slots to run
@@ -66,6 +81,9 @@ type Config struct {
 	// time under the scenario's subject ID.
 	Telemetry *telemetry.Registry
 	Source    Source
+	// Runner overrides how each slot's scenario executes; nil keeps the
+	// in-process simulation.
+	Runner Runner
 }
 
 // ScenarioError ties a failure to its fleet slot.
@@ -268,7 +286,13 @@ func runSlot(ctx context.Context, cfg Config, index int, out *outcome, traceRoot
 	if ts, ok := sc.Detector.(TraceParentSetter); ok {
 		ts.SetTraceParent(runSpan.TraceID())
 	}
-	res, err := wiot.RunScenarioContext(ctx, sc)
+	run := cfg.Runner
+	if run == nil {
+		run = func(ctx context.Context, _ Slot, sc wiot.Scenario) (wiot.ScenarioResult, error) {
+			return wiot.RunScenarioContext(ctx, sc)
+		}
+	}
+	res, err := run(ctx, Slot{Index: index, Seed: seed}, sc)
 	runSpan.End()
 	elapsed := time.Since(start) //wiotlint:allow detrand
 	if err != nil {

@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/physio"
+	"github.com/wiot-security/sift/internal/wiot"
+	"github.com/wiot-security/sift/internal/wiot/chaos"
+)
+
+// contentHashDetector flags windows based on a hash of the exact sample
+// values, so any transport-level loss, duplication, or corruption that
+// reaches the detector flips verdicts — it cannot be fooled by a stream
+// that is merely the right length.
+type contentHashDetector struct{}
+
+func (contentHashDetector) Classify(w dataset.Window) (bool, error) {
+	var h uint64 = 1469598103934665603
+	for _, s := range [][]float64{w.ECG, w.ABP} {
+		for _, v := range s {
+			h ^= math.Float64bits(v)
+			h *= 1099511628211
+		}
+	}
+	return h&1 == 1, nil
+}
+
+// hashSource streams each subject over a loss-only channel (no dup, so
+// in-process and transport-filtered stale counts cannot diverge).
+func hashSource(t *testing.T, nSubjects int, durSec float64) Source {
+	t.Helper()
+	subjects, err := physio.Cohort(nSubjects, 321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(index int, seed int64) (wiot.Scenario, error) {
+		rec, err := physio.Generate(subjects[index%nSubjects], durSec, physio.DefaultSampleRate, seed)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		ch, err := wiot.NewLossy(0.05, 0, seed)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		return wiot.Scenario{
+			Record:   rec,
+			Detector: contentHashDetector{},
+			Channel:  ch,
+		}, nil
+	}
+}
+
+// TestFleetRunnerOverChaosTCP: the same fleet, run once in-process and
+// once through real TCP with 5% frame corruption and occasional
+// mid-frame cuts, must produce identical pooled results — the
+// acceptance bar for the transport's reliability layer.
+func TestFleetRunnerOverChaosTCP(t *testing.T) {
+	const scenarios, workers = 6, 3
+	base, err := Run(context.Background(), Config{
+		Scenarios: scenarios,
+		Workers:   workers,
+		BaseSeed:  17,
+		Source:    hashSource(t, 3, 9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Completed != scenarios || base.Windows == 0 {
+		t.Fatalf("baseline run incomplete: %+v", base)
+	}
+
+	runner := func(ctx context.Context, slot Slot, sc wiot.Scenario) (wiot.ScenarioResult, error) {
+		return wiot.RunScenarioOverTCP(ctx, sc, wiot.NetConfig{
+			Seed: slot.Seed,
+			WrapListener: chaos.WrapListener(chaos.Config{
+				Seed:        slot.Seed,
+				CorruptProb: 0.05,
+				CutProb:     0.01,
+			}),
+		})
+	}
+	res, err := Run(context.Background(), Config{
+		Scenarios: scenarios,
+		Workers:   workers,
+		BaseSeed:  17,
+		Source:    hashSource(t, 3, 9),
+		Runner:    runner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != scenarios || res.Failed != 0 {
+		t.Fatalf("chaos-TCP run incomplete: %+v (errors: %v)", res, res.Err())
+	}
+	if !reflect.DeepEqual(base, res) {
+		t.Errorf("chaos-TCP fleet diverged from in-process fleet:\n tcp: %+v\n mem: %+v", res, base)
+	}
+}

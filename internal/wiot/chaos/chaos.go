@@ -1,0 +1,231 @@
+// Package chaos fault-injects the wiot TCP transport: a net.Listener
+// middleware that corrupts, cuts, delays, throttles, and partitions the
+// sensor→station byte stream from a seeded RNG. It exists to prove the
+// transport's reliability layer — tests and `wiotsim -chaos` route a
+// fleet scenario through it and require verdicts identical to a clean
+// run.
+//
+// Faults are frame-aware: the injector reassembles wire records with
+// wiot.PeekRecord and decides per frame, so a "5% corruption" setting
+// means 5% of frames, not 5% of bytes. Control records (acks, hellos,
+// gap declarations) pass through unfaulted — chaos models a noisy data
+// link, not a byzantine peer.
+//
+// Determinism: all randomness comes from rand.New over the configured
+// seed (per connection), and the only clock use is time.Sleep for
+// latency/bandwidth shaping — the package stays within the detrand
+// analyzer's rules for deterministic packages.
+package chaos
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"github.com/wiot-security/sift/internal/obs"
+	"github.com/wiot-security/sift/internal/wiot"
+)
+
+// Observability handles; these surface in /metrics like every obs
+// counter.
+var (
+	obsChaosFrames     = obs.NewCounter("wiot.chaos.frames")
+	obsChaosCorrupted  = obs.NewCounter("wiot.chaos.corrupted")
+	obsChaosCuts       = obs.NewCounter("wiot.chaos.cuts")
+	obsChaosPartitions = obs.NewCounter("wiot.chaos.partitions")
+)
+
+// Config tunes the fault mix. The zero value injects nothing.
+type Config struct {
+	// Seed drives every probabilistic decision; each accepted connection
+	// derives its own rand stream from it.
+	Seed int64
+	// CorruptProb is the per-frame probability of XOR-flipping one byte
+	// somewhere in the record (header, payload, or checksum).
+	CorruptProb float64
+	// CutProb is the per-frame probability of delivering only a prefix
+	// of the record and then severing the connection mid-frame.
+	CutProb float64
+	// Latency delays each frame's delivery by a fixed amount.
+	Latency time.Duration
+	// BytesPerSec caps delivery bandwidth (0 = unlimited).
+	BytesPerSec int
+	// PartitionEvery severs the link after every Nth frame across the
+	// listener's lifetime (0 = never) — reconnect storms on a schedule.
+	PartitionEvery int
+}
+
+// Stats counts injected faults across a listener's lifetime.
+type Stats struct {
+	frames     atomic.Int64
+	corrupted  atomic.Int64
+	cuts       atomic.Int64
+	partitions atomic.Int64
+}
+
+// Frames returns how many data frames passed through the injector.
+func (s *Stats) Frames() int64 { return s.frames.Load() }
+
+// Corrupted returns how many frames had a byte flipped.
+func (s *Stats) Corrupted() int64 { return s.corrupted.Load() }
+
+// Cuts returns how many probabilistic mid-frame severs fired.
+func (s *Stats) Cuts() int64 { return s.cuts.Load() }
+
+// Partitions returns how many scheduled severs fired.
+func (s *Stats) Partitions() int64 { return s.partitions.Load() }
+
+// Listener wraps a net.Listener so every accepted connection reads its
+// sensor traffic through the fault injector.
+type Listener struct {
+	net.Listener
+	cfg     Config
+	stats   Stats
+	connSeq atomic.Int64
+}
+
+// Wrap builds a fault-injecting listener around lis.
+func Wrap(lis net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: lis, cfg: cfg}
+}
+
+// WrapListener returns a middleware closure for hooks that take
+// func(net.Listener) net.Listener (e.g. wiot.NetConfig.WrapListener).
+func WrapListener(cfg Config) func(net.Listener) net.Listener {
+	return func(lis net.Listener) net.Listener { return Wrap(lis, cfg) }
+}
+
+// Stats exposes the listener's fault counters.
+func (l *Listener) Stats() *Stats { return &l.stats }
+
+// Accept accepts from the inner listener and arms the injector with a
+// connection-specific seeded stream.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	id := l.connSeq.Add(1)
+	return &faultConn{
+		Conn:  conn,
+		cfg:   l.cfg,
+		stats: &l.stats,
+		rng:   rand.New(rand.NewSource(l.cfg.Seed*1000003 + id)),
+	}, nil
+}
+
+// faultConn injects faults on the read path (sensor→station). Writes
+// (station→sensor control traffic) pass through untouched.
+type faultConn struct {
+	net.Conn
+	cfg   Config
+	stats *Stats
+	rng   *rand.Rand
+
+	raw []byte // bytes off the wire, not yet record-complete
+	out []byte // faulted bytes ready to surface
+	cut bool   // sever once out drains
+}
+
+// Read surfaces faulted bytes, reassembling records from the underlying
+// connection as needed.
+func (c *faultConn) Read(p []byte) (int, error) {
+	var buf [4096]byte
+	for len(c.out) == 0 {
+		if c.cut {
+			_ = c.Conn.Close()
+			return 0, net.ErrClosed
+		}
+		n, err := c.Conn.Read(buf[:])
+		if n > 0 {
+			c.raw = append(c.raw, buf[:n]...)
+			c.process()
+		}
+		if err != nil {
+			if len(c.out) == 0 && len(c.raw) > 0 {
+				// Surface the trailing partial record as-is: the peer died
+				// mid-frame and the station should see exactly that.
+				c.out, c.raw = c.raw, nil
+			}
+			if len(c.out) > 0 {
+				break
+			}
+			return 0, err
+		}
+	}
+	n := copy(p, c.out)
+	c.out = c.out[n:]
+	return n, nil
+}
+
+// process moves complete records from raw to out, applying the fault
+// mix to data frames.
+func (c *faultConn) process() {
+	for !c.cut {
+		info, err := wiot.PeekRecord(c.raw)
+		if err != nil {
+			if len(c.raw) == 0 || errors.Is(err, wiot.ErrShortFrame) {
+				return
+			}
+			// A byte that cannot start a record (the sender is already
+			// corrupt?) passes through; the station's scanner deals with
+			// it.
+			c.out = append(c.out, c.raw[0])
+			c.raw = c.raw[1:]
+			continue
+		}
+		if len(c.raw) < info.Len {
+			return
+		}
+		rec := c.raw[:info.Len:info.Len]
+		c.raw = c.raw[info.Len:]
+		if info.Kind == wiot.RecordControl {
+			c.out = append(c.out, rec...)
+			continue
+		}
+		c.deliverFrame(rec)
+	}
+}
+
+// deliverFrame applies the fault mix to one data frame record.
+func (c *faultConn) deliverFrame(rec []byte) {
+	total := c.stats.frames.Add(1)
+	obsChaosFrames.Add(1)
+
+	if c.cfg.Latency > 0 {
+		time.Sleep(c.cfg.Latency)
+	}
+	if c.cfg.BytesPerSec > 0 {
+		time.Sleep(time.Duration(len(rec)) * time.Second / time.Duration(c.cfg.BytesPerSec))
+	}
+
+	severed := false
+	if c.cfg.PartitionEvery > 0 && total%int64(c.cfg.PartitionEvery) == 0 {
+		c.stats.partitions.Add(1)
+		obsChaosPartitions.Add(1)
+		severed = true
+	} else if c.cfg.CutProb > 0 && c.rng.Float64() < c.cfg.CutProb {
+		c.stats.cuts.Add(1)
+		obsChaosCuts.Add(1)
+		severed = true
+	}
+	if severed {
+		// Deliver a strict prefix, then sever: the classic mid-frame
+		// disconnect. The rest of the buffered stream dies with the
+		// connection.
+		c.out = append(c.out, rec[:1+c.rng.Intn(len(rec)-1)]...)
+		c.raw = nil
+		c.cut = true
+		return
+	}
+	if c.cfg.CorruptProb > 0 && c.rng.Float64() < c.cfg.CorruptProb {
+		mangled := append([]byte(nil), rec...)
+		mangled[c.rng.Intn(len(mangled))] ^= byte(1 + c.rng.Intn(255))
+		rec = mangled
+		c.stats.corrupted.Add(1)
+		obsChaosCorrupted.Add(1)
+	}
+	c.out = append(c.out, rec...)
+}

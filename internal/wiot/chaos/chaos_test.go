@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/wiot-security/sift/internal/wiot"
+)
+
+// sensorStream encodes n checksummed ECG frames back to back.
+func sensorStream(n int) []byte {
+	var buf []byte
+	for seq := 0; seq < n; seq++ {
+		f := wiot.FrameFromFloats(wiot.SensorECG, uint32(seq), []float64{0.5, -0.25, 1, 0})
+		enc, err := f.EncodeChecksummed()
+		if err != nil {
+			panic(err)
+		}
+		buf = append(buf, enc...)
+	}
+	return buf
+}
+
+// ctrlRecord handcrafts a control record (ack kind) at the wire level;
+// the encoder itself is internal to wiot.
+func ctrlRecord(seq uint32) []byte {
+	rec := make([]byte, 11)
+	rec[0] = 0x5C // control magic
+	rec[1] = 1    // ack
+	rec[2] = byte(wiot.SensorECG)
+	binary.LittleEndian.PutUint32(rec[3:], seq)
+	crc := crc32.Checksum(rec[:7], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(rec[7:], crc)
+	return rec
+}
+
+// pump pushes payload through a fault-injecting listener and returns
+// whatever the accepted side read before the stream ended or was cut.
+func pump(t *testing.T, cfg Config, payload []byte) ([]byte, *Stats) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis := Wrap(inner, cfg)
+	defer lis.Close()
+	done := make(chan []byte, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer conn.Close()
+		var buf bytes.Buffer
+		// A cut surfaces as a read error after the prefix; keep the prefix.
+		_, _ = io.Copy(&buf, conn)
+		done <- buf.Bytes()
+	}()
+	conn, err := net.Dial("tcp", inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+	select {
+	case got := <-done:
+		if got == nil {
+			t.Fatal("accept failed")
+		}
+		return got, lis.Stats()
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for faulted stream")
+		return nil, nil
+	}
+}
+
+// TestCorruptionDeterministic: the same seed must produce the same
+// faulted byte stream, and the stream must actually differ from the
+// clean input.
+func TestCorruptionDeterministic(t *testing.T) {
+	payload := sensorStream(50)
+	cfg := Config{Seed: 7, CorruptProb: 0.2}
+	a, statsA := pump(t, cfg, payload)
+	b, _ := pump(t, cfg, payload)
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical seeds produced different faulted streams")
+	}
+	if bytes.Equal(a, payload) {
+		t.Fatal("20% corruption over 50 frames changed nothing")
+	}
+	if len(a) != len(payload) {
+		t.Errorf("corruption changed stream length: %d -> %d", len(payload), len(a))
+	}
+	if statsA.Corrupted() == 0 || statsA.Frames() != 50 {
+		t.Errorf("stats = %d corrupted / %d frames, want >0 / 50", statsA.Corrupted(), statsA.Frames())
+	}
+	c, _ := pump(t, Config{Seed: 8, CorruptProb: 0.2}, payload)
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical faulted streams")
+	}
+}
+
+// TestControlRecordsPassThrough: acks and friends model the reliable
+// back-channel and must never be faulted; junk bytes between records
+// pass through untouched too.
+func TestControlRecordsPassThrough(t *testing.T) {
+	var payload []byte
+	payload = append(payload, ctrlRecord(3)...)
+	payload = append(payload, 0xDE, 0xAD) // junk between records
+	payload = append(payload, ctrlRecord(9)...)
+	got, stats := pump(t, Config{Seed: 1, CorruptProb: 1, CutProb: 1}, payload)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("control stream was altered:\n got %x\nwant %x", got, payload)
+	}
+	if stats.Frames() != 0 || stats.Corrupted() != 0 || stats.Cuts() != 0 {
+		t.Errorf("control records counted as data faults: %+v frames=%d", stats, stats.Frames())
+	}
+}
+
+// TestCutDeliversPrefixThenSevers: a probabilistic cut must deliver a
+// strict prefix of the frame and then kill the connection.
+func TestCutDeliversPrefixThenSevers(t *testing.T) {
+	payload := sensorStream(5)
+	frameLen := len(payload) / 5
+	got, stats := pump(t, Config{Seed: 3, CutProb: 1}, payload)
+	if len(got) == 0 || len(got) >= frameLen {
+		t.Fatalf("cut delivered %d bytes, want a strict prefix of the %d-byte frame", len(got), frameLen)
+	}
+	if !bytes.Equal(got, payload[:len(got)]) {
+		t.Error("delivered prefix does not match the original frame bytes")
+	}
+	if stats.Cuts() != 1 {
+		t.Errorf("cuts = %d, want 1", stats.Cuts())
+	}
+}
+
+// TestPartitionEvery: scheduled partitions sever after every Nth frame
+// regardless of probability settings.
+func TestPartitionEvery(t *testing.T) {
+	payload := sensorStream(5)
+	frameLen := len(payload) / 5
+	got, stats := pump(t, Config{Seed: 4, PartitionEvery: 3}, payload)
+	if len(got) <= 2*frameLen || len(got) >= 3*frameLen {
+		t.Fatalf("partition after frame 3 delivered %d bytes, want 2 whole frames plus a prefix (frame=%d)", len(got), frameLen)
+	}
+	if stats.Partitions() != 1 {
+		t.Errorf("partitions = %d, want 1", stats.Partitions())
+	}
+}
+
+// TestLatencyAndBandwidthShaping: shaping delays delivery but never
+// alters bytes.
+func TestLatencyAndBandwidthShaping(t *testing.T) {
+	payload := sensorStream(3)
+	start := time.Now()
+	got, _ := pump(t, Config{Seed: 2, Latency: 5 * time.Millisecond, BytesPerSec: 64 * 1024}, payload)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("shaping altered the stream")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("3 frames at 5ms latency finished in %v, want >= 15ms", elapsed)
+	}
+}

@@ -1,0 +1,321 @@
+package wiot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Wire protocol v2 — the reliability layer the hardened transport speaks.
+//
+// The sensor→station byte stream is a sequence of records, each starting
+// with a magic byte:
+//
+//	0xA5  legacy frame        — the original unchecksummed encoding
+//	0xA7  checksummed frame   — same layout, magic 0xA7, CRC32-C trailer
+//	                            over every preceding byte of the record
+//	0x5C  control record      — [magic, kind, sensor, seq u32 LE, crc u32 LE]
+//
+// The station→sensor direction carries only control records (acks and
+// nacks). A receiver that loses framing — a corrupted length field, a
+// mid-frame cut followed by a reconnect replay — scans forward to the
+// next plausible magic byte instead of dropping the connection; the CRC
+// trailers make a phantom record (a magic byte inside payload data)
+// vanishingly unlikely to be accepted once a peer speaks v2.
+const (
+	frameMagicV2 = 0xA7
+	ctrlMagic    = 0x5C
+
+	frameHeaderSize = 8 // magic, sensor, seq u32, count u16
+	crcSize         = 4
+	ctrlRecordSize  = 11
+)
+
+// crcTable is the Castagnoli polynomial every v2 record is summed with.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Protocol-level errors (the codec errors ErrBadMagic etc. live in
+// frame.go).
+var (
+	ErrBadChecksum = errors.New("wiot: frame checksum mismatch")
+	ErrBadControl  = errors.New("wiot: malformed control record")
+)
+
+// ctrlKind discriminates control records.
+type ctrlKind byte
+
+const (
+	// ctrlAck (station→sensor): every frame of Sensor with seq <= Seq has
+	// been handled.
+	ctrlAck ctrlKind = iota + 1
+	// ctrlNack (station→sensor): the station needs Seq next for Sensor;
+	// the sender should rewind and retransmit from there.
+	ctrlNack
+	// ctrlGap (sensor→station): the sender will never deliver seqs below
+	// Seq for Sensor (they were dropped under buffer pressure); stop
+	// waiting and conceal.
+	ctrlGap
+	// ctrlHello (sensor→station): sent first on every connection by a
+	// reliable sender, latching the receiver into checksummed mode.
+	ctrlHello
+)
+
+// ctrlRecord is one parsed control record.
+type ctrlRecord struct {
+	Kind   ctrlKind
+	Sensor SensorID
+	Seq    uint32
+}
+
+// appendCtrl serializes a control record, CRC included.
+func appendCtrl(buf []byte, c ctrlRecord) []byte {
+	start := len(buf)
+	buf = append(buf, ctrlMagic, byte(c.Kind), byte(c.Sensor))
+	buf = binary.LittleEndian.AppendUint32(buf, c.Seq)
+	sum := crc32.Checksum(buf[start:], crcTable)
+	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+// decodeCtrl parses one control record from exactly ctrlRecordSize bytes.
+func decodeCtrl(buf []byte) (ctrlRecord, error) {
+	if len(buf) < ctrlRecordSize || buf[0] != ctrlMagic {
+		return ctrlRecord{}, ErrBadControl
+	}
+	if sum := crc32.Checksum(buf[:ctrlRecordSize-crcSize], crcTable); sum != binary.LittleEndian.Uint32(buf[ctrlRecordSize-crcSize:]) {
+		return ctrlRecord{}, fmt.Errorf("%w: %v", ErrBadControl, ErrBadChecksum)
+	}
+	c := ctrlRecord{
+		Kind:   ctrlKind(buf[1]),
+		Sensor: SensorID(buf[2]),
+		Seq:    binary.LittleEndian.Uint32(buf[3:]),
+	}
+	if c.Kind < ctrlAck || c.Kind > ctrlHello {
+		return ctrlRecord{}, fmt.Errorf("%w: kind %d", ErrBadControl, buf[1])
+	}
+	return c, nil
+}
+
+// EncodeChecksummed serializes the frame as a v2 record: the standard
+// encoding with the v2 magic and a CRC32-C trailer, so the receiver can
+// reject in-flight byte corruption instead of classifying garbage.
+func (f *Frame) EncodeChecksummed() ([]byte, error) {
+	buf, err := f.Encode()
+	if err != nil {
+		return nil, err
+	}
+	buf[0] = frameMagicV2
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable)), nil
+}
+
+// RecordKind classifies a wire record for stream middleware (the chaos
+// proxy uses it to fault frames while passing control traffic through).
+type RecordKind byte
+
+const (
+	// RecordFrame is a legacy (unchecksummed) frame.
+	RecordFrame RecordKind = iota + 1
+	// RecordFrameChecksummed is a v2 frame with a CRC32-C trailer.
+	RecordFrameChecksummed
+	// RecordControl is an ack/nack/gap/hello control record.
+	RecordControl
+)
+
+// RecordInfo describes the record starting at the head of a byte stream.
+type RecordInfo struct {
+	Kind RecordKind
+	Len  int // total record length in bytes, trailer included
+}
+
+// PeekRecord inspects the prefix of a wire stream and sizes the record
+// starting at buf[0]. It returns ErrShortFrame when more bytes are needed
+// to decide, and ErrBadMagic / ErrBadSensor / ErrFrameSize / ErrBadControl
+// when buf[0] cannot start a well-formed record (the caller should skip
+// one byte and rescan). It validates only the header, not payloads or
+// checksums.
+func PeekRecord(buf []byte) (RecordInfo, error) {
+	if len(buf) == 0 {
+		return RecordInfo{}, ErrShortFrame
+	}
+	switch buf[0] {
+	case frameMagic, frameMagicV2:
+		if len(buf) < frameHeaderSize {
+			return RecordInfo{}, ErrShortFrame
+		}
+		if !SensorID(buf[1]).Valid() {
+			return RecordInfo{}, fmt.Errorf("%w: %d", ErrBadSensor, buf[1])
+		}
+		n := int(binary.LittleEndian.Uint16(buf[6:]))
+		if n > MaxFrameSamples {
+			return RecordInfo{}, fmt.Errorf("%w: %d samples", ErrFrameSize, n)
+		}
+		if buf[0] == frameMagic {
+			return RecordInfo{Kind: RecordFrame, Len: EncodedSize(n)}, nil
+		}
+		return RecordInfo{Kind: RecordFrameChecksummed, Len: EncodedSize(n) + crcSize}, nil
+	case ctrlMagic:
+		if len(buf) < 2 {
+			return RecordInfo{}, ErrShortFrame
+		}
+		if k := ctrlKind(buf[1]); k < ctrlAck || k > ctrlHello {
+			return RecordInfo{}, fmt.Errorf("%w: kind %d", ErrBadControl, buf[1])
+		}
+		return RecordInfo{Kind: RecordControl, Len: ctrlRecordSize}, nil
+	default:
+		return RecordInfo{}, ErrBadMagic
+	}
+}
+
+// wireRecord is one record surfaced by the scanner: exactly one of
+// isFrame/isCtrl is set.
+type wireRecord struct {
+	frame   Frame
+	isFrame bool
+	checked bool // the frame carried a verified CRC (v2)
+	ctrl    ctrlRecord
+	isCtrl  bool
+}
+
+// frameScanner reads wire records from a byte stream, resynchronizing
+// after corruption: a record that fails header validation or its CRC
+// costs the stream one byte, and the scanner hunts for the next magic
+// byte instead of surfacing an error. Only I/O failures (including a
+// disconnect mid-record, reported as io.ErrUnexpectedEOF) terminate it.
+//
+// Once the peer has produced any checksummed record the scanner stops
+// accepting legacy frames on the stream: after corruption desynchronizes
+// framing, payload bytes routinely impersonate legacy frame headers, and
+// only the CRC trailer separates a real record from a phantom.
+type frameScanner struct {
+	src         io.Reader
+	buf         []byte
+	readChunk   [4096]byte
+	allowLegacy bool
+	sawChecksum bool
+	inJunk      bool
+
+	resyncs int64 // contiguous runs of skipped bytes
+	skipped int64 // total bytes discarded
+}
+
+func newFrameScanner(src io.Reader, allowLegacy bool) *frameScanner {
+	return &frameScanner{src: src, allowLegacy: allowLegacy}
+}
+
+// fill appends the next chunk from the source. A read that moves bytes
+// never surfaces its error — the next fill will.
+func (s *frameScanner) fill() error {
+	for {
+		n, err := s.src.Read(s.readChunk[:])
+		if n > 0 {
+			s.buf = append(s.buf, s.readChunk[:n]...)
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// skipByte discards the head byte as junk, opening a resync run if the
+// scanner was in sync.
+func (s *frameScanner) skipByte() {
+	if !s.inJunk {
+		s.resyncs++
+		s.inJunk = true
+	}
+	s.skipped++
+	s.buf = s.buf[1:]
+}
+
+// needMore tops the buffer up for a partially-received record, mapping a
+// clean EOF mid-record to io.ErrUnexpectedEOF (a mid-frame disconnect is
+// not a graceful close).
+func (s *frameScanner) needMore() error {
+	if err := s.fill(); err != nil {
+		if errors.Is(err, io.EOF) && len(s.buf) > 0 {
+			return fmt.Errorf("wiot: disconnect mid-record: %w", io.ErrUnexpectedEOF)
+		}
+		return err
+	}
+	return nil
+}
+
+// next returns the next well-formed record, or an I/O error.
+func (s *frameScanner) next() (wireRecord, error) {
+	for {
+		if len(s.buf) == 0 {
+			if err := s.fill(); err != nil {
+				return wireRecord{}, err
+			}
+		}
+		info, err := PeekRecord(s.buf)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrShortFrame):
+			if err := s.needMore(); err != nil {
+				return wireRecord{}, err
+			}
+			continue
+		default:
+			s.skipByte()
+			continue
+		}
+		if len(s.buf) < info.Len {
+			if err := s.needMore(); err != nil {
+				return wireRecord{}, err
+			}
+			continue
+		}
+		raw := s.buf[:info.Len]
+		switch info.Kind {
+		case RecordControl:
+			c, err := decodeCtrl(raw)
+			if err != nil {
+				s.skipByte()
+				continue
+			}
+			s.consume(info.Len)
+			s.sawChecksum = true
+			return wireRecord{ctrl: c, isCtrl: true}, nil
+		case RecordFrameChecksummed:
+			body := raw[:info.Len-crcSize]
+			if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(raw[info.Len-crcSize:]) {
+				s.skipByte()
+				continue
+			}
+			// Decode through the standard path: flip the magic on a copy so
+			// the shared codec (and its obs instrumentation) does the work.
+			dec := append([]byte(nil), body...)
+			dec[0] = frameMagic
+			f, _, err := DecodeFrame(dec)
+			if err != nil {
+				s.skipByte()
+				continue
+			}
+			s.consume(info.Len)
+			s.sawChecksum = true
+			return wireRecord{frame: f, isFrame: true, checked: true}, nil
+		case RecordFrame:
+			if !s.allowLegacy || s.sawChecksum {
+				s.skipByte()
+				continue
+			}
+			f, _, err := DecodeFrame(raw)
+			if err != nil {
+				s.skipByte()
+				continue
+			}
+			s.consume(info.Len)
+			return wireRecord{frame: f, isFrame: true}, nil
+		}
+	}
+}
+
+// consume drops a successfully parsed record from the head of the buffer
+// and closes any open resync run.
+func (s *frameScanner) consume(n int) {
+	s.buf = s.buf[n:]
+	s.inJunk = false
+}

@@ -57,23 +57,34 @@ func RunScenario(sc Scenario) (ScenarioResult, error) {
 	return RunScenarioContext(context.Background(), sc)
 }
 
-// RunScenarioContext is RunScenario with cancellation: the frame loop
-// checks ctx between BLE connection events and aborts with ctx's error
-// as soon as it is cancelled, so a fleet engine can tear down in-flight
-// scenarios promptly.
-func RunScenarioContext(ctx context.Context, sc Scenario) (ScenarioResult, error) {
+// normalize applies scenario defaults in place, reporting whether the
+// scenario carries a real attack. Both the in-process and TCP runners
+// share it so they drive identical streams.
+func (sc *Scenario) normalize() (hasAttack bool, err error) {
 	if sc.Record == nil {
-		return ScenarioResult{}, errors.New("wiot: scenario needs a record")
+		return false, errors.New("wiot: scenario needs a record")
 	}
 	if sc.ChunkSize == 0 {
 		sc.ChunkSize = 90
 	}
-	hasAttack := sc.Attack != nil
+	hasAttack = sc.Attack != nil
 	if !hasAttack {
 		sc.Attack = PassThrough{}
 	}
 	if sc.Channel == nil {
 		sc.Channel = Reliable{}
+	}
+	return hasAttack, nil
+}
+
+// RunScenarioContext is RunScenario with cancellation: the frame loop
+// checks ctx between BLE connection events and aborts with ctx's error
+// as soon as it is cancelled, so a fleet engine can tear down in-flight
+// scenarios promptly.
+func RunScenarioContext(ctx context.Context, sc Scenario) (ScenarioResult, error) {
+	hasAttack, err := sc.normalize()
+	if err != nil {
+		return ScenarioResult{}, err
 	}
 	sink := &MemorySink{}
 	station, err := NewBaseStation(StationConfig{
@@ -124,9 +135,14 @@ func RunScenarioContext(ctx context.Context, sc Scenario) (ScenarioResult, error
 		}
 	}
 
-	stats := station.Stats()
+	return scoreScenario(sc, hasAttack, station.Stats(), sink.Alerts()), nil
+}
+
+// scoreScenario grades a completed run's alerts against the attack
+// interval's ground truth, shared by every scenario runner.
+func scoreScenario(sc Scenario, hasAttack bool, stats StationStats, alerts []Alert) ScenarioResult {
 	res := ScenarioResult{
-		Alerts:       sink.Alerts(),
+		Alerts:       alerts,
 		Windows:      stats.Windows,
 		SeqErrors:    stats.SeqErrors,
 		Concealed:    stats.Concealed,
@@ -158,7 +174,7 @@ func RunScenarioContext(ctx context.Context, sc Scenario) (ScenarioResult, error
 			res.TrueNeg++
 		}
 	}
-	return res, nil
+	return res
 }
 
 func stationWindowSec(sc Scenario) float64 {

@@ -7,87 +7,417 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wiot-security/sift/internal/obs"
+	"github.com/wiot-security/sift/internal/obs/trace"
 )
+
+// Observability handles for the TCP transport. Counters registered here
+// surface automatically in the /metrics exposition.
+var (
+	obsTCPConns        = obs.NewCounter("wiot.tcp.conns")
+	obsTCPResyncs      = obs.NewCounter("wiot.tcp.resyncs")
+	obsTCPSkippedBytes = obs.NewCounter("wiot.tcp.skippedBytes")
+	obsTCPFrameErrors  = obs.NewCounter("wiot.tcp.frameErrors")
+	obsTCPAcceptErrors = obs.NewCounter("wiot.tcp.acceptErrors")
+	obsTCPAcks         = obs.NewCounter("wiot.tcp.acks")
+	obsTCPNacks        = obs.NewCounter("wiot.tcp.nacks")
+)
+
+// Transport timeout defaults, shared by the station and DialSensor.
+const (
+	DefaultDialTimeout     = 5 * time.Second
+	DefaultWriteTimeout    = 5 * time.Second
+	DefaultReadIdleTimeout = 30 * time.Second
+)
+
+// Typed transport errors so callers can distinguish a stalled peer from
+// a dead one.
+var (
+	ErrDialTimeout  = errors.New("wiot: dial timeout")
+	ErrWriteTimeout = errors.New("wiot: write timeout")
+)
+
+// TCPConfig tunes the hardened station transport. The zero value gets
+// sensible defaults everywhere.
+type TCPConfig struct {
+	// ReadIdleTimeout is the per-read deadline on sensor connections: a
+	// connection that goes silent this long is torn down so its goroutine
+	// cannot linger forever. <0 disables the deadline.
+	ReadIdleTimeout time.Duration
+	// WriteTimeout bounds station→sensor control writes (acks/nacks) so a
+	// sensor that stops reading cannot wedge a handler goroutine.
+	WriteTimeout time.Duration
+	// MaxErrors caps the retained error ring; older errors are dropped
+	// and counted rather than accumulated without bound.
+	MaxErrors int
+	// AcceptBackoffBase / AcceptBackoffMax bound the exponential delay
+	// between retries after a transient Accept error.
+	AcceptBackoffBase time.Duration
+	AcceptBackoffMax  time.Duration
+	// RequireChecksums rejects legacy unchecksummed frames outright; set
+	// it when every sensor speaks the v2 reliable protocol (the chaos
+	// harness does, since corruption can forge legacy headers).
+	RequireChecksums bool
+}
+
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.ReadIdleTimeout == 0 {
+		c.ReadIdleTimeout = DefaultReadIdleTimeout
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.MaxErrors <= 0 {
+		c.MaxErrors = 64
+	}
+	if c.AcceptBackoffBase <= 0 {
+		c.AcceptBackoffBase = 5 * time.Millisecond
+	}
+	if c.AcceptBackoffMax <= 0 {
+		c.AcceptBackoffMax = time.Second
+	}
+	return c
+}
+
+// TCPStats is a point-in-time snapshot of a station's transport
+// counters.
+type TCPStats struct {
+	Conns         int64 // connections accepted
+	Resyncs       int64 // framing recoveries (contiguous junk runs skipped)
+	SkippedBytes  int64 // total bytes discarded while resynchronizing
+	FrameErrors   int64 // HandleFrame failures survived
+	AcceptErrors  int64 // transient Accept failures backed off from
+	Acks          int64 // acks sent on reliable connections
+	Nacks         int64 // nacks sent on reliable connections
+	DroppedErrors int64 // errors evicted from the bounded ring
+}
 
 // TCPStation exposes a base station over a TCP listener: each sensor
 // dials in and streams frames using the binary wire format. This is the
 // network-transparent deployment of Fig 1 — the base station does not
 // care whether samples arrive over BLE or a socket.
+//
+// The transport is supervised: corrupt frames cost bytes, not
+// connections (the scanner resynchronizes to the next magic byte), a
+// HandleFrame failure is recorded and survived, idle connections are
+// reaped by read deadlines, and Close reliably reclaims the accept
+// loop, the context watcher, and every connection handler.
 type TCPStation struct {
 	Station *BaseStation
 
-	lis    net.Listener
-	wg     sync.WaitGroup
-	mu     sync.Mutex
-	closed bool
-	errs   []error
+	cfg  TCPConfig
+	lis  net.Listener
+	wg   sync.WaitGroup
+	done chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	conns   map[net.Conn]struct{}
+	errs    []error // ring: errHead is the logical start once full
+	errHead int
+
+	// handleMu serializes the reliable path: HandleFrame plus the
+	// per-sensor want cursor, which lives on the station (not the
+	// connection) so retransmits after a reconnect resume cleanly.
+	handleMu sync.Mutex
+	want     map[SensorID]uint32
+
+	conns64   atomic.Int64
+	resyncs   atomic.Int64
+	skipped   atomic.Int64
+	frameErrs atomic.Int64
+	acceptErr atomic.Int64
+	acks      atomic.Int64
+	nacks     atomic.Int64
+	dropped   atomic.Int64
 }
 
 // ServeTCP starts accepting sensor connections on lis until Close (or
 // context cancellation). It returns immediately; frame handling runs on
 // per-connection goroutines.
 func ServeTCP(ctx context.Context, lis net.Listener, station *BaseStation) (*TCPStation, error) {
+	return ServeTCPConfig(ctx, lis, station, TCPConfig{})
+}
+
+// ServeTCPConfig is ServeTCP with explicit transport tuning.
+func ServeTCPConfig(ctx context.Context, lis net.Listener, station *BaseStation, cfg TCPConfig) (*TCPStation, error) {
 	if lis == nil || station == nil {
 		return nil, errors.New("wiot: ServeTCP needs a listener and a station")
 	}
-	s := &TCPStation{Station: station, lis: lis}
+	s := &TCPStation{
+		Station: station,
+		cfg:     cfg.withDefaults(),
+		lis:     lis,
+		done:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+		want:    make(map[SensorID]uint32),
+	}
 	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		for {
-			conn, err := lis.Accept()
-			if err != nil {
-				return // listener closed
-			}
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				s.serveConn(conn)
-			}()
-		}
-	}()
+	go s.acceptLoop()
 	if ctx != nil {
+		// The watcher is tied to station lifetime via done, not to the
+		// context alone: Close before cancellation must release it. It
+		// stays out of the WaitGroup so the Close it triggers cannot
+		// deadlock against wg.Wait.
 		go func() {
-			<-ctx.Done()
-			_ = s.Close()
+			select {
+			case <-ctx.Done():
+				_ = s.Close()
+			case <-s.done:
+			}
 		}()
 	}
 	return s, nil
 }
 
-func (s *TCPStation) serveConn(conn net.Conn) {
-	defer func() { _ = conn.Close() }()
+// acceptLoop accepts connections until the listener dies for good,
+// backing off exponentially on transient errors (EMFILE, ECONNABORTED)
+// instead of spinning or giving up.
+func (s *TCPStation) acceptLoop() {
+	defer s.wg.Done()
+	backoff := s.cfg.AcceptBackoffBase
 	for {
-		f, err := ReadFrame(conn)
+		conn, err := s.lis.Accept()
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.acceptErr.Add(1)
+			obsTCPAcceptErrors.Add(1)
+			s.recordErr(fmt.Errorf("wiot: accept: %w", err))
+			select {
+			case <-s.done:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > s.cfg.AcceptBackoffMax {
+				backoff = s.cfg.AcceptBackoffMax
+			}
+			continue
+		}
+		backoff = s.cfg.AcceptBackoffBase
+		if !s.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		s.conns64.Add(1)
+		obsTCPConns.Add(1)
+		trace.Instant("wiot.tcp.conn")
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// track registers a live connection so Close can interrupt its reads;
+// it refuses (returning false) once the station is closed.
+func (s *TCPStation) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *TCPStation) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	_ = conn.Close()
+}
+
+// deadlineReader arms the connection's read deadline before every read
+// so an idle sensor cannot pin its handler goroutine forever.
+type deadlineReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (d deadlineReader) Read(p []byte) (int, error) {
+	if d.timeout > 0 {
+		if err := d.conn.SetReadDeadline(time.Now().Add(d.timeout)); err != nil {
+			return 0, err
+		}
+	}
+	return d.conn.Read(p)
+}
+
+// serveConn runs one sensor connection to completion. Corrupt bytes are
+// scanned past, HandleFrame errors are recorded and survived; only I/O
+// failure (including the read deadline) ends the connection.
+func (s *TCPStation) serveConn(conn net.Conn) {
+	sc := newFrameScanner(deadlineReader{conn, s.cfg.ReadIdleTimeout}, !s.cfg.RequireChecksums)
+	var lastResyncs, lastSkipped int64
+	for {
+		rec, err := sc.next()
+		if dr, ds := sc.resyncs-lastResyncs, sc.skipped-lastSkipped; dr > 0 || ds > 0 {
+			lastResyncs, lastSkipped = sc.resyncs, sc.skipped
+			s.resyncs.Add(dr)
+			s.skipped.Add(ds)
+			obsTCPResyncs.Add(dr)
+			obsTCPSkippedBytes.Add(ds)
+			trace.Instant("wiot.tcp.resync")
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !s.closing() {
 				s.recordErr(fmt.Errorf("wiot: read frame: %w", err))
 			}
 			return
 		}
-		if err := s.Station.HandleFrame(f); err != nil {
-			s.recordErr(err)
-			return
+		switch {
+		case rec.isCtrl:
+			s.handleCtrl(rec.ctrl)
+		case rec.checked:
+			s.handleReliable(conn, rec.frame)
+		default:
+			// Legacy fire-and-forget path: a handler failure is a fact
+			// about one frame, not the connection — record it and move on.
+			s.handleMu.Lock()
+			err := s.Station.HandleFrame(rec.frame)
+			s.handleMu.Unlock()
+			if err != nil {
+				s.frameErrs.Add(1)
+				obsTCPFrameErrors.Add(1)
+				s.recordErr(err)
+			}
 		}
 	}
 }
 
+// handleCtrl processes sensor→station control traffic.
+func (s *TCPStation) handleCtrl(c ctrlRecord) {
+	switch c.Kind {
+	case ctrlGap:
+		// The sender dropped everything below c.Seq; stop waiting for it.
+		// The next frame's sequence jump drives the base station's own
+		// gap concealment.
+		s.handleMu.Lock()
+		if c.Seq > s.want[c.Sensor] {
+			s.want[c.Sensor] = c.Seq
+		}
+		s.handleMu.Unlock()
+	case ctrlHello:
+		// Latching to checksummed mode already happened in the scanner.
+	}
+}
+
+// handleReliable runs the go-back-N receive side for one checksummed
+// frame: in-order frames are handled and acked, stale ones re-acked,
+// and a gap provokes a nack naming the sequence we still need.
+func (s *TCPStation) handleReliable(conn net.Conn, f Frame) {
+	s.handleMu.Lock()
+	want := s.want[f.Sensor]
+	switch {
+	case f.Seq == want:
+		err := s.Station.HandleFrame(f)
+		s.want[f.Sensor] = want + 1
+		s.handleMu.Unlock()
+		if err != nil {
+			// The frame is consumed either way — retransmitting it would
+			// fail identically, so ack and record rather than poison the
+			// stream.
+			s.frameErrs.Add(1)
+			obsTCPFrameErrors.Add(1)
+			s.recordErr(err)
+		}
+		s.sendCtrl(conn, ctrlRecord{Kind: ctrlAck, Sensor: f.Sensor, Seq: f.Seq})
+		s.acks.Add(1)
+		obsTCPAcks.Add(1)
+	case f.Seq < want:
+		s.handleMu.Unlock()
+		// Duplicate from a retransmit overlap; re-ack so the sender's
+		// window advances.
+		s.sendCtrl(conn, ctrlRecord{Kind: ctrlAck, Sensor: f.Sensor, Seq: want - 1})
+		s.acks.Add(1)
+		obsTCPAcks.Add(1)
+	default:
+		s.handleMu.Unlock()
+		s.sendCtrl(conn, ctrlRecord{Kind: ctrlNack, Sensor: f.Sensor, Seq: want})
+		s.nacks.Add(1)
+		obsTCPNacks.Add(1)
+	}
+}
+
+// sendCtrl writes one control record back to the sensor under the write
+// deadline. A failed ack is recoverable — the sender retransmits and we
+// re-ack — so errors are recorded, not escalated.
+func (s *TCPStation) sendCtrl(conn net.Conn, c ctrlRecord) {
+	if s.cfg.WriteTimeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+			return
+		}
+	}
+	if _, err := conn.Write(appendCtrl(nil, c)); err != nil && !s.closing() {
+		s.recordErr(fmt.Errorf("wiot: send ctrl: %w", err))
+	}
+}
+
+func (s *TCPStation) closing() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// recordErr appends to the bounded error ring, evicting (and counting)
+// the oldest entry once MaxErrors is reached, so a hostile or flaky
+// sensor cannot grow station memory without bound.
 func (s *TCPStation) recordErr(err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.errs = append(s.errs, err)
+	if len(s.errs) < s.cfg.MaxErrors {
+		s.errs = append(s.errs, err)
+		return
+	}
+	s.errs[s.errHead] = err
+	s.errHead = (s.errHead + 1) % len(s.errs)
+	s.dropped.Add(1)
 }
 
-// Errors returns any per-connection errors recorded so far.
+// Errors returns the retained (most recent) per-connection errors,
+// oldest first. Use Stats().DroppedErrors for how many older ones were
+// evicted from the ring.
 func (s *TCPStation) Errors() []error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]error, len(s.errs))
-	copy(out, s.errs)
+	out := make([]error, 0, len(s.errs))
+	out = append(out, s.errs[s.errHead:]...)
+	out = append(out, s.errs[:s.errHead]...)
 	return out
 }
 
-// Close stops the listener and waits for connection handlers to drain.
+// Stats snapshots the transport counters.
+func (s *TCPStation) Stats() TCPStats {
+	return TCPStats{
+		Conns:         s.conns64.Load(),
+		Resyncs:       s.resyncs.Load(),
+		SkippedBytes:  s.skipped.Load(),
+		FrameErrors:   s.frameErrs.Load(),
+		AcceptErrors:  s.acceptErr.Load(),
+		Acks:          s.acks.Load(),
+		Nacks:         s.nacks.Load(),
+		DroppedErrors: s.dropped.Load(),
+	}
+}
+
+// Close stops the listener, interrupts every live connection, and waits
+// for all transport goroutines (accept loop, handlers, context watcher)
+// to drain. It is idempotent.
 func (s *TCPStation) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -95,30 +425,74 @@ func (s *TCPStation) Close() error {
 		return nil
 	}
 	s.closed = true
-	s.mu.Unlock()
+	close(s.done)
 	err := s.lis.Close()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 	return err
 }
 
 // DialSensor connects to a TCP station and returns a FrameSink that
-// writes frames to the socket, plus a close function.
+// writes frames to the socket, plus a close function. It bounds the
+// dial and every write with the package default timeouts; use
+// DialSensorTimeout to tune them.
 func DialSensor(addr string) (FrameSink, func() error, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, nil, fmt.Errorf("wiot: dial station: %w", err)
+	return DialSensorTimeout(addr, DefaultDialTimeout, DefaultWriteTimeout)
+}
+
+// DialSensorTimeout is DialSensor with explicit timeouts. A dial that
+// exceeds dialTimeout fails with ErrDialTimeout; a write that exceeds
+// writeTimeout fails with ErrWriteTimeout (so a stalled station cannot
+// block a sensor goroutine forever). Non-positive values disable the
+// corresponding bound.
+func DialSensorTimeout(addr string, dialTimeout, writeTimeout time.Duration) (FrameSink, func() error, error) {
+	var conn net.Conn
+	var err error
+	if dialTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, dialTimeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
 	}
-	return &connSink{conn: conn}, conn.Close, nil
+	if err != nil {
+		if isTimeout(err) {
+			err = fmt.Errorf("wiot: dial station %s after %v: %w", addr, dialTimeout, ErrDialTimeout)
+		} else {
+			err = fmt.Errorf("wiot: dial station: %w", err)
+		}
+		return nil, nil, err
+	}
+	return &connSink{conn: conn, writeTimeout: writeTimeout}, conn.Close, nil
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 type connSink struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu           sync.Mutex
+	conn         net.Conn
+	writeTimeout time.Duration
 }
 
-// HandleFrame implements FrameSink by writing the frame to the socket.
+// HandleFrame implements FrameSink by writing the frame to the socket
+// under the write deadline.
 func (c *connSink) HandleFrame(f Frame) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return WriteFrame(c.conn, &f)
+	if c.writeTimeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return err
+		}
+	}
+	if err := WriteFrame(c.conn, &f); err != nil {
+		if isTimeout(err) {
+			return fmt.Errorf("wiot: write frame after %v: %w", c.writeTimeout, ErrWriteTimeout)
+		}
+		return err
+	}
+	return nil
 }
