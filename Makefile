@@ -7,7 +7,7 @@ GO ?= go
 # Coverage floor (percent) enforced on the packages PR 1 race-proofed.
 COVER_FLOOR ?= 85.0
 
-.PHONY: check vet build test race chaos fuzz fuzz-verify fleet-demo lint lint-custom vuln cover bench bench-check
+.PHONY: check vet build test race chaos fuzz fuzz-verify fuzz-jit fleet-demo lint lint-custom vuln cover bench bench-check
 
 check: vet build race
 
@@ -44,6 +44,12 @@ fuzz:
 # inputs rather than shrinking 2 KB detector mutants.
 fuzz-verify:
 	$(GO) test ./internal/amulet/ -run '^$$' -fuzz FuzzVerifyVsRun -fuzztime 30s -fuzzminimizetime 2s
+
+# Differential fuzz: the template JIT against the interpreter oracle on
+# verifier-accepted bytecode — Usage, memory effects, and fault classes
+# must agree at randomized cycle budgets.
+fuzz-jit:
+	$(GO) test ./internal/amulet/jit/ -run '^$$' -fuzz FuzzJITVsInterp -fuzztime 30s -fuzzminimizetime 2s
 
 # The acceptance demo: 12 wearers streaming concurrently over a lossy
 # link, with the metrics snapshot printed at the end.

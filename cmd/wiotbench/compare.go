@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"strings"
 )
 
 // compareReports prints a suite-by-suite comparison of per-op latency
@@ -59,7 +60,50 @@ func compareReports(old, cur Report, thresholdPct float64, w io.Writer) int {
 		}
 	}
 	regressions += gateTraceOverhead(cur, thresholdPct, w)
+	regressions += gateJITSpeedup(cur, w)
 	return regressions
+}
+
+// jitSpeedupFloor is the minimum ratio each jit/* suite must hold over
+// its interpreter-pinned vm/* twin. Template compilation only earns its
+// complexity if it removes the dispatch loop wholesale, so the floor is
+// an order of magnitude, not a percentage.
+const jitSpeedupFloor = 10.0
+
+// gateJITSpeedup enforces the compiled backend's speedup floor inside
+// the new report: for every jit/<prog> suite with a vm/<prog> twin, the
+// interpreter-to-JIT latency ratio must be at least jitSpeedupFloor.
+// Like the trace-overhead gate this is an absolute property of the build
+// under test, so it compares within one report.
+func gateJITSpeedup(cur Report, w io.Writer) int {
+	byName := make(map[string]Result, len(cur.Suites))
+	for _, s := range cur.Suites {
+		byName[s.Name] = s
+	}
+	fail := 0
+	for _, s := range cur.Suites {
+		if !strings.HasPrefix(s.Name, "jit/") {
+			continue
+		}
+		prog := strings.TrimPrefix(s.Name, "jit/")
+		vm, ok := byName["vm/"+prog]
+		if !ok {
+			continue
+		}
+		jitNS := compared(s)
+		if jitNS <= 0 {
+			continue
+		}
+		speedup := compared(vm) / jitNS
+		verdict := "ok"
+		if speedup < jitSpeedupFloor {
+			verdict = "BELOW FLOOR"
+			fail++
+		}
+		fmt.Fprintf(w, "jit speedup: %-14s %6.1fx vs vm/%-10s (floor %.0fx) — %s\n",
+			s.Name, speedup, prog, jitSpeedupFloor, verdict)
+	}
+	return fail
 }
 
 // gateTraceOverhead enforces the flight-recorder budget inside the new

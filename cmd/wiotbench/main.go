@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/wiot-security/sift/internal/amulet"
 	"github.com/wiot-security/sift/internal/obs"
 )
 
@@ -218,6 +219,7 @@ func run(args []string, out io.Writer) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	tracePath := fs.String("trace", "", "after the suites, run one traced fleet cohort and write its Chrome trace_event dump here")
 	printObs := fs.Bool("obs", false, "enable internal/obs collection and print its snapshot after the run")
+	nojit := fs.Bool("nojit", false, "disable the template JIT process-wide: every device interprets (jit/ suites then refuse to run)")
 	// Stdlib flag parsing stops at the first positional argument, but the
 	// documented compare CLI is `-compare old.json new.json -threshold 10`
 	// — so keep re-parsing the tail to accept flags after positionals.
@@ -286,6 +288,9 @@ func run(args []string, out io.Writer) error {
 	cfg := fullCfg
 	if *quick {
 		cfg = quickCfg
+	}
+	if *nojit {
+		amulet.SetJITEnabled(false)
 	}
 	if *printObs {
 		obs.SetEnabled(true)

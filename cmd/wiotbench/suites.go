@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/wiot-security/sift/internal/amulet"
 	"github.com/wiot-security/sift/internal/amulet/program"
 	"github.com/wiot-security/sift/internal/dataset"
 	"github.com/wiot-security/sift/internal/features"
@@ -32,6 +33,9 @@ func allSuites() []suite {
 	var suites []suite
 	for _, v := range features.Versions {
 		suites = append(suites, vmSuite(v))
+	}
+	for _, v := range features.Versions {
+		suites = append(suites, jitSuite(v))
 	}
 	for _, v := range features.Versions {
 		suites = append(suites, featuresSuite(v))
@@ -83,13 +87,53 @@ func benchModel(dim int) *svm.Quantized {
 // vmSuite measures full device-side classifications: marshal the window
 // into the data segment, run the detector bytecode on the emulated
 // Amulet, decode the verdict. Extra carries the cycle telemetry Table
-// III's energy model consumes.
+// III's energy model consumes. The device is pinned to the interpreter
+// so vm/* stays the oracle baseline the jit/* twins are gated against.
 func vmSuite(v features.Version) suite {
 	name := "vm/" + v.String()
 	return suite{
 		name:     name,
-		describe: fmt.Sprintf("amulet VM: %s detector bytecode, one window per op", v),
+		describe: fmt.Sprintf("amulet VM (interpreter): %s detector bytecode, one window per op", v),
 		run: func(cfg runConfig, quick bool) (Result, error) {
+			w, err := benchWindow(1)
+			if err != nil {
+				return Result{}, err
+			}
+			det, err := program.NewDeviceDetector(v, amulet.NewDevice(amulet.WithInterpreter()), benchModel(v.Dim()))
+			if err != nil {
+				return Result{}, err
+			}
+			op := func() error {
+				_, err := det.Classify(w)
+				return err
+			}
+			res, err := measure(name, "windows/sec", cfg, 0, 1, op)
+			if err != nil {
+				return Result{}, err
+			}
+			res.Extra = map[string]float64{
+				"cyclesPerWindow": det.AvgCyclesPerWindow(),
+				"cyclesPerSec":    det.AvgCyclesPerWindow() * res.OpsPerSec,
+			}
+			return res, nil
+		},
+	}
+}
+
+// jitSuite measures the same device-side classification as vmSuite on a
+// default device, whose Install compiled the verified bytecode with the
+// template JIT. Pairing each jit/* suite with its interpreter-pinned
+// vm/* twin in one report is what lets -compare gate the compiled
+// backend's speedup floor.
+func jitSuite(v features.Version) suite {
+	name := "jit/" + v.String()
+	return suite{
+		name:     name,
+		describe: fmt.Sprintf("amulet VM (template JIT): %s detector bytecode, one window per op", v),
+		run: func(cfg runConfig, quick bool) (Result, error) {
+			if !amulet.JITEnabled() {
+				return Result{}, fmt.Errorf("%s: the JIT is disabled (-nojit); exclude jit/ suites with -suite", name)
+			}
 			w, err := benchWindow(1)
 			if err != nil {
 				return Result{}, err
@@ -97,6 +141,9 @@ func vmSuite(v features.Version) suite {
 			det, err := program.NewDeviceDetector(v, nil, benchModel(v.Dim()))
 			if err != nil {
 				return Result{}, err
+			}
+			if !det.Device.HasCompiled(det.Program().Name) {
+				return Result{}, fmt.Errorf("%s: verified detector bytecode did not compile", name)
 			}
 			op := func() error {
 				_, err := det.Classify(w)

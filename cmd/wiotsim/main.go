@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/wiot-security/sift/internal/amulet"
 	"github.com/wiot-security/sift/internal/dataset"
 	"github.com/wiot-security/sift/internal/features"
 	"github.com/wiot-security/sift/internal/fleet"
@@ -57,7 +58,12 @@ func run() error {
 	chaosMode := flag.Bool("chaos", false, "fleet mode: stream every scenario over real TCP through a fault injector (-loss becomes the frame corruption probability, half of it the mid-frame cut probability)")
 	serve := flag.String("serve", "", "fleet mode: serve /metrics, /debug/trace, /healthz on this address during and after the run")
 	tracePath := flag.String("trace", "", "fleet mode: write a Chrome trace_event JSON dump of the run to this file at exit")
+	nojit := flag.Bool("nojit", false, "disable the template JIT process-wide: every emulated device interprets its bytecode")
 	flag.Parse()
+
+	if *nojit {
+		amulet.SetJITEnabled(false)
+	}
 
 	// Reject nonsense values outright instead of silently coercing them
 	// (the fleet engine would otherwise map a non-positive -workers to

@@ -1,0 +1,44 @@
+package amulet
+
+import "sync/atomic"
+
+// Compiled is a native (ahead-of-time compiled) execution backend for one
+// program. A Compiled must be behaviorally indistinguishable from running
+// the same program on a fresh VM: identical data-segment writes, identical
+// Usage telemetry, and errors wrapping the same sentinel on the same
+// inputs. The interpreter stays the oracle; internal/amulet/jit proves
+// the equivalence by differential fuzzing.
+type Compiled interface {
+	// Run executes against data with the cycle budget, like
+	// (*VM).RunTraced on a fresh VM. traceParent links the backend's
+	// span into an existing trace; zero starts a root span.
+	Run(data []int32, maxCycles uint64, traceParent uint64) (Usage, error)
+}
+
+// compileHook is the registered bytecode compiler, installed by
+// RegisterCompiler (internal/amulet/jit registers via the program
+// package, mirroring the verifier hook). Registration must happen at
+// init time, before any concurrent Install.
+var compileHook func(*Program) (Compiled, error)
+
+// RegisterCompiler installs a backend compiler that Device.Install offers
+// every program to. A compile error is not fatal: the device silently
+// keeps the interpreter for that program (the compiler only accepts
+// statically verified bytecode).
+func RegisterCompiler(f func(*Program) (Compiled, error)) { compileHook = f }
+
+// jitOff is the process-wide escape hatch (1 = disabled). Devices built
+// with WithInterpreter pin the interpreter regardless of this switch.
+var jitOff atomic.Bool
+
+// SetJITEnabled toggles the compiled backend process-wide and returns the
+// previous setting. Installed programs stay compiled; only dispatch
+// changes, so flipping it mid-run is safe and cheap.
+func SetJITEnabled(on bool) (prev bool) {
+	prev = !jitOff.Load()
+	jitOff.Store(!on)
+	return prev
+}
+
+// JITEnabled reports whether compiled backends are dispatched to.
+func JITEnabled() bool { return !jitOff.Load() }

@@ -30,7 +30,10 @@ type Device struct {
 	systemSRAM int // OS SRAM footprint
 
 	programs map[string]*Program
+	compiled map[string]Compiled
 	order    []string
+
+	interpOnly bool
 }
 
 // Option configures a Device.
@@ -42,6 +45,13 @@ func WithSystemFootprint(fram, sram int) Option {
 		d.systemFRAM = fram
 		d.systemSRAM = sram
 	}
+}
+
+// WithInterpreter pins this device to the bytecode interpreter, ignoring
+// any registered compiler. Benchmark baselines and differential oracles
+// use it so the process-wide JIT switch cannot change what they measure.
+func WithInterpreter() Option {
+	return func(d *Device) { d.interpOnly = true }
 }
 
 // Default system footprints: the paper's ARP-view snapshot reports roughly
@@ -103,7 +113,26 @@ func (d *Device) Install(p *Program) error {
 		d.order = append(d.order, p.Name)
 	}
 	d.programs[p.Name] = p
+	delete(d.compiled, p.Name)
+	if compileHook != nil && !d.interpOnly {
+		// Compile errors are not install errors: the compiler rejects
+		// anything the static verifier cannot prove, and the interpreter
+		// handles those programs exactly as before.
+		if c, err := compileHook(p); err == nil && c != nil {
+			if d.compiled == nil {
+				d.compiled = make(map[string]Compiled)
+			}
+			d.compiled[p.Name] = c
+		}
+	}
 	return nil
+}
+
+// HasCompiled reports whether a compiled backend is installed for the
+// named program.
+func (d *Device) HasCompiled(name string) bool {
+	_, ok := d.compiled[name]
+	return ok
 }
 
 // Programs lists installed programs in installation order.
@@ -141,14 +170,22 @@ func (d *Device) RunTraced(name string, data []int32, maxCycles uint64, tracePar
 	if !ok {
 		return RunResult{}, fmt.Errorf("amulet: no program %q installed", name)
 	}
-	vm, err := NewVM(p, data)
-	if err != nil {
-		return RunResult{}, err
+	var u Usage
+	if c := d.compiled[name]; c != nil && JITEnabled() {
+		var err error
+		if u, err = c.Run(data, maxCycles, traceParent); err != nil {
+			return RunResult{}, fmt.Errorf("amulet: run %q: %w", name, err)
+		}
+	} else {
+		vm, err := NewVM(p, data)
+		if err != nil {
+			return RunResult{}, err
+		}
+		if err := vm.RunTraced(maxCycles, traceParent); err != nil {
+			return RunResult{}, fmt.Errorf("amulet: run %q: %w", name, err)
+		}
+		u = vm.Usage()
 	}
-	if err := vm.RunTraced(maxCycles, traceParent); err != nil {
-		return RunResult{}, fmt.Errorf("amulet: run %q: %w", name, err)
-	}
-	u := vm.Usage()
 	if used := d.systemSRAM + u.SRAMBytes(); used > d.sramCapacity {
 		return RunResult{}, fmt.Errorf("amulet: %q peaked at %d B SRAM (system %d + app %d), capacity %d",
 			name, used, d.systemSRAM, u.SRAMBytes(), d.sramCapacity)

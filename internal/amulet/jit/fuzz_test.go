@@ -1,0 +1,140 @@
+package jit_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/amulet/jit"
+	"github.com/wiot-security/sift/internal/amulet/program"
+	"github.com/wiot-security/sift/internal/features"
+	"github.com/wiot-security/sift/internal/vmlint"
+)
+
+// fuzzBudget bounds each fuzz execution; looping programs hit
+// ErrOutOfCycles under both backends, which keeps the slow path hot in
+// the corpus.
+const fuzzBudget = 200_000
+
+// FuzzJITVsInterp is the compiler's correctness proof by differential
+// testing: any bytecode the static verifier accepts must behave
+// identically under the interpreter (the oracle) and the compiled
+// backend — same error sentinel, same data-segment writes, same resource
+// telemetry — and the compiled run must stay within vmlint's static
+// bounds.
+func FuzzJITVsInterp(f *testing.F) {
+	seed := func(p *amulet.Program, err error) {
+		if err == nil {
+			f.Add(p.Code, uint8(p.DataWords), uint64(1))
+		}
+	}
+	for _, v := range features.Versions {
+		seed(program.Build(v))
+	}
+	seed(program.BuildPedometer())
+	seed(program.BuildRPeakDetector())
+
+	// Handcrafted shapes steering the mutator at compiler structure:
+	// fusion tails, inlined calls, budget-crossing loops, data faults.
+	halt := byte(amulet.OpHalt)
+	f.Add([]byte{halt}, uint8(0), uint64(2))
+	// dup/swap/over shuffles over deferred descriptors.
+	f.Add([]byte{
+		byte(amulet.OpPush), 5, 0, 0, 0,
+		byte(amulet.OpPush), 9, 0, 0, 0,
+		byte(amulet.OpSwap), byte(amulet.OpOver), byte(amulet.OpDup),
+		byte(amulet.OpAdd), byte(amulet.OpAdd), byte(amulet.OpAdd),
+		byte(amulet.OpDrop), halt,
+	}, uint8(0), uint64(3))
+	// call 0x0005; halt; push; ret — one clean subroutine to inline.
+	f.Add([]byte{
+		byte(amulet.OpCall), 5, 0, halt, 0,
+		byte(amulet.OpPush), 7, 0, 0, 0, byte(amulet.OpRet),
+	}, uint8(0), uint64(4))
+	// push 2; dup; jnz back over itself — burns the budget, lands the
+	// budget line mid-block.
+	f.Add([]byte{
+		byte(amulet.OpPush), 2, 0, 0, 0,
+		byte(amulet.OpDup), byte(amulet.OpJnz), 5, 0, halt,
+	}, uint8(0), uint64(5))
+	// loadm/storem against a small segment — bad-address ordering.
+	f.Add([]byte{
+		byte(amulet.OpPush), 3, 0, 0, 0,
+		byte(amulet.OpLoadM),
+		byte(amulet.OpPush), 1, 0, 0, 0,
+		byte(amulet.OpStoreM), halt,
+	}, uint8(4), uint64(6))
+	// storel-retarget tail: loadl; push; add; storel (the counter shape).
+	f.Add([]byte{
+		byte(amulet.OpLoadL), 1,
+		byte(amulet.OpPush), 1, 0, 0, 0,
+		byte(amulet.OpAdd),
+		byte(amulet.OpStoreL), 1,
+		byte(amulet.OpLoadL), 1, byte(amulet.OpDrop), halt,
+	}, uint8(0), uint64(7))
+
+	f.Fuzz(func(t *testing.T, code []byte, dataWords uint8, dataSeed uint64) {
+		p := &amulet.Program{Name: "fuzz", Code: code, DataWords: int(dataWords)}
+		rep := vmlint.Analyze(p)
+		if len(rep.Errs()) > 0 {
+			if _, err := jit.Compile(p); err == nil {
+				t.Fatalf("jit compiled a program the verifier rejects (code %x)", code)
+			}
+			return
+		}
+
+		cp, err := jit.Compile(p)
+		if err != nil {
+			if strings.Contains(err.Error(), "instructions after inlining") {
+				return // size cap: device keeps the interpreter, by design
+			}
+			t.Fatalf("verified program failed to compile: %v (code %x)", err, code)
+		}
+
+		data := fillData(int(dataWords), dataSeed)
+		vmData := append([]int32(nil), data...)
+		jitData := append([]int32(nil), data...)
+
+		vm, err := amulet.NewVM(p, vmData)
+		if err != nil {
+			t.Fatalf("verified program rejected by NewVM: %v", err)
+		}
+		vmErr := vm.Run(fuzzBudget)
+		jitUsage, jitErr := cp.Run(jitData, fuzzBudget, 0)
+
+		if vc, jc := errClass(vmErr), errClass(jitErr); vc != jc {
+			t.Fatalf("backends disagree: interpreter %q vs jit %q (code %x)", vc, jc, code)
+		}
+		if vmErr == nil || errors.Is(vmErr, amulet.ErrOutOfCycles) {
+			// On success and on budget exhaustion the telemetry must be
+			// bit-identical (the slow path replays the interpreter's
+			// billing). Only a mid-block data fault may overbill, and then
+			// the device discards the usage anyway.
+			if vu := vm.Usage(); vu != jitUsage {
+				t.Fatalf("usage diverged (err=%v):\n interp: %+v\n    jit: %+v\n code %x", vmErr, vu, jitUsage, code)
+			}
+		}
+		if vmErr == nil {
+			for i := range vmData {
+				if vmData[i] != jitData[i] {
+					t.Fatalf("data[%d] diverged: interp %d vs jit %d (code %x)", i, vmData[i], jitData[i], code)
+				}
+			}
+		}
+
+		// The compiled run must stay within the statically proven envelope.
+		if jitUsage.MaxStack > rep.MaxStack {
+			t.Fatalf("jit stack peak %d exceeds static bound %d (code %x)", jitUsage.MaxStack, rep.MaxStack, code)
+		}
+		if jitUsage.MaxLocals > rep.MaxLocals {
+			t.Fatalf("jit locals %d exceed static bound %d (code %x)", jitUsage.MaxLocals, rep.MaxLocals, code)
+		}
+		if jitUsage.MaxCall > rep.CallDepth {
+			t.Fatalf("jit call depth %d exceeds static bound %d (code %x)", jitUsage.MaxCall, rep.CallDepth, code)
+		}
+		if rep.LoopFree && jitErr == nil && jitUsage.Cycles > rep.StaticCycles {
+			t.Fatalf("loop-free static cycle bound %d below jit's %d (code %x)", rep.StaticCycles, jitUsage.Cycles, code)
+		}
+	})
+}

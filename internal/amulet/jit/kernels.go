@@ -1,0 +1,619 @@
+package jit
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/fixedpoint"
+)
+
+// Loop kernels are the tier of the template JIT that buys the order-of-
+// magnitude: per-op closures remove decode and billing but still pay one
+// indirect call per operation, which caps them near 2× the interpreter.
+// The fuser recognizes the builder's counted-loop shape (ForRange: an
+// `i < limit` header with no side effects, a straight-line body whose
+// only write to i is the trailing `i += 1`) and attaches a loopKernel
+// that executes every remaining full iteration in one dispatch.
+//
+// Two sub-tiers:
+//
+//   - the generic kernel replays the body's fused closures in a tight
+//     loop, hoisting the driver, the header re-checks, and the per-block
+//     billing out of the iteration;
+//   - specialized kernels pattern-match the body's IR against the
+//     wearable-DSP idioms the firmware generator emits — fill,
+//     min/max reduce, normalize-map, histogram binning — and run them
+//     as native Go loops with the arithmetic inlined.
+//
+// Specialization never changes observable semantics: a kernel replicates
+// the body's stores to scratch locals and the data segment in original
+// order, reproduces saturating address arithmetic, and faults with the
+// interpreter's exact error shape, so an unmatched or adversarial body
+// simply stays on the generic tiers and the differential fuzzer keeps
+// all tiers honest.
+
+// fuseLoops scans the compiled block graph for counted-loop headers and
+// attaches kernels. Runs after every block is emitted, before the
+// compile-time IR is dropped.
+func (c *compiler) fuseLoops() {
+	for id, h := range c.blocks {
+		cmp := h.cmp
+		if cmp == nil || len(h.irs) != 0 || cmp.op != amulet.OpLt || !cmp.isJz {
+			continue
+		}
+		if cmp.a.k != kLocal || cmp.b.k != kLocal || cmp.a.idx == cmp.b.idx {
+			continue
+		}
+		if cmp.f == id { // degenerate self-loop header
+			continue
+		}
+		iIdx, limIdx := cmp.a.idx, cmp.b.idx
+		body := c.blocks[cmp.f]
+		if body.term != nil || body.next != id || body.depth != h.depth ||
+			body.entrySP != h.entrySP || len(body.irs) == 0 {
+			continue
+		}
+		inc := body.irs[len(body.irs)-1]
+		if inc.kind != irMove || !inc.dst.local || inc.dst.idx != iIdx ||
+			inc.a.k != kAddLC || inc.a.idx != iIdx || inc.a.c != 1 {
+			continue
+		}
+		// The trip count must be computable up front: nothing else in the
+		// body may write i, and nothing at all may write the limit.
+		clean := true
+		for _, io := range body.irs[:len(body.irs)-1] {
+			if io.dst.local && (io.dst.idx == iIdx || io.dst.idx == limIdx) {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			continue
+		}
+		k := &loopKernel{
+			iIdx: iIdx, limIdx: limIdx,
+			perCycles: h.cycles + body.cycles,
+			perInstrs: h.instrs + body.instrs,
+			peak:      max(h.peak, body.peak),
+			locals:    max(h.locals, body.locals),
+		}
+		if k.perCycles == 0 { // unreachable: every instruction costs cycles
+			continue
+		}
+		k.run = specializeKernel(body.irs[:len(body.irs)-1], iIdx)
+		if k.run == nil {
+			k.run = genericKernel(body.ops[:len(body.ops)-1], iIdx)
+		}
+		h.kern = k
+	}
+}
+
+// genericKernel replays a loop body's fused closures — any body shape at
+// all. The trailing counter increment runs natively: i < limit ≤ MaxInt32
+// on every iteration, so the saturating add it compiles to is a plain
+// add, and on a mid-body fault the counter write is skipped, leaving
+// locals exactly as the interpreter would.
+//
+// Short bodies (the overwhelming case: generated detectors reduce in
+// 2–12 micro-ops) unroll so every closure gets its own call site. A
+// single `range ops` call site dispatches to a different target each
+// micro-op and mispredicts on essentially every call; monomorphic sites
+// predict perfectly, which is worth ~2× on tight reduce loops.
+func genericKernel(ops []uop, iIdx int) func(*machine, int32, int64) bool {
+	ii := iIdx
+	switch len(ops) {
+	case 1:
+		f0 := ops[0]
+		return func(m *machine, i0 int32, n int64) bool {
+			for i := i0; n > 0; n-- {
+				if !f0(m) {
+					return false
+				}
+				i++
+				m.locals[ii] = i
+			}
+			return true
+		}
+	case 2:
+		f0, f1 := ops[0], ops[1]
+		return func(m *machine, i0 int32, n int64) bool {
+			for i := i0; n > 0; n-- {
+				if !f0(m) || !f1(m) {
+					return false
+				}
+				i++
+				m.locals[ii] = i
+			}
+			return true
+		}
+	case 3:
+		f0, f1, f2 := ops[0], ops[1], ops[2]
+		return func(m *machine, i0 int32, n int64) bool {
+			for i := i0; n > 0; n-- {
+				if !f0(m) || !f1(m) || !f2(m) {
+					return false
+				}
+				i++
+				m.locals[ii] = i
+			}
+			return true
+		}
+	case 4:
+		f0, f1, f2, f3 := ops[0], ops[1], ops[2], ops[3]
+		return func(m *machine, i0 int32, n int64) bool {
+			for i := i0; n > 0; n-- {
+				if !f0(m) || !f1(m) || !f2(m) || !f3(m) {
+					return false
+				}
+				i++
+				m.locals[ii] = i
+			}
+			return true
+		}
+	case 5:
+		f0, f1, f2, f3, f4 := ops[0], ops[1], ops[2], ops[3], ops[4]
+		return func(m *machine, i0 int32, n int64) bool {
+			for i := i0; n > 0; n-- {
+				if !f0(m) || !f1(m) || !f2(m) || !f3(m) || !f4(m) {
+					return false
+				}
+				i++
+				m.locals[ii] = i
+			}
+			return true
+		}
+	case 6:
+		f0, f1, f2, f3, f4, f5 := ops[0], ops[1], ops[2], ops[3], ops[4], ops[5]
+		return func(m *machine, i0 int32, n int64) bool {
+			for i := i0; n > 0; n-- {
+				if !f0(m) || !f1(m) || !f2(m) || !f3(m) || !f4(m) || !f5(m) {
+					return false
+				}
+				i++
+				m.locals[ii] = i
+			}
+			return true
+		}
+	case 7:
+		f0, f1, f2, f3, f4, f5, f6 := ops[0], ops[1], ops[2], ops[3], ops[4], ops[5], ops[6]
+		return func(m *machine, i0 int32, n int64) bool {
+			for i := i0; n > 0; n-- {
+				if !f0(m) || !f1(m) || !f2(m) || !f3(m) || !f4(m) || !f5(m) || !f6(m) {
+					return false
+				}
+				i++
+				m.locals[ii] = i
+			}
+			return true
+		}
+	case 8:
+		f0, f1, f2, f3, f4, f5, f6, f7 := ops[0], ops[1], ops[2], ops[3], ops[4], ops[5], ops[6], ops[7]
+		return func(m *machine, i0 int32, n int64) bool {
+			for i := i0; n > 0; n-- {
+				if !f0(m) || !f1(m) || !f2(m) || !f3(m) || !f4(m) || !f5(m) || !f6(m) || !f7(m) {
+					return false
+				}
+				i++
+				m.locals[ii] = i
+			}
+			return true
+		}
+	}
+	return func(m *machine, i0 int32, n int64) bool {
+		for i := i0; n > 0; n-- {
+			for _, f := range ops {
+				if !f(m) {
+					return false
+				}
+			}
+			i++
+			m.locals[ii] = i
+		}
+		return true
+	}
+}
+
+// specializeKernel tries the idiom templates against a loop body (the
+// trailing increment already stripped). nil means no match: the generic
+// closure-replay kernel applies.
+func specializeKernel(body []irOp, iIdx int) func(*machine, int32, int64) bool {
+	if k := matchFill(body, iIdx); k != nil {
+		return k
+	}
+	if k := matchMinMax(body, iIdx); k != nil {
+		return k
+	}
+	if k := matchMapStore(body, iIdx); k != nil {
+		return k
+	}
+	if k := matchHistogram(body, iIdx); k != nil {
+		return k
+	}
+	return nil
+}
+
+// sadd is the ISA's saturating add (OpAdd), used for address arithmetic
+// so specialized kernels compute bit-identical addresses.
+func sadd(a, b int32) int32 {
+	return fixedpoint.Add(fixedpoint.FromRaw(a), fixedpoint.FromRaw(b)).Raw()
+}
+
+func loadFault(m *machine, addr int32) bool {
+	m.fault = fmt.Errorf("%w: load %d (segment %d words)", amulet.ErrBadAddress, addr, len(m.data))
+	return false
+}
+
+func storeFault(m *machine, addr int32) bool {
+	m.fault = fmt.Errorf("%w: store %d (segment %d words)", amulet.ErrBadAddress, addr, len(m.data))
+	return false
+}
+
+// affineRange reports whether every address sadd(i, base) for i in
+// [i0, i0+n) stays unsaturated and inside the data segment, returning
+// the first address. When it holds, the addresses are exactly the
+// contiguous run data[lo : lo+n] and all bounds checks hoist out.
+func affineRange(i0 int32, n int64, base int32, dataLen int) (int64, bool) {
+	lo := int64(i0) + int64(base)
+	hi := lo + n - 1
+	return lo, lo >= 0 && hi < int64(dataLen) && hi <= math.MaxInt32
+}
+
+func isAddLC(o operand, idx int) bool { return o.k == kAddLC && o.idx == idx }
+func isLocal(o operand, idx int) bool { return o.k == kLocal && o.idx == idx }
+func isSlot(o operand, idx int) bool  { return o.k == kSlot && o.idx == idx }
+
+// matchFill compiles `data[base+i] = K` (the occupancy-matrix zeroing
+// loop) into a slice fill.
+//
+//	IR: [ StoreM{a: AddLC(i,base), b: Const} ]
+func matchFill(body []irOp, iIdx int) func(*machine, int32, int64) bool {
+	if len(body) != 1 {
+		return nil
+	}
+	st := body[0]
+	if st.kind != irStoreM || !isAddLC(st.a, iIdx) || st.b.k != kConst {
+		return nil
+	}
+	base, v, ii := st.a.c, st.b.c, iIdx
+	return func(m *machine, i0 int32, n int64) bool {
+		if lo, ok := affineRange(i0, n, base, len(m.data)); ok {
+			s := m.data[lo : lo+n]
+			for j := range s {
+				s[j] = v
+			}
+			m.locals[ii] = i0 + int32(n)
+			return true
+		}
+		for i := i0; n > 0; n-- {
+			addr := sadd(i, base)
+			if addr < 0 || int(addr) >= len(m.data) {
+				return storeFault(m, addr)
+			}
+			m.data[addr] = v
+			i++
+			m.locals[ii] = i
+		}
+		return true
+	}
+}
+
+// matchMinMax compiles the channel-range scan: load data[base+i] into a
+// scratch local, fold it into running min and max locals.
+//
+//	IR: [ LoadM{AddLC(i,base) → local t},
+//	      Bin{Min, local mn, local t → local mn},
+//	      Bin{Max, local mx, local t → local mx} ]
+func matchMinMax(body []irOp, iIdx int) func(*machine, int32, int64) bool {
+	if len(body) != 3 {
+		return nil
+	}
+	ld, bn, bx := body[0], body[1], body[2]
+	if ld.kind != irLoadM || !isAddLC(ld.a, iIdx) || !ld.dst.local {
+		return nil
+	}
+	t := ld.dst.idx
+	if bn.kind != irBin || bn.op != amulet.OpMin || !bn.dst.local {
+		return nil
+	}
+	mn := bn.dst.idx
+	if !isLocal(bn.a, mn) || !isLocal(bn.b, t) {
+		return nil
+	}
+	if bx.kind != irBin || bx.op != amulet.OpMax || !bx.dst.local {
+		return nil
+	}
+	mx := bx.dst.idx
+	if !isLocal(bx.a, mx) || !isLocal(bx.b, t) {
+		return nil
+	}
+	if t == mn || t == mx || mn == mx {
+		return nil
+	}
+	base, ii := ld.a.c, iIdx
+	return func(m *machine, i0 int32, n int64) bool {
+		if lo, ok := affineRange(i0, n, base, len(m.data)); ok {
+			s := m.data[lo : lo+n]
+			lov, hiv := m.locals[mn], m.locals[mx]
+			for _, v := range s {
+				if v < lov {
+					lov = v
+				}
+				if v > hiv {
+					hiv = v
+				}
+			}
+			m.locals[t] = s[n-1]
+			m.locals[mn], m.locals[mx] = lov, hiv
+			m.locals[ii] = i0 + int32(n)
+			return true
+		}
+		for i := i0; n > 0; n-- {
+			addr := sadd(i, base)
+			if addr < 0 || int(addr) >= len(m.data) {
+				return loadFault(m, addr)
+			}
+			v := m.data[addr]
+			m.locals[t] = v
+			if v < m.locals[mn] {
+				m.locals[mn] = v
+			}
+			if v > m.locals[mx] {
+				m.locals[mx] = v
+			}
+			i++
+			m.locals[ii] = i
+		}
+		return true
+	}
+}
+
+// matchMapStore compiles the in-place normalize pass:
+// data[base+i] = (conv(data[base+i]) ⊖ l1) ⊗ l2.
+//
+//	IR: [ Move{AddLC(i,base) → local t},
+//	      LoadM{local t → slot s},
+//	      Un{u, slot s → slot s}?,           (the Q→float conversion)
+//	      Bin{b1, slot s, local p1 → slot s},
+//	      Bin{b2, slot s, local p2 → slot s},
+//	      StoreM{local t, slot s} ]
+func matchMapStore(body []irOp, iIdx int) func(*machine, int32, int64) bool {
+	if len(body) != 5 && len(body) != 6 {
+		return nil
+	}
+	mv := body[0]
+	if mv.kind != irMove || !isAddLC(mv.a, iIdx) || !mv.dst.local {
+		return nil
+	}
+	t, base := mv.dst.idx, mv.a.c
+	ld := body[1]
+	if ld.kind != irLoadM || !isLocal(ld.a, t) || ld.dst.local {
+		return nil
+	}
+	s := ld.dst.idx
+	j := 2
+	hasUn := false
+	var unOp amulet.Op
+	if body[j].kind == irUn {
+		u := body[j]
+		if u.dst.local || u.dst.idx != s || !isSlot(u.a, s) {
+			return nil
+		}
+		hasUn, unOp = true, u.op
+		j++
+	}
+	if len(body) != j+3 {
+		return nil
+	}
+	b1, b2, st := body[j], body[j+1], body[j+2]
+	if b1.kind != irBin || b1.dst.local || b1.dst.idx != s || !isSlot(b1.a, s) || b1.b.k != kLocal {
+		return nil
+	}
+	if b2.kind != irBin || b2.dst.local || b2.dst.idx != s || !isSlot(b2.a, s) || b2.b.k != kLocal {
+		return nil
+	}
+	p1, p2 := b1.b.idx, b2.b.idx
+	if st.kind != irStoreM || !isLocal(st.a, t) || !isSlot(st.b, s) {
+		return nil
+	}
+	if t == p1 || t == p2 {
+		return nil
+	}
+	elem := buildMapElem(hasUn, unOp, b1.op, b2.op)
+	ii := iIdx
+	return func(m *machine, i0 int32, n int64) bool {
+		c1, c2 := m.locals[p1], m.locals[p2] // body never writes p1/p2
+		if lo, ok := affineRange(i0, n, base, len(m.data)); ok {
+			sl := m.data[lo : lo+n]
+			for j2, v := range sl {
+				sl[j2] = elem(v, c1, c2)
+			}
+			m.locals[t] = sadd(i0+int32(n)-1, base)
+			m.locals[ii] = i0 + int32(n)
+			return true
+		}
+		for i := i0; n > 0; n-- {
+			addr := sadd(i, base)
+			m.locals[t] = addr
+			if addr < 0 || int(addr) >= len(m.data) {
+				return loadFault(m, addr)
+			}
+			m.data[addr] = elem(m.data[addr], c1, c2)
+			i++
+			m.locals[ii] = i
+		}
+		return true
+	}
+}
+
+// buildMapElem picks the per-element function for matchMapStore: direct
+// code for the two shapes the firmware generator emits (float32 and
+// Q16.16 normalize), captured evaluation functions for anything else.
+func buildMapElem(hasUn bool, u, b1, b2 amulet.Op) func(v, c1, c2 int32) int32 {
+	switch {
+	case hasUn && u == amulet.OpQtoF && b1 == amulet.OpFSub && b2 == amulet.OpFMul:
+		return func(v, c1, c2 int32) int32 {
+			f := float32(fixedpoint.FromRaw(v).Float())
+			f = (f - math.Float32frombits(uint32(c1))) * math.Float32frombits(uint32(c2))
+			return int32(math.Float32bits(f))
+		}
+	case !hasUn && b1 == amulet.OpSub && b2 == amulet.OpMulQ:
+		return func(v, c1, c2 int32) int32 {
+			d := fixedpoint.Sub(fixedpoint.FromRaw(v), fixedpoint.FromRaw(c1))
+			return fixedpoint.Mul(d, fixedpoint.FromRaw(c2)).Raw()
+		}
+	}
+	fb1, fb2 := amulet.BinaryEval(b1), amulet.BinaryEval(b2)
+	if hasUn {
+		fu := amulet.UnaryEval(u)
+		return func(v, c1, c2 int32) int32 { return fb2(fb1(fu(v), c1), c2) }
+	}
+	return func(v, c1, c2 int32) int32 { return fb2(fb1(v, c1), c2) }
+}
+
+// matchHistogram compiles the portrait binning loop: quantize the i-th
+// sample of two channels to clamped grid coordinates, then increment the
+// occupancy cell. This is the single hottest loop in the Original and
+// Simplified detectors.
+//
+//	IR: [ LoadM{AddLC(i,baseX) → slot s},    ┐ column unit
+//	      Bin{mulX, slot s, Const → slot s}, │
+//	      Un{toIX, slot s → slot s},         │
+//	      Bin{Max, slot s, Const → slot s},  │
+//	      Bin{Min, slot s, Const → local c}, ┘
+//	      ... same five for the row unit → local r,
+//	      Bin{MulI, local r, Const stride → slot s},
+//	      Bin{Add, slot s, local c → slot s},
+//	      Bin{Add, slot s, Const matrixBase → local c},
+//	      LoadM{local c → slot s2},
+//	      Bin{Add, slot s2, Const 1 → slot s2},
+//	      StoreM{local c, slot s2} ]
+func matchHistogram(body []irOp, iIdx int) func(*machine, int32, int64) bool {
+	if len(body) != 16 {
+		return nil
+	}
+	// binUnit matches the five-IR quantize-and-clamp unit ending in a
+	// local destination.
+	type unit struct {
+		base, mulC, maxC, minC int32
+		mul, toI               amulet.Op
+		dst                    int
+	}
+	binUnit := func(irs []irOp) (unit, bool) {
+		var u unit
+		ld := irs[0]
+		if ld.kind != irLoadM || !isAddLC(ld.a, iIdx) || ld.dst.local {
+			return u, false
+		}
+		s := ld.dst.idx
+		mul := irs[1]
+		if mul.kind != irBin || mul.dst.local || mul.dst.idx != s || !isSlot(mul.a, s) || mul.b.k != kConst {
+			return u, false
+		}
+		conv := irs[2]
+		if conv.kind != irUn || conv.dst.local || conv.dst.idx != s || !isSlot(conv.a, s) {
+			return u, false
+		}
+		cmax := irs[3]
+		if cmax.kind != irBin || cmax.op != amulet.OpMax || cmax.dst.local || cmax.dst.idx != s ||
+			!isSlot(cmax.a, s) || cmax.b.k != kConst {
+			return u, false
+		}
+		cmin := irs[4]
+		if cmin.kind != irBin || cmin.op != amulet.OpMin || !cmin.dst.local ||
+			!isSlot(cmin.a, s) || cmin.b.k != kConst {
+			return u, false
+		}
+		u = unit{
+			base: ld.a.c, mulC: mul.b.c, maxC: cmax.b.c, minC: cmin.b.c,
+			mul: mul.op, toI: conv.op, dst: cmin.dst.idx,
+		}
+		return u, true
+	}
+	col, ok := binUnit(body[0:5])
+	if !ok {
+		return nil
+	}
+	row, ok := binUnit(body[5:10])
+	if !ok || row.dst == col.dst {
+		return nil
+	}
+	stride := body[10]
+	if stride.kind != irBin || stride.op != amulet.OpMulI || stride.dst.local ||
+		!isLocal(stride.a, row.dst) || stride.b.k != kConst {
+		return nil
+	}
+	s := stride.dst.idx
+	addCol := body[11]
+	if addCol.kind != irBin || addCol.op != amulet.OpAdd || addCol.dst.local || addCol.dst.idx != s ||
+		!isSlot(addCol.a, s) || !isLocal(addCol.b, col.dst) {
+		return nil
+	}
+	addBase := body[12]
+	if addBase.kind != irBin || addBase.op != amulet.OpAdd || !addBase.dst.local || addBase.dst.idx != col.dst ||
+		!isSlot(addBase.a, s) || addBase.b.k != kConst {
+		return nil
+	}
+	cell := body[13]
+	if cell.kind != irLoadM || !isLocal(cell.a, col.dst) || cell.dst.local {
+		return nil
+	}
+	s2 := cell.dst.idx
+	bump := body[14]
+	if bump.kind != irBin || bump.op != amulet.OpAdd || bump.dst.local || bump.dst.idx != s2 ||
+		!isSlot(bump.a, s2) || bump.b.k != kConst || bump.b.c != 1 {
+		return nil
+	}
+	st := body[15]
+	if st.kind != irStoreM || !isLocal(st.a, col.dst) || !isSlot(st.b, s2) {
+		return nil
+	}
+
+	mulX, toIX := amulet.BinaryEval(col.mul), amulet.UnaryEval(col.toI)
+	mulY, toIY := amulet.BinaryEval(row.mul), amulet.UnaryEval(row.toI)
+	if mulX == nil || toIX == nil || mulY == nil || toIY == nil {
+		return nil
+	}
+	mulI := amulet.BinaryEval(amulet.OpMulI)
+	cL, rL, ii := col.dst, row.dst, iIdx
+	colU, rowU, strideC, baseC := col, row, stride.b.c, addBase.b.c
+	return func(m *machine, i0 int32, n int64) bool {
+		for i := i0; n > 0; n-- {
+			ax := sadd(i, colU.base)
+			if ax < 0 || int(ax) >= len(m.data) {
+				return loadFault(m, ax)
+			}
+			c := toIX(mulX(m.data[ax], colU.mulC))
+			if c < colU.maxC {
+				c = colU.maxC
+			}
+			if c > colU.minC {
+				c = colU.minC
+			}
+			m.locals[cL] = c
+
+			ay := sadd(i, rowU.base)
+			if ay < 0 || int(ay) >= len(m.data) {
+				return loadFault(m, ay)
+			}
+			r := toIY(mulY(m.data[ay], rowU.mulC))
+			if r < rowU.maxC {
+				r = rowU.maxC
+			}
+			if r > rowU.minC {
+				r = rowU.minC
+			}
+			m.locals[rL] = r
+
+			addr := sadd(sadd(mulI(r, strideC), c), baseC)
+			m.locals[cL] = addr
+			if addr < 0 || int(addr) >= len(m.data) {
+				return loadFault(m, addr)
+			}
+			m.data[addr] = sadd(m.data[addr], 1)
+			i++
+			m.locals[ii] = i
+		}
+		return true
+	}
+}

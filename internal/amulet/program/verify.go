@@ -2,6 +2,7 @@ package program
 
 import (
 	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/amulet/jit"
 	"github.com/wiot-security/sift/internal/vmlint"
 )
 
@@ -12,6 +13,15 @@ import (
 // they can ever be flashed onto a device. Builders that need to produce
 // deliberately broken bytecode (the interpreter fuzzers) opt out with
 // Builder.NoVerify.
+//
+// The template JIT rides the same hook point: importing this package also
+// makes Device.Install compile verified programs to native closures
+// (falling back to the interpreter when compilation declines). Devices
+// built with amulet.WithInterpreter, or a process that called
+// amulet.SetJITEnabled(false), keep interpreting.
 func init() {
 	amulet.RegisterVerifier(vmlint.Verify)
+	amulet.RegisterCompiler(func(p *amulet.Program) (amulet.Compiled, error) {
+		return jit.Compile(p)
+	})
 }

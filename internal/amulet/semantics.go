@@ -1,0 +1,102 @@
+package amulet
+
+import (
+	"math"
+
+	"github.com/wiot-security/sift/internal/fixedpoint"
+)
+
+// This file exports the pure data semantics of the ISA's arithmetic,
+// comparison, and conversion groups as plain functions. The interpreter
+// keeps its inlined switch (vm.go) for dispatch speed; these functions
+// are the contract a compiled backend (internal/amulet/jit) builds on,
+// implemented over the same saturation helpers so the two backends
+// cannot drift in the math itself. FuzzJITVsInterp cross-checks the
+// composition end to end.
+
+func b2i(c bool) int32 {
+	if c {
+		return 1
+	}
+	return 0
+}
+
+// binEval holds the evaluation function of every 2-pop/1-push pure
+// opcode. Operand order matches the VM's pop2: a is the second slot
+// from the top, b the top ([... a b]).
+var binEval = [opCount]func(a, b int32) int32{
+	OpAdd: func(a, b int32) int32 { return fixedpoint.Add(fixedpoint.FromRaw(a), fixedpoint.FromRaw(b)).Raw() },
+	OpSub: func(a, b int32) int32 { return fixedpoint.Sub(fixedpoint.FromRaw(a), fixedpoint.FromRaw(b)).Raw() },
+	OpMin: func(a, b int32) int32 { return fixedpoint.MinQ(fixedpoint.FromRaw(a), fixedpoint.FromRaw(b)).Raw() },
+	OpMax: func(a, b int32) int32 { return fixedpoint.MaxQ(fixedpoint.FromRaw(a), fixedpoint.FromRaw(b)).Raw() },
+
+	OpMulI: satMulI,
+	OpDivI: satDivI,
+
+	OpMulQ:   func(a, b int32) int32 { return fixedpoint.Mul(fixedpoint.FromRaw(a), fixedpoint.FromRaw(b)).Raw() },
+	OpDivQ:   func(a, b int32) int32 { return fixedpoint.Div(fixedpoint.FromRaw(a), fixedpoint.FromRaw(b)).Raw() },
+	OpAtan2Q: func(a, b int32) int32 { return fixedpoint.Atan2(fixedpoint.FromRaw(a), fixedpoint.FromRaw(b)).Raw() },
+
+	OpFAdd: func(a, b int32) int32 { return int32(f32bits(f32frombits(uint32(a)) + f32frombits(uint32(b)))) },
+	OpFSub: func(a, b int32) int32 { return int32(f32bits(f32frombits(uint32(a)) - f32frombits(uint32(b)))) },
+	OpFMul: func(a, b int32) int32 { return int32(f32bits(f32frombits(uint32(a)) * f32frombits(uint32(b)))) },
+	OpFDiv: func(a, b int32) int32 { return int32(f32bits(fdiv(f32frombits(uint32(a)), f32frombits(uint32(b))))) },
+	OpFAtan2: func(a, b int32) int32 {
+		return int32(f32bits(float32(math.Atan2(float64(f32frombits(uint32(a))), float64(f32frombits(uint32(b)))))))
+	},
+	OpFMin: func(a, b int32) int32 {
+		return int32(f32bits(float32(math.Min(float64(f32frombits(uint32(a))), float64(f32frombits(uint32(b)))))))
+	},
+	OpFMax: func(a, b int32) int32 {
+		return int32(f32bits(float32(math.Max(float64(f32frombits(uint32(a))), float64(f32frombits(uint32(b)))))))
+	},
+
+	OpEq: func(a, b int32) int32 { return b2i(a == b) },
+	OpNe: func(a, b int32) int32 { return b2i(a != b) },
+	OpLt: func(a, b int32) int32 { return b2i(a < b) },
+	OpLe: func(a, b int32) int32 { return b2i(a <= b) },
+	OpGt: func(a, b int32) int32 { return b2i(a > b) },
+	OpGe: func(a, b int32) int32 { return b2i(a >= b) },
+}
+
+// unEval holds the evaluation function of every 1-pop/1-push pure
+// opcode.
+var unEval = [opCount]func(v int32) int32{
+	OpNeg:   func(v int32) int32 { return fixedpoint.Neg(fixedpoint.FromRaw(v)).Raw() },
+	OpAbs:   func(v int32) int32 { return fixedpoint.Abs(fixedpoint.FromRaw(v)).Raw() },
+	OpSqrtQ: func(v int32) int32 { return fixedpoint.Sqrt(fixedpoint.FromRaw(v)).Raw() },
+	OpFSqrt: func(v int32) int32 {
+		f := f32frombits(uint32(v))
+		if f < 0 {
+			f = 0 // MCU soft-float convention, matches SqrtQ
+		}
+		return int32(f32bits(float32(math.Sqrt(float64(f)))))
+	},
+	OpItoQ: func(v int32) int32 { return fixedpoint.FromInt(int(v)).Raw() },
+	OpQtoI: func(v int32) int32 { return int32(fixedpoint.FromRaw(v).Int()) },
+	OpItoF: func(v int32) int32 { return int32(f32bits(float32(v))) },
+	OpFtoI: func(v int32) int32 { return int32(f32frombits(uint32(v))) }, // truncates toward zero
+	OpQtoF: func(v int32) int32 { return int32(f32bits(float32(fixedpoint.FromRaw(v).Float()))) },
+	OpFtoQ: func(v int32) int32 { return fixedpoint.FromFloat(float64(f32frombits(uint32(v)))).Raw() },
+}
+
+// BinaryEval returns the pure evaluation function of a 2-pop/1-push
+// opcode (arithmetic, comparison), or nil for opcodes outside that
+// group. The returned function is total: saturation and divide-by-zero
+// conventions match the interpreter exactly.
+func BinaryEval(op Op) func(a, b int32) int32 {
+	if !op.Valid() {
+		return nil
+	}
+	return binEval[op]
+}
+
+// UnaryEval returns the pure evaluation function of a 1-pop/1-push
+// opcode (negation, square roots, conversions), or nil for opcodes
+// outside that group.
+func UnaryEval(op Op) func(v int32) int32 {
+	if !op.Valid() {
+		return nil
+	}
+	return unEval[op]
+}
