@@ -7,7 +7,7 @@ GO ?= go
 # Coverage floor (percent) enforced on the packages PR 1 race-proofed.
 COVER_FLOOR ?= 85.0
 
-.PHONY: check vet build test race chaos fuzz fuzz-verify fuzz-jit fleet-demo lint lint-custom vuln cover bench bench-check
+.PHONY: check vet build test race chaos shard shard-smoke shard-smoke-1m fuzz fuzz-verify fuzz-jit fleet-demo lint lint-custom vuln cover bench bench-check
 
 check: vet build race
 
@@ -33,6 +33,33 @@ race:
 chaos:
 	$(GO) test -race -count=2 ./internal/wiot/chaos/ ./internal/wiot/ -run 'Chaos|Reconnect|RunScenarioOverTCP|FrameScanner|ServeTCP|ServeConn|TCPStation|PeekRecord|AcceptLoop|ConnSink|ErrorRing|RequireChecksums|DialSensor|Corruption|Cut|Partition|ControlRecords|Latency'
 	$(GO) test -race -count=2 ./internal/fleet/ -run 'FleetRunnerOverChaosTCP'
+
+# The sharded control plane under the race detector: the coordinator's
+# oracle-parity suite (including mid-run station kills and failover),
+# the station registry, snapshot merging, telemetry folding, and the
+# heap-watermark sampler the streamed smoke relies on.
+shard:
+	$(GO) test -race -count=1 ./internal/fleet/shard/ ./internal/fleet/ -run 'Shard|SnapshotMerge'
+	$(GO) test -race -count=1 ./internal/wiot/ -run 'StationRegistry'
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/obs/telemetry/ -run 'HeapWatermark|Absorb|RegistryMerge'
+
+# 100k streamed smoke: the same cohort at S=4 and S=1 must print
+# byte-identical digest lines (aggregates are shard-count-invariant),
+# and the heap watermark must stay bounded regardless of cohort size.
+shard-smoke:
+	$(GO) build -o /tmp/wiotsim-shard ./cmd/wiotsim
+	/tmp/wiotsim-shard -fleet 100000 -shards 4 -workers 2 -stream -train 60 -live 6 -attack-at 3 -max-heap-mib 256 | tee /tmp/shard_s4.out
+	/tmp/wiotsim-shard -fleet 100000 -shards 1 -workers 8 -stream -train 60 -live 6 -attack-at 3 -max-heap-mib 256 | tee /tmp/shard_s1.out
+	grep '^digest:' /tmp/shard_s4.out > /tmp/shard_s4.digest
+	grep '^digest:' /tmp/shard_s1.out > /tmp/shard_s1.digest
+	diff -u /tmp/shard_s1.digest /tmp/shard_s4.digest
+	@echo "digest invariant holds at 100k wearers"
+
+# The full-scale acceptance run: a million wearers through four stations
+# with per-subject tracking off. The heap bound is the point — aggregate
+# state must not grow with the cohort.
+shard-smoke-1m:
+	$(GO) run ./cmd/wiotsim -fleet 1000000 -shards 4 -stream -train 60 -live 6 -attack-at 3 -max-heap-mib 256
 
 # Short coverage-guided session on the frame codec (beyond the seed
 # corpus that `go test` always runs).

@@ -61,7 +61,46 @@ func compareReports(old, cur Report, thresholdPct float64, w io.Writer) int {
 	}
 	regressions += gateTraceOverhead(cur, thresholdPct, w)
 	regressions += gateJITSpeedup(cur, w)
+	regressions += gateShardOverhead(cur, w)
 	return regressions
+}
+
+// shardOverheadCeilingPct bounds what the sharded control plane may
+// cost over the plain fleet engine at the same total worker budget:
+// fleet/sharded/S4 (4 stations × 2 workers) versus fleet/W8. Station
+// queues, verdict batching, and the merge loop are bookkeeping around
+// the same scenario work, so anything past a modest ceiling means the
+// control plane started showing up in the per-window budget.
+const shardOverheadCeilingPct = 15.0
+
+// gateShardOverhead enforces the control plane's overhead ceiling
+// inside the new report. Like the trace and JIT gates it is an absolute
+// property of the build under test, so it compares within one report
+// and silently skips when either suite is absent.
+func gateShardOverhead(cur Report, w io.Writer) int {
+	byName := make(map[string]Result, len(cur.Suites))
+	for _, s := range cur.Suites {
+		byName[s.Name] = s
+	}
+	base, okBase := byName["fleet/W8"]
+	sharded, okSharded := byName["fleet/sharded/S4"]
+	if !okBase || !okSharded {
+		return 0
+	}
+	baseNS, shardNS := compared(base), compared(sharded)
+	if baseNS <= 0 {
+		return 0
+	}
+	overhead := (shardNS - baseNS) / baseNS * 100
+	verdict := "within ceiling"
+	fail := 0
+	if overhead > shardOverheadCeilingPct {
+		verdict = "OVER CEILING"
+		fail = 1
+	}
+	fmt.Fprintf(w, "shard overhead: fleet/sharded/S4 %+.1f%% vs fleet/W8 (ceiling %.1f%%) — %s\n",
+		overhead, shardOverheadCeilingPct, verdict)
+	return fail
 }
 
 // jitSpeedupFloor is the minimum ratio each jit/* suite must hold over

@@ -11,6 +11,7 @@ import (
 	"github.com/wiot-security/sift/internal/features"
 	"github.com/wiot-security/sift/internal/fixedpoint"
 	"github.com/wiot-security/sift/internal/fleet"
+	"github.com/wiot-security/sift/internal/fleet/shard"
 	"github.com/wiot-security/sift/internal/physio"
 	"github.com/wiot-security/sift/internal/portrait"
 	"github.com/wiot-security/sift/internal/sift"
@@ -43,6 +44,9 @@ func allSuites() []suite {
 	suites = append(suites, codecSuite("codec/encode"), codecSuite("codec/decode"))
 	for _, w := range []int{1, 4, 8} {
 		suites = append(suites, fleetSuite(w))
+	}
+	for _, s := range []int{1, 4, 8} {
+		suites = append(suites, shardSuite(s))
 	}
 	for _, v := range features.Versions {
 		suites = append(suites, vmlintSuite(v))
@@ -355,6 +359,59 @@ func fleetSuite(workers int) suite {
 				return Result{}, err
 			}
 			res.Extra = map[string]float64{"workers": float64(workers), "cohort": float64(fix.scenarios)}
+			return res, nil
+		},
+	}
+}
+
+// shardTotalWorkers is the worker budget every fleet/sharded/* suite
+// splits across its stations, matching fleet/W8 so the S-variants
+// isolate the control plane's cost: same cohort, same parallelism, the
+// only moving part is how many station queues and merge hops sit
+// between a slot and the aggregate.
+const shardTotalWorkers = 8
+
+// shardSuite measures the sharded control plane end to end on the same
+// fixture as the fleet/W* suites: one op runs the whole cohort through
+// shard.Run at S stations with the 8-worker budget split evenly. The
+// fleet/sharded/S4-vs-fleet/W8 ratio is gated by gateShardOverhead.
+func shardSuite(shards int) suite {
+	name := fmt.Sprintf("fleet/sharded/S%d", shards)
+	workers := shardTotalWorkers / shards
+	if workers < 1 {
+		workers = 1
+	}
+	return suite{
+		name: name,
+		describe: fmt.Sprintf("sharded control plane: same cohort as fleet/W%d across %d station(s), %d worker(s) each",
+			shardTotalWorkers, shards, workers),
+		run: func(cfg runConfig, quick bool) (Result, error) {
+			fix, err := getFleetFixture(quick)
+			if err != nil {
+				return Result{}, err
+			}
+			op := func() error {
+				res, err := shard.Run(context.Background(), shard.Config{
+					Scenarios: fix.scenarios,
+					Shards:    shards,
+					Workers:   workers,
+					BaseSeed:  42,
+					Source:    fix.src,
+				})
+				if err != nil {
+					return err
+				}
+				return res.Err()
+			}
+			res, err := measure(name, "scenarios/sec", cfg, 1, fix.scenarios, op)
+			if err != nil {
+				return Result{}, err
+			}
+			res.Extra = map[string]float64{
+				"shards":            float64(shards),
+				"workersPerStation": float64(workers),
+				"cohort":            float64(fix.scenarios),
+			}
 			return res, nil
 		},
 	}

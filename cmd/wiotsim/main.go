@@ -21,6 +21,7 @@ import (
 	"github.com/wiot-security/sift/internal/dataset"
 	"github.com/wiot-security/sift/internal/features"
 	"github.com/wiot-security/sift/internal/fleet"
+	"github.com/wiot-security/sift/internal/fleet/shard"
 	"github.com/wiot-security/sift/internal/physio"
 	"github.com/wiot-security/sift/internal/sift"
 	"github.com/wiot-security/sift/internal/svm"
@@ -56,6 +57,9 @@ func run() error {
 	loss := flag.Float64("loss", 0.02, "fleet mode: frame loss probability on the wireless link")
 	dup := flag.Float64("dup", 0.01, "fleet mode: frame duplication probability")
 	chaosMode := flag.Bool("chaos", false, "fleet mode: stream every scenario over real TCP through a fault injector (-loss becomes the frame corruption probability, half of it the mid-frame cut probability)")
+	shards := flag.Int("shards", 0, "fleet mode: partition the cohort across N stations via the sharded control plane (-workers becomes the per-station pool)")
+	stream := flag.Bool("stream", false, "sharded fleet mode: streamed smoke run — one shared detector, short per-wearer spans, no per-subject state, bounded memory (requires -shards)")
+	maxHeapMiB := flag.Int("max-heap-mib", 0, "stream mode: fail if the sampled heap watermark exceeds this many MiB (0 = report only)")
 	serve := flag.String("serve", "", "fleet mode: serve /metrics, /debug/trace, /healthz on this address during and after the run")
 	tracePath := flag.String("trace", "", "fleet mode: write a Chrome trace_event JSON dump of the run to this file at exit")
 	nojit := flag.Bool("nojit", false, "disable the template JIT process-wide: every emulated device interprets its bytecode")
@@ -68,7 +72,7 @@ func run() error {
 	// Reject nonsense values outright instead of silently coercing them
 	// (the fleet engine would otherwise map a non-positive -workers to
 	// GOMAXPROCS behind the user's back).
-	if err := validateFlags(*fleetN, *workers, *loss, *dup, *trainSec, *liveSec, *attackAt, *serve, *tracePath, *chaosMode); err != nil {
+	if err := validateFlags(*fleetN, *workers, *loss, *dup, *trainSec, *liveSec, *attackAt, *serve, *tracePath, *chaosMode, *shards, *stream, *maxHeapMiB); err != nil {
 		fmt.Fprintln(os.Stderr, "wiotsim:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -79,20 +83,26 @@ func run() error {
 		return err
 	}
 	if *fleetN > 0 {
-		return runFleet(fleetOptions{
-			subjects:  *fleetN,
-			workers:   *workers,
-			seed:      *seed,
-			trainSec:  *trainSec,
-			liveSec:   *liveSec,
-			attackAt:  *attackAt,
-			loss:      *loss,
-			dup:       *dup,
-			chaos:     *chaosMode,
-			version:   version,
-			serve:     *serve,
-			tracePath: *tracePath,
-		})
+		opt := fleetOptions{
+			subjects:   *fleetN,
+			workers:    *workers,
+			seed:       *seed,
+			trainSec:   *trainSec,
+			liveSec:    *liveSec,
+			attackAt:   *attackAt,
+			loss:       *loss,
+			dup:        *dup,
+			chaos:      *chaosMode,
+			shards:     *shards,
+			maxHeapMiB: *maxHeapMiB,
+			version:    version,
+			serve:      *serve,
+			tracePath:  *tracePath,
+		}
+		if *stream {
+			return runStreamFleet(opt)
+		}
+		return runFleet(opt)
 	}
 
 	subjects, err := physio.Cohort(3, *seed)
@@ -171,18 +181,35 @@ func run() error {
 
 // fleetOptions parameterizes a -fleet run.
 type fleetOptions struct {
-	subjects  int
-	workers   int
-	seed      int64
-	trainSec  float64
-	liveSec   float64
-	attackAt  float64
-	loss      float64
-	dup       float64
-	chaos     bool
-	version   features.Version
-	serve     string // addr for the live observability endpoint; "" = off
-	tracePath string // Chrome trace dump path; "" = off
+	subjects   int
+	workers    int
+	seed       int64
+	trainSec   float64
+	liveSec    float64
+	attackAt   float64
+	loss       float64
+	dup        float64
+	chaos      bool
+	shards     int // >0: run through the sharded control plane
+	maxHeapMiB int // stream mode: heap-watermark ceiling, 0 = report only
+	version    features.Version
+	serve      string // addr for the live observability endpoint; "" = off
+	tracePath  string // Chrome trace dump path; "" = off
+}
+
+// chaosTCPRunner dials every scenario out over loopback TCP through the
+// chaos fault injector, per-slot seeded.
+func chaosTCPRunner(loss float64) fleet.Runner {
+	return func(ctx context.Context, slot fleet.Slot, sc wiot.Scenario) (wiot.ScenarioResult, error) {
+		return wiot.RunScenarioOverTCP(ctx, sc, wiot.NetConfig{
+			Seed: slot.Seed,
+			WrapListener: chaos.WrapListener(chaos.Config{
+				Seed:        slot.Seed,
+				CorruptProb: loss,
+				CutProb:     loss / 2,
+			}),
+		})
+	}
 }
 
 // runFleet trains one detector per cohort subject and streams every
@@ -272,6 +299,39 @@ func runFleet(opt fleetOptions) error {
 		}, nil
 	}
 
+	if opt.shards > 0 {
+		scfg := shard.Config{
+			Scenarios: opt.subjects,
+			Shards:    opt.shards,
+			Workers:   opt.workers,
+			BaseSeed:  opt.seed,
+			Source:    src,
+			Registry:  wiot.NewStationRegistry(),
+		}
+		if opt.chaos {
+			scfg.Runner = chaosTCPRunner(opt.loss)
+			scfg.AddrFor = func(int) string { return "tcp+chaos" }
+		}
+		if obsv != nil {
+			scfg.Telemetry = obsv.reg
+			obsv.start()
+		}
+		start := time.Now()
+		res, err := shard.Run(context.Background(), scfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nstations:\n%s", scfg.Registry)
+		fmt.Printf("\n%s", res)
+		fmt.Printf("\nmerged metrics after %v:\n%s", time.Since(start).Round(time.Millisecond), res.MergedMetrics())
+		if obsv != nil {
+			if err := obsv.finish(); err != nil {
+				return err
+			}
+		}
+		return res.Err()
+	}
+
 	m := &fleet.Metrics{}
 	cfg := fleet.Config{
 		Scenarios: opt.subjects,
@@ -281,16 +341,7 @@ func runFleet(opt fleetOptions) error {
 		Source:    src,
 	}
 	if opt.chaos {
-		cfg.Runner = func(ctx context.Context, slot fleet.Slot, sc wiot.Scenario) (wiot.ScenarioResult, error) {
-			return wiot.RunScenarioOverTCP(ctx, sc, wiot.NetConfig{
-				Seed: slot.Seed,
-				WrapListener: chaos.WrapListener(chaos.Config{
-					Seed:        slot.Seed,
-					CorruptProb: opt.loss,
-					CutProb:     opt.loss / 2,
-				}),
-			})
-		}
+		cfg.Runner = chaosTCPRunner(opt.loss)
 	}
 	if obsv != nil {
 		cfg.Telemetry = obsv.reg
@@ -312,12 +363,24 @@ func runFleet(opt fleetOptions) error {
 }
 
 // validateFlags rejects out-of-domain flag values before any work runs.
-func validateFlags(fleetN, workers int, loss, dup, trainSec, liveSec, attackAt float64, serve, tracePath string, chaosMode bool) error {
+func validateFlags(fleetN, workers int, loss, dup, trainSec, liveSec, attackAt float64, serve, tracePath string, chaosMode bool, shards int, stream bool, maxHeapMiB int) error {
 	switch {
 	case fleetN < 0:
 		return fmt.Errorf("-fleet %d: subject count cannot be negative", fleetN)
 	case chaosMode && fleetN == 0:
 		return fmt.Errorf("-chaos: fault-injected transport needs a fleet run (-fleet N)")
+	case shards < 0:
+		return fmt.Errorf("-shards %d: station count cannot be negative", shards)
+	case shards > 0 && fleetN == 0:
+		return fmt.Errorf("-shards %d: the sharded control plane needs a fleet run (-fleet N)", shards)
+	case stream && shards == 0:
+		return fmt.Errorf("-stream: the streamed smoke needs the sharded control plane (-shards N)")
+	case stream && (chaosMode || serve != "" || tracePath != ""):
+		return fmt.Errorf("-stream: streamed smoke runs lean — drop -chaos, -serve, and -trace")
+	case maxHeapMiB < 0:
+		return fmt.Errorf("-max-heap-mib %d: heap bound cannot be negative", maxHeapMiB)
+	case maxHeapMiB > 0 && !stream:
+		return fmt.Errorf("-max-heap-mib: the heap-watermark assertion needs -stream")
 	case serve != "" && fleetN == 0:
 		return fmt.Errorf("-serve %s: the observability endpoint needs a fleet run (-fleet N)", serve)
 	case tracePath != "" && fleetN == 0:

@@ -18,13 +18,16 @@ func TestRunFleetRejectsTinyCohorts(t *testing.T) {
 
 func TestValidateFlags(t *testing.T) {
 	ok := func(fleetN, workers int, loss, dup, trainSec, liveSec, attackAt float64) error {
-		return validateFlags(fleetN, workers, loss, dup, trainSec, liveSec, attackAt, "", "", false)
+		return validateFlags(fleetN, workers, loss, dup, trainSec, liveSec, attackAt, "", "", false, 0, false, 0)
 	}
 	if err := ok(0, 4, 0.02, 0.01, 300, 120, 60); err != nil {
 		t.Errorf("default-shaped flags rejected: %v", err)
 	}
 	if err := ok(12, 1, 0, 1, 1, 1, 0); err != nil {
 		t.Errorf("boundary values rejected: %v", err)
+	}
+	if err := validateFlags(1000, 2, 0.02, 0.01, 60, 6, 3, "", "", false, 4, true, 256); err != nil {
+		t.Errorf("sharded stream flags rejected: %v", err)
 	}
 	bad := []struct {
 		name string
@@ -38,9 +41,16 @@ func TestValidateFlags(t *testing.T) {
 		{"-train", ok(4, 4, 0.02, 0.01, 0, 120, 60)},
 		{"-live", ok(4, 4, 0.02, 0.01, 300, -5, 60)},
 		{"-attack-at", ok(4, 4, 0.02, 0.01, 300, 120, -1)},
-		{"-serve", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, ":9090", "", false)},
-		{"-trace", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, "", "out.json", false)},
-		{"-chaos", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, "", "", true)},
+		{"-serve", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, ":9090", "", false, 0, false, 0)},
+		{"-trace", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, "", "out.json", false, 0, false, 0)},
+		{"-chaos", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, "", "", true, 0, false, 0)},
+		{"-shards negative", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", false, -1, false, 0)},
+		{"-shards without-fleet", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, "", "", false, 4, false, 0)},
+		{"-stream without-shards", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", false, 0, true, 0)},
+		{"-stream with-chaos", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", true, 4, true, 0)},
+		{"-stream with-serve", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, ":9090", "", false, 4, true, 0)},
+		{"-max-heap-mib negative", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", false, 4, true, -1)},
+		{"-max-heap-mib without-stream", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", false, 4, false, 64)},
 	}
 	for _, c := range bad {
 		if c.err == nil {

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/wiot-security/sift/internal/fleet/shard"
+	"github.com/wiot-security/sift/internal/obs"
+	"github.com/wiot-security/sift/internal/physio"
+	"github.com/wiot-security/sift/internal/sift"
+	"github.com/wiot-security/sift/internal/svm"
+	"github.com/wiot-security/sift/internal/wiot"
+)
+
+// streamProfiles bounds the distinct physiology profiles a streamed run
+// cycles through. Wearer i reuses profile i%streamProfiles but streams
+// its own seeded recording, so a million-wearer cohort costs 64
+// profiles of setup while every slot still sees unique signals.
+const streamProfiles = 64
+
+// runStreamFleet is the bounded-memory smoke path: one detector is
+// trained up front and shared read-only by every station worker, each
+// wearer streams a short seeded recording with a mid-stream MITM, and
+// the sharded control plane aggregates with per-subject tracking off.
+// A background heap-watermark sampler measures the run; the cohort size
+// should not move the peak, and -max-heap-mib turns that claim into a
+// hard failure. The digest line at the end is canonical: it must be
+// byte-identical for any -shards/-workers split of the same cohort.
+func runStreamFleet(opt fleetOptions) error {
+	if opt.subjects < 2 {
+		return fmt.Errorf("-fleet %d: the streamed smoke needs at least 2 wearers (each MITM borrows a neighbour profile's ECG)", opt.subjects)
+	}
+	profiles := streamProfiles
+	if opt.subjects < profiles {
+		profiles = opt.subjects
+	}
+	subjects, err := physio.Cohort(profiles, opt.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stream: %d wearers over %d profiles, %d station(s) x %d worker(s), %.0f s per wearer\n",
+		opt.subjects, profiles, opt.shards, opt.workers, opt.liveSec)
+
+	gen := func(s physio.Subject, dur float64, seed int64) (*physio.Record, error) {
+		return physio.Generate(s, dur, physio.DefaultSampleRate, seed)
+	}
+	fmt.Printf("training one shared %s detector on %.0f s of %s's signals...\n",
+		opt.version, opt.trainSec, subjects[0].ID)
+	trainRec, err := gen(subjects[0], opt.trainSec, opt.seed+1)
+	if err != nil {
+		return err
+	}
+	donorA, err := gen(subjects[1], opt.trainSec, opt.seed+2)
+	if err != nil {
+		return err
+	}
+	donorB, err := gen(subjects[2%profiles], opt.trainSec, opt.seed+3)
+	if err != nil {
+		return err
+	}
+	trainStart := time.Now()
+	det, err := sift.TrainForSubject(trainRec, []*physio.Record{donorA, donorB}, sift.Config{
+		Version: opt.version,
+		SVM:     svm.Config{Seed: opt.seed, MaxIter: 150},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained in %v (%d support vectors)\n", time.Since(trainStart).Round(time.Millisecond), det.Model.SupportVectors)
+
+	src := func(index int, seed int64) (wiot.Scenario, error) {
+		wearer := subjects[index%profiles]
+		live, err := gen(wearer, opt.liveSec, seed+100)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		donorLive, err := gen(subjects[(index+1)%profiles], opt.liveSec, seed+101)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		attackFrom := int(opt.attackAt * live.SampleRate)
+		if attackFrom >= len(live.ECG) {
+			attackFrom = len(live.ECG) / 2
+		}
+		return wiot.Scenario{
+			Record:     live,
+			Detector:   hostDetector{det},
+			Attack:     &wiot.SubstitutionMITM{Donor: donorLive.ECG, ActiveFrom: attackFrom},
+			AttackFrom: attackFrom,
+			Channel:    wiot.Reliable{},
+		}, nil
+	}
+
+	hw := obs.StartHeapWatermark(50 * time.Millisecond)
+	reg := wiot.NewStationRegistry()
+	start := time.Now()
+	res, err := shard.Run(context.Background(), shard.Config{
+		Scenarios: opt.subjects,
+		Shards:    opt.shards,
+		Workers:   opt.workers,
+		BaseSeed:  opt.seed,
+		Source:    src,
+		Stream:    true,
+		Registry:  reg,
+	})
+	peak := hw.Stop()
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	fmt.Printf("\nstations:\n%s", reg)
+	fmt.Printf("\n%s", res)
+	fmt.Printf("\nmerged metrics after %v:\n%s", elapsed, res.MergedMetrics())
+	// The digest is the shard-invariance fingerprint: identical inputs
+	// must print an identical line for every -shards/-workers split.
+	fmt.Printf("\ndigest: scenarios=%d completed=%d failed=%d skipped=%d windows=%d tp=%d fn=%d fp=%d tn=%d seqerr=%d\n",
+		res.Scenarios, res.Completed, res.Failed, res.Skipped,
+		res.Windows, res.TruePos, res.FalseNeg, res.FalsePos, res.TrueNeg, res.SeqErrors)
+	fmt.Printf("heap peak: %.1f MiB across %d wearers\n", float64(peak)/(1<<20), opt.subjects)
+	if opt.maxHeapMiB > 0 && peak > uint64(opt.maxHeapMiB)<<20 {
+		return fmt.Errorf("heap peak %.1f MiB exceeds the -max-heap-mib %d bound: streamed aggregation is supposed to be cohort-size-invariant",
+			float64(peak)/(1<<20), opt.maxHeapMiB)
+	}
+	return res.Err()
+}

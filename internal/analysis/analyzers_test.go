@@ -24,6 +24,10 @@ func TestDetRandChaos(t *testing.T) {
 	analysistest.Run(t, fixture("chaos"), analysis.DetRand)
 }
 
+func TestDetRandShard(t *testing.T) {
+	analysistest.Run(t, fixture("shard"), analysis.DetRand)
+}
+
 func TestSpanEnd(t *testing.T) {
 	analysistest.Run(t, fixture("spans"), analysis.SpanEnd)
 }
@@ -36,7 +40,7 @@ func TestQMisuse(t *testing.T) {
 // wants in one fixture must hold when the other analyzers run too (no
 // cross-analyzer false positives on the fixtures).
 func TestAllOverFixtures(t *testing.T) {
-	for _, name := range []string{"opcomplete", "physio", "chaos", "spans", "qarith"} {
+	for _, name := range []string{"opcomplete", "physio", "chaos", "shard", "spans", "qarith"} {
 		t.Run(name, func(t *testing.T) {
 			analysistest.Run(t, fixture(name), analysis.All()...)
 		})

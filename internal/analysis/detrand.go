@@ -30,6 +30,7 @@ var DetRand = &Analyzer{
 var deterministicPackages = map[string]bool{
 	"physio":      true,
 	"fleet":       true,
+	"shard":       true,
 	"experiments": true,
 	"chaos":       true,
 }

@@ -1,0 +1,32 @@
+// Package shard is a detrand fixture: the sharded control plane's
+// aggregate must be byte-identical for any shard/worker split, so slot
+// routing and requeue decisions may depend only on indexes and seeds —
+// never on wall-clock reads or the process-global random source.
+package shard
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badRebalanceJitter staggers requeues from runtime entropy, which
+// would make the survivor assignment differ between identical runs.
+func badRebalanceJitter() int {
+	return rand.Intn(4) // want "process-global random source"
+}
+
+// badDeathStamp records when a station died from the wall clock.
+func badDeathStamp() time.Time {
+	return time.Now() // want "wall-clock state breaks seeded reproducibility"
+}
+
+// goodStripe routes a slot arithmetically: station k owns i ≡ k (mod S).
+func goodStripe(index, shards int) int {
+	return index % shards
+}
+
+// goodSeededOrder derives any tie-break from an explicit seed.
+func goodSeededOrder(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(4)
+}

@@ -12,10 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
-	"time"
 
 	"github.com/wiot-security/sift/internal/obs"
 	"github.com/wiot-security/sift/internal/obs/telemetry"
@@ -179,15 +177,6 @@ func (r FleetResult) String() string {
 	return sb.String()
 }
 
-// outcome is one slot's record, written exclusively by the worker that
-// ran the slot (slots are disjoint, so no lock is needed).
-type outcome struct {
-	ran     bool
-	subject string
-	res     wiot.ScenarioResult
-	err     error
-}
-
 // Run executes the fleet and aggregates the outcome. The returned error
 // is only for configuration problems; per-scenario failures land in
 // FleetResult.Errors (all of them in collect mode, at least the first
@@ -216,7 +205,12 @@ func Run(ctx context.Context, cfg Config) (FleetResult, error) {
 	defer rootSpan.End()
 	rootID := rootSpan.TraceID()
 
-	outcomes := make([]outcome, cfg.Scenarios)
+	// Workers write disjoint outcome slots, so aggregation needs no lock;
+	// the accumulator folds them after the pool drains. Only the summary
+	// survives each slot (RunSlot discards per-window alert state), so
+	// even a very large unsharded fleet retains O(Scenarios) summaries,
+	// not O(windows).
+	outcomes := make([]SlotOutcome, cfg.Scenarios)
 	indices := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -227,8 +221,8 @@ func Run(ctx context.Context, cfg Config) (FleetResult, error) {
 				if ctx.Err() != nil {
 					return
 				}
-				runSlot(ctx, cfg, i, &outcomes[i], rootID)
-				if outcomes[i].err != nil && cfg.FailFast {
+				outcomes[i] = RunSlot(ctx, cfg, i, rootID)
+				if outcomes[i].Err != nil && cfg.FailFast {
 					cancel()
 					return
 				}
@@ -246,124 +240,11 @@ feed:
 	close(indices)
 	wg.Wait()
 
-	return aggregate(cfg.Scenarios, outcomes), nil
-}
-
-// runSlot executes one scenario slot into out. traceRoot is the fleet
-// root span's trace ID (0 when no recorder is attached); the slot span
-// links under it so slot trees group per worker task in a trace dump.
-func runSlot(ctx context.Context, cfg Config, index int, out *outcome, traceRoot uint64) {
-	span := obsSlot.StartChildOf(traceRoot)
-	defer span.End()
-	obsSlotsRun.Add(1)
-	out.ran = true
-	seed := cfg.BaseSeed + int64(index)
-	sc, err := cfg.Source(index, seed)
-	if err != nil {
-		out.err = fmt.Errorf("fleet: build scenario %d: %w", index, err)
-		if cfg.Metrics != nil {
-			cfg.Metrics.ScenarioStarted()
-			cfg.Metrics.ScenarioFailed(0)
-		}
-		return
-	}
-	if sc.Record != nil {
-		out.subject = sc.Record.SubjectID
-	}
-	if cfg.Metrics != nil {
-		cfg.Metrics.ScenarioStarted()
-		if sc.Channel == nil {
-			sc.Channel = wiot.Reliable{}
-		}
-		sc.Channel = &observedChannel{inner: sc.Channel, m: cfg.Metrics}
-	}
-	// Wall-clock latency feeds only the Metrics histogram (operator
-	// telemetry), never scenario state, so determinism is preserved; the
-	// child span likewise must end before the error path or the failure
-	// handling would be billed to the scenario timer.
-	start := time.Now()                   //wiotlint:allow detrand
-	runSpan := span.Child(obsScenarioRun) //wiotlint:allow spanend
-	if ts, ok := sc.Detector.(TraceParentSetter); ok {
-		ts.SetTraceParent(runSpan.TraceID())
-	}
-	run := cfg.Runner
-	if run == nil {
-		run = func(ctx context.Context, _ Slot, sc wiot.Scenario) (wiot.ScenarioResult, error) {
-			return wiot.RunScenarioContext(ctx, sc)
-		}
-	}
-	res, err := run(ctx, Slot{Index: index, Seed: seed}, sc)
-	runSpan.End()
-	elapsed := time.Since(start) //wiotlint:allow detrand
-	if err != nil {
-		out.err = ScenarioError{Index: index, Err: err}
-		if cfg.Metrics != nil {
-			cfg.Metrics.ScenarioFailed(elapsed)
-		}
-		return
-	}
-	out.res = res
-	raised := 0
-	for _, a := range res.Alerts {
-		if a.Altered {
-			raised++
-		}
-	}
-	if cfg.Metrics != nil {
-		cfg.Metrics.WindowsScored(res.Windows, raised)
-		cfg.Metrics.ScenarioCompleted(elapsed)
-	}
-	if cfg.Telemetry != nil && out.subject != "" {
-		cfg.Telemetry.Device(out.subject).ObserveScenario(res.Windows, raised, elapsed)
-	}
-}
-
-// aggregate folds per-slot outcomes into a FleetResult, visiting slots
-// in index order so the result is independent of scheduling.
-func aggregate(n int, outcomes []outcome) FleetResult {
-	r := FleetResult{Scenarios: n}
-	perSubject := map[string]*SubjectOutcome{}
+	acc := NewAccumulator(cfg.Scenarios)
 	for i := range outcomes {
-		o := &outcomes[i]
-		switch {
-		case !o.ran:
-			r.Skipped++
-		case o.err != nil:
-			r.Failed++
-			var se ScenarioError
-			if errors.As(o.err, &se) {
-				r.Errors = append(r.Errors, se)
-			} else {
-				r.Errors = append(r.Errors, ScenarioError{Index: i, Err: o.err})
-			}
-		default:
-			r.Completed++
-			r.Windows += o.res.Windows
-			r.TruePos += o.res.TruePos
-			r.FalseNeg += o.res.FalseNeg
-			r.FalsePos += o.res.FalsePos
-			r.TrueNeg += o.res.TrueNeg
-			r.SeqErrors += o.res.SeqErrors
-			s := perSubject[o.subject]
-			if s == nil {
-				s = &SubjectOutcome{Subject: o.subject}
-				perSubject[o.subject] = s
-			}
-			s.Scenarios++
-			s.Windows += o.res.Windows
-			s.TruePos += o.res.TruePos
-			s.FalseNeg += o.res.FalseNeg
-			s.FalsePos += o.res.FalsePos
-			s.TrueNeg += o.res.TrueNeg
-			s.SeqErrors += o.res.SeqErrors
-		}
+		acc.Observe(outcomes[i])
 	}
-	for _, s := range perSubject {
-		r.PerSubject = append(r.PerSubject, *s)
-	}
-	sort.Slice(r.PerSubject, func(i, j int) bool { return r.PerSubject[i].Subject < r.PerSubject[j].Subject })
-	sort.Slice(r.Errors, func(i, j int) bool { return r.Errors[i].Index < r.Errors[j].Index })
-	return r
+	return acc.Result(), nil
 }
 
 // observedChannel forwards to the scenario's real channel effect and

@@ -143,6 +143,34 @@ func (m *Metrics) Snapshot() Snapshot {
 	return s
 }
 
+// Merge folds another snapshot into this one and returns the combined
+// view: counters add, the latency histograms add bucket-wise, and the
+// latency sum accumulates. Bucket bounds are fixed per build, so any
+// two Metrics.Snapshot results merge exactly; a zero-value operand (no
+// histogram allocated) contributes nothing. The sharded control plane
+// uses this to present one fleet-wide view over per-station metrics.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := s
+	out.ScenariosStarted += o.ScenariosStarted
+	out.ScenariosCompleted += o.ScenariosCompleted
+	out.ScenariosFailed += o.ScenariosFailed
+	out.FramesDelivered += o.FramesDelivered
+	out.FramesLost += o.FramesLost
+	out.FramesDuplicated += o.FramesDuplicated
+	out.WindowsScored += o.WindowsScored
+	out.AlertsRaised += o.AlertsRaised
+	out.LatencySum += o.LatencySum
+	out.Latency = append([]LatencyBucket(nil), s.Latency...)
+	for i, b := range o.Latency {
+		if i < len(out.Latency) {
+			out.Latency[i].Count += b.Count
+		} else {
+			out.Latency = append(out.Latency, b)
+		}
+	}
+	return out
+}
+
 // LatencyCount returns the number of recorded scenario durations.
 func (s Snapshot) LatencyCount() int64 {
 	var n int64

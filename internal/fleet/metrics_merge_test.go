@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestSnapshotMergeEqualsSingleMetrics: recording a workload split
+// across two Metrics and merging the snapshots must equal recording
+// the whole workload into one Metrics — the property the sharded
+// control plane's per-station metrics rely on.
+func TestSnapshotMergeEqualsSingleMetrics(t *testing.T) {
+	durations := []time.Duration{
+		500 * time.Microsecond, 3 * time.Millisecond, 8 * time.Millisecond,
+		40 * time.Millisecond, 150 * time.Millisecond, 40 * time.Second,
+	}
+	var whole, a, b Metrics
+	for i, d := range durations {
+		whole.ScenarioStarted()
+		whole.ScenarioCompleted(d)
+		half := &a
+		if i%2 == 1 {
+			half = &b
+		}
+		half.ScenarioStarted()
+		half.ScenarioCompleted(d)
+	}
+	whole.ScenarioFailed(time.Millisecond)
+	a.ScenarioFailed(time.Millisecond)
+	whole.FrameDelivered(10)
+	b.FrameDelivered(10)
+	whole.FrameLost()
+	a.FrameLost()
+	whole.FrameDuplicated()
+	b.FrameDuplicated()
+	whole.WindowsScored(30, 4)
+	a.WindowsScored(18, 1)
+	b.WindowsScored(12, 3)
+
+	merged := a.Snapshot().Merge(b.Snapshot())
+	if want := whole.Snapshot(); !reflect.DeepEqual(merged, want) {
+		t.Errorf("merged snapshot diverged:\n got: %+v\nwant: %+v", merged, want)
+	}
+}
+
+func TestSnapshotMergeZeroOperands(t *testing.T) {
+	var m Metrics
+	m.ScenarioStarted()
+	m.ScenarioCompleted(2 * time.Millisecond)
+	s := m.Snapshot()
+
+	// Zero value on either side contributes nothing but keeps the
+	// histogram of the populated side.
+	left := (Snapshot{}).Merge(s)
+	right := s.Merge(Snapshot{})
+	if !reflect.DeepEqual(left, s) || !reflect.DeepEqual(right, s) {
+		t.Errorf("zero-operand merge not identity:\nleft:  %+v\nright: %+v\nwant:  %+v", left, right, s)
+	}
+	if got := left.LatencyCount(); got != 1 {
+		t.Errorf("latency count = %d, want 1", got)
+	}
+}

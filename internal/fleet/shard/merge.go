@@ -1,0 +1,193 @@
+package shard
+
+import (
+	"context"
+	"sync/atomic"
+
+	"github.com/wiot-security/sift/internal/fleet"
+)
+
+// bitset tracks which cohort slots have merged a verdict — one bit per
+// wearer, so the coordinator's dedup state for a million-slot run is
+// 125 KB. Slot outcomes are pure functions of the slot seed, which is
+// why first-verdict-wins dedup is sound: a duplicate produced by a
+// failover race carries byte-identical counts.
+type bitset []uint64
+
+func newBitset(n int) bitset     { return make(bitset, (n+63)/64) }
+func (b bitset) test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) set(i int)       { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// message is the one channel type stations send the coordinator:
+// either a verdict batch, a death notice, or the station's final
+// drained marker (sent after all its workers exited).
+type message struct {
+	station  int
+	verdicts []fleet.SlotOutcome
+	death    bool
+	drained  bool
+}
+
+// coordinator owns the sharded run's merge state. Everything below the
+// msgs channel is touched only by the merge loop goroutine — the design
+// keeps aggregation single-threaded (and lock-free) while the stations
+// fan out, which is also what makes the fold order-independent rather
+// than merely synchronized.
+type coordinator struct {
+	cfg       Config
+	scenarios int
+	shards    int
+	batch     int
+	traceRoot uint64
+	cancelAll context.CancelFunc
+
+	msgs     chan message
+	stations []*station
+	finished atomic.Bool // all slots merged; stations drain without running
+
+	// Merge-loop-owned state.
+	acc          *fleet.Accumulator
+	doneBits     bitset
+	accounted    int   // slots with a merged verdict
+	alive        []int // station indexes still accepting work
+	adopted      [][]int
+	stats        []StationStats
+	extrasClosed []bool
+	deaths       int
+	rebalanced   int
+	err          error
+}
+
+// mergeLoop is the coordinator's single consumer: it folds verdict
+// batches, handles deaths, and exits once every station has drained.
+// Stations only send drained after their last worker flushed, so the
+// loop cannot miss a verdict; and because the loop never blocks on a
+// send (extras channels are buffered for the worst-case death count)
+// it cannot deadlock against a station either.
+func (c *coordinator) mergeLoop() {
+	drained := 0
+	for drained < c.shards {
+		m := <-c.msgs
+		switch {
+		case m.drained:
+			drained++
+		case m.death:
+			c.onDeath(m.station)
+		default:
+			c.onVerdicts(m)
+		}
+	}
+	if !c.finished.Load() && c.err == nil && c.accounted < c.scenarios {
+		// Drained without full coverage and no one declared the run
+		// over: the context was cancelled (FailFast or caller).
+		c.finishFeeding()
+	}
+}
+
+// onVerdicts folds one station batch into the aggregate, first-verdict
+// wins per slot.
+func (c *coordinator) onVerdicts(m message) {
+	obsShardBatches.Add(1)
+	for i := range m.verdicts {
+		o := &m.verdicts[i]
+		if !o.Ran || c.doneBits.test(o.Index) {
+			continue
+		}
+		c.doneBits.set(o.Index)
+		c.accounted++
+		c.acc.Observe(*o)
+		if o.Err != nil {
+			c.stats[m.station].Failed++
+			if c.cfg.FailFast {
+				c.cancelAll()
+			}
+		} else {
+			c.stats[m.station].Completed++
+		}
+	}
+	if c.accounted == c.scenarios {
+		c.finishFeeding()
+	}
+}
+
+// onDeath rebalances a dead station's unmerged slots across the
+// survivors: the stripe is recomputed arithmetically, previously
+// adopted slots are included (deaths cascade), already-merged slots are
+// skipped via the done bitset, and the remainder is dealt round-robin
+// so survivors share the load evenly.
+func (c *coordinator) onDeath(k int) {
+	st := c.stations[k]
+	c.stats[k].Died = true
+	c.deaths++
+	obsShardDeaths.Add(1)
+	if c.cfg.Registry != nil {
+		c.cfg.Registry.MarkDead(st.id)
+	}
+	for i, a := range c.alive {
+		if a == k {
+			c.alive = append(c.alive[:i], c.alive[i+1:]...)
+			break
+		}
+	}
+	var remaining []int
+	for i := k; i < c.scenarios; i += c.shards {
+		if !c.doneBits.test(i) {
+			remaining = append(remaining, i)
+		}
+	}
+	for _, i := range c.adopted[k] {
+		if !c.doneBits.test(i) {
+			remaining = append(remaining, i)
+		}
+	}
+	c.stats[k].Requeued = len(remaining)
+	if len(remaining) == 0 {
+		return
+	}
+	if c.cfg.Registry != nil {
+		c.cfg.Registry.AddSlots(st.id, -len(remaining))
+	}
+	if len(c.alive) == 0 {
+		c.err = ErrNoLiveStations
+		return
+	}
+	shares := make([][]int, len(c.alive))
+	for i, slot := range remaining {
+		shares[i%len(c.alive)] = append(shares[i%len(c.alive)], slot)
+	}
+	for i, share := range shares {
+		if len(share) == 0 {
+			continue
+		}
+		t := c.alive[i]
+		c.adopted[t] = append(c.adopted[t], share...)
+		c.stats[t].Adopted += len(share)
+		c.rebalanced += len(share)
+		obsShardRebalanced.Add(int64(len(share)))
+		// Buffered for the worst-case death count, so this send can
+		// never block the merge loop even if the survivor is itself
+		// mid-death.
+		c.stations[t].extras <- share
+		if c.cfg.Registry != nil {
+			c.cfg.Registry.AddSlots(c.stations[t].id, len(share))
+		}
+	}
+}
+
+// finishFeeding declares the run over: workers drain their queues
+// without running further scenarios, and live stations' extras channels
+// close so their dispatchers exit. Dead stations' dispatchers already
+// exited via context cancellation. After this point onDeath can still
+// run, but with every slot merged it has nothing to requeue, so the
+// closed channels are never sent on.
+func (c *coordinator) finishFeeding() {
+	if c.finished.Swap(true) {
+		return
+	}
+	for k, st := range c.stations {
+		if !c.extrasClosed[k] && !st.dead.Load() {
+			c.extrasClosed[k] = true
+			close(st.extras)
+		}
+	}
+}

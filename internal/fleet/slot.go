@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/wiot-security/sift/internal/wiot"
+)
+
+// SlotOutcome summarizes one executed fleet slot: the scenario's pooled
+// confusion counts plus its identity, with no per-window state retained.
+// It is the unit of aggregation for both the in-process engine and the
+// sharded control plane — small enough to batch by the thousand, rich
+// enough that folding outcomes in any order reproduces fleet.Run's
+// aggregate exactly.
+type SlotOutcome struct {
+	Index   int
+	Subject string
+	Ran     bool
+	Err     error
+
+	Windows   int
+	TruePos   int
+	FalseNeg  int
+	FalsePos  int
+	TrueNeg   int
+	SeqErrors int
+}
+
+// RunSlot executes one scenario slot of cfg and returns its summary:
+// build the scenario from cfg.Source with seed BaseSeed+index, run it
+// through cfg.Runner (in-process simulation when nil), and mirror the
+// slot into cfg.Metrics and cfg.Telemetry when set. traceRoot is the
+// trace ID the slot span should parent under (0 for none). It is safe
+// for concurrent use from any number of goroutines; determinism is
+// inherited from Source and Runner.
+func RunSlot(ctx context.Context, cfg Config, index int, traceRoot uint64) SlotOutcome {
+	span := obsSlot.StartChildOf(traceRoot)
+	defer span.End()
+	obsSlotsRun.Add(1)
+	out := SlotOutcome{Index: index, Ran: true}
+	seed := cfg.BaseSeed + int64(index)
+	sc, err := cfg.Source(index, seed)
+	if err != nil {
+		out.Err = fmt.Errorf("fleet: build scenario %d: %w", index, err)
+		if cfg.Metrics != nil {
+			cfg.Metrics.ScenarioStarted()
+			cfg.Metrics.ScenarioFailed(0)
+		}
+		return out
+	}
+	if sc.Record != nil {
+		out.Subject = sc.Record.SubjectID
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.ScenarioStarted()
+		if sc.Channel == nil {
+			sc.Channel = wiot.Reliable{}
+		}
+		sc.Channel = &observedChannel{inner: sc.Channel, m: cfg.Metrics}
+	}
+	// Wall-clock latency feeds only the Metrics histogram (operator
+	// telemetry), never scenario state, so determinism is preserved; the
+	// child span likewise must end before the error path or the failure
+	// handling would be billed to the scenario timer.
+	start := time.Now()                   //wiotlint:allow detrand
+	runSpan := span.Child(obsScenarioRun) //wiotlint:allow spanend
+	if ts, ok := sc.Detector.(TraceParentSetter); ok {
+		ts.SetTraceParent(runSpan.TraceID())
+	}
+	run := cfg.Runner
+	if run == nil {
+		run = func(ctx context.Context, _ Slot, sc wiot.Scenario) (wiot.ScenarioResult, error) {
+			return wiot.RunScenarioContext(ctx, sc)
+		}
+	}
+	res, err := run(ctx, Slot{Index: index, Seed: seed}, sc)
+	runSpan.End()
+	elapsed := time.Since(start) //wiotlint:allow detrand
+	if err != nil {
+		out.Err = ScenarioError{Index: index, Err: err}
+		if cfg.Metrics != nil {
+			cfg.Metrics.ScenarioFailed(elapsed)
+		}
+		return out
+	}
+	out.Windows = res.Windows
+	out.TruePos = res.TruePos
+	out.FalseNeg = res.FalseNeg
+	out.FalsePos = res.FalsePos
+	out.TrueNeg = res.TrueNeg
+	out.SeqErrors = res.SeqErrors
+	raised := 0
+	for _, a := range res.Alerts {
+		if a.Altered {
+			raised++
+		}
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.WindowsScored(res.Windows, raised)
+		cfg.Metrics.ScenarioCompleted(elapsed)
+	}
+	if cfg.Telemetry != nil && out.Subject != "" {
+		cfg.Telemetry.Device(out.Subject).ObserveScenario(res.Windows, raised, elapsed)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HeapWatermark samples the runtime's live-heap size in the background
+// and retains the peak observed. It is the measurement behind the
+// control plane's bounded-memory claim: a streamed million-wearer fleet
+// run asserts that the watermark stays flat regardless of cohort size,
+// which is only provable if something actually watched the heap while
+// the run was in flight. Construct with StartHeapWatermark.
+type HeapWatermark struct {
+	peak atomic.Uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartHeapWatermark begins sampling runtime.ReadMemStats every
+// interval (minimum 10 ms; <=0 means 100 ms) until Stop. ReadMemStats
+// briefly stops the world, so intervals much below 10 ms would perturb
+// the workload being measured.
+func StartHeapWatermark(interval time.Duration) *HeapWatermark {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	w := &HeapWatermark{
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	w.sample()
+	go func() {
+		defer close(w.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				w.sample()
+			case <-w.stop:
+				return
+			}
+		}
+	}()
+	return w
+}
+
+// sample folds the current live-heap size into the peak.
+func (w *HeapWatermark) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for {
+		old := w.peak.Load()
+		if ms.HeapAlloc <= old || w.peak.CompareAndSwap(old, ms.HeapAlloc) {
+			return
+		}
+	}
+}
+
+// Peak returns the highest live-heap size observed so far, in bytes.
+func (w *HeapWatermark) Peak() uint64 { return w.peak.Load() }
+
+// Stop halts sampling, takes one final sample so the run's end state is
+// included, and returns the peak in bytes. Idempotent.
+func (w *HeapWatermark) Stop() uint64 {
+	w.stopOnce.Do(func() {
+		close(w.stop)
+		<-w.done
+		w.sample()
+	})
+	return w.Peak()
+}

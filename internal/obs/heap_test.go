@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHeapWatermarkObservesAllocation(t *testing.T) {
+	w := StartHeapWatermark(10 * time.Millisecond)
+	if w.Peak() == 0 {
+		t.Fatal("initial sample missing: peak is zero")
+	}
+	base := w.Peak()
+
+	// Hold a large allocation across several sampling intervals so the
+	// watermark must observe it regardless of scheduling.
+	block := make([]byte, 64<<20)
+	for i := range block {
+		block[i] = byte(i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	peak := w.Stop()
+	if peak < base {
+		t.Fatalf("peak %d below baseline %d", peak, base)
+	}
+	if peak < uint64(len(block)) {
+		t.Errorf("peak %d never observed the %d-byte allocation", peak, len(block))
+	}
+
+	// Stop is idempotent and the watermark is stable afterwards.
+	if again := w.Stop(); again != peak {
+		t.Errorf("second Stop = %d, want %d", again, peak)
+	}
+}
+
+func TestHeapWatermarkStopWithoutWait(t *testing.T) {
+	// Stop immediately after start must not deadlock or panic, and the
+	// initial sample guarantees a nonzero peak.
+	w := StartHeapWatermark(0)
+	if got := w.Stop(); got == 0 {
+		t.Fatal("peak is zero after immediate stop")
+	}
+}

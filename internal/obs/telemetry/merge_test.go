@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeviceAbsorbFoldsSnapshot(t *testing.T) {
+	d := NewRegistry().Device("wearer-1")
+	d.ObserveWindow(100, 2048, 5)
+	d.ObserveScenario(3, 1, 20*time.Millisecond)
+	d.SetLifetimeDays(4)
+
+	d.Absorb(DeviceSnapshot{
+		Windows:         2,
+		Cycles:          300,
+		SRAMPeakBytes:   4096,
+		EnergyMicroJ:    7,
+		LifetimeDays:    2, // lower projection: gauge must keep 4
+		Scenarios:       5,
+		ScenarioWindows: 15,
+		Alerts:          4,
+		ScenarioTime:    30 * time.Millisecond,
+	})
+
+	s := d.Snapshot()
+	if s.Windows != 3 || s.Cycles != 400 {
+		t.Errorf("windows/cycles = %d/%d, want 3/400", s.Windows, s.Cycles)
+	}
+	if s.SRAMPeakBytes != 4096 {
+		t.Errorf("sram peak = %d, want max 4096", s.SRAMPeakBytes)
+	}
+	if s.EnergyMicroJ != 12 {
+		t.Errorf("energy = %v µJ, want 12", s.EnergyMicroJ)
+	}
+	if s.LifetimeDays != 4 {
+		t.Errorf("lifetime = %v days, want the larger projection 4", s.LifetimeDays)
+	}
+	if s.Scenarios != 6 || s.ScenarioWindows != 18 || s.Alerts != 5 {
+		t.Errorf("scenarios/windows/alerts = %d/%d/%d, want 6/18/5", s.Scenarios, s.ScenarioWindows, s.Alerts)
+	}
+	if s.ScenarioTime != 50*time.Millisecond {
+		t.Errorf("scenario time = %v, want 50ms", s.ScenarioTime)
+	}
+}
+
+func TestRegistryMergeUnionsDevices(t *testing.T) {
+	// Two stations observed overlapping wearer sets; the merged registry
+	// is the union, with shared wearers' counters folded together.
+	a := NewRegistry()
+	a.Device("w1").ObserveScenario(2, 1, 10*time.Millisecond)
+	a.Device("w2").ObserveScenario(1, 0, 5*time.Millisecond)
+
+	b := NewRegistry()
+	b.Device("w2").ObserveScenario(4, 2, 20*time.Millisecond)
+	b.Device("w3").ObserveScenario(1, 1, 1*time.Millisecond)
+
+	a.Merge(b)
+	snaps := a.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("merged devices = %d, want 3", len(snaps))
+	}
+	byName := map[string]DeviceSnapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	if got := byName["w2"]; got.Scenarios != 2 || got.ScenarioWindows != 5 || got.Alerts != 2 {
+		t.Errorf("w2 = %+v, want 2 scenarios over 5 windows, 2 alerts", got)
+	}
+	if got := byName["w3"]; got.Scenarios != 1 {
+		t.Errorf("w3 = %+v, want 1 scenario", got)
+	}
+	// Source registry is untouched.
+	if n := len(b.Snapshot()); n != 2 {
+		t.Errorf("source registry devices = %d, want 2", n)
+	}
+}
+
+func TestRegistryMergeNilAndSelf(t *testing.T) {
+	r := NewRegistry()
+	r.Device("w").ObserveScenario(1, 0, time.Millisecond)
+	r.Merge(nil)
+	r.Merge(r)
+	if got := r.Device("w").Snapshot().Scenarios; got != 1 {
+		t.Errorf("scenarios after nil/self merge = %d, want 1 (no double count)", got)
+	}
+}

@@ -114,6 +114,30 @@ func (d *Device) Snapshot() DeviceSnapshot {
 	}
 }
 
+// Absorb folds a snapshot taken elsewhere into this device: counters
+// add, the SRAM watermark takes the maximum, and the lifetime gauge
+// keeps the larger projection. It is the merge step for telemetry that
+// arrives as snapshots rather than live updates — a remote station
+// shipping its device table to the coordinating control plane.
+func (d *Device) Absorb(s DeviceSnapshot) {
+	d.windows.Add(s.Windows)
+	d.cycles.Add(s.Cycles)
+	for {
+		old := d.sramPeak.Load()
+		if s.SRAMPeakBytes <= old || d.sramPeak.CompareAndSwap(old, s.SRAMPeakBytes) {
+			break
+		}
+	}
+	d.energyNanoJ.Add(int64(s.EnergyMicroJ * 1e3))
+	if days := int64(s.LifetimeDays * 1e6); days > d.lifetimeMicroDays.Load() {
+		d.lifetimeMicroDays.Store(days)
+	}
+	d.scenarios.Add(s.Scenarios)
+	d.scenarioWindows.Add(s.ScenarioWindows)
+	d.alerts.Add(s.Alerts)
+	d.scenarioNanos.Add(int64(s.ScenarioTime))
+}
+
 // Registry holds every device, keyed by label. The zero value is not
 // usable; construct with NewRegistry.
 type Registry struct {
@@ -161,6 +185,20 @@ func (r *Registry) Snapshot() []DeviceSnapshot {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// Merge folds every device of src into this registry by label,
+// creating devices on first sight and Absorb-ing their snapshots
+// otherwise. Stations that keep independent registries (per-shard
+// backends, future remote stations) merge into one operator view this
+// way without sharing memory during the run.
+func (r *Registry) Merge(src *Registry) {
+	if src == nil || src == r {
+		return
+	}
+	for _, s := range src.Snapshot() {
+		r.Device(s.Name).Absorb(s)
+	}
 }
 
 // Sample is one time-series point; TS is nanoseconds on obs's

@@ -1,0 +1,136 @@
+package wiot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// StationState is a registered station's liveness.
+type StationState int
+
+const (
+	// StationLive marks a station accepting work.
+	StationLive StationState = iota
+	// StationDead marks a station the control plane has given up on;
+	// its remaining slots were (or are being) reassigned.
+	StationDead
+)
+
+func (s StationState) String() string {
+	switch s {
+	case StationLive:
+		return "live"
+	case StationDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("StationState(%d)", int(s))
+	}
+}
+
+// StationInfo is one station's registry entry.
+type StationInfo struct {
+	ID    string
+	Addr  string // dial-out address; "inproc" for an in-process backend
+	State StationState
+	Slots int // fleet slots currently assigned to the station
+}
+
+// StationRegistry tracks the stations of a multi-station deployment:
+// which exist, where sensors dial out to, whether the control plane
+// still considers them live, and how much of the cohort each one owns.
+// The sharded fleet coordinator registers one entry per shard and marks
+// entries dead on failover; operators read the same table through
+// wiotsim. Safe for concurrent use.
+type StationRegistry struct {
+	mu sync.Mutex
+	m  map[string]*StationInfo
+}
+
+// NewStationRegistry returns an empty registry.
+func NewStationRegistry() *StationRegistry {
+	return &StationRegistry{m: map[string]*StationInfo{}}
+}
+
+// Register adds (or resets) a station as live at the given dial-out
+// address. Use addr "inproc" for backends that never touch the network.
+func (r *StationRegistry) Register(id, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[id] = &StationInfo{ID: id, Addr: addr, State: StationLive}
+}
+
+// SetSlots records how many fleet slots the station currently owns.
+// Unknown IDs are ignored.
+func (r *StationRegistry) SetSlots(id string, n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.m[id]; ok {
+		s.Slots = n
+	}
+}
+
+// AddSlots adjusts a station's assigned-slot count by delta (rebalance
+// bookkeeping). Unknown IDs are ignored.
+func (r *StationRegistry) AddSlots(id string, delta int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.m[id]; ok {
+		s.Slots += delta
+	}
+}
+
+// MarkDead transitions a station to StationDead. Unknown IDs are
+// ignored; marking a dead station dead again is a no-op.
+func (r *StationRegistry) MarkDead(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.m[id]; ok {
+		s.State = StationDead
+	}
+}
+
+// Lookup returns a copy of the station's entry.
+func (r *StationRegistry) Lookup(id string) (StationInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.m[id]; ok {
+		return *s, true
+	}
+	return StationInfo{}, false
+}
+
+// Live returns how many registered stations are live.
+func (r *StationRegistry) Live() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, s := range r.m {
+		if s.State == StationLive {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot copies every entry, sorted by ID.
+func (r *StationRegistry) Snapshot() []StationInfo {
+	r.mu.Lock()
+	out := make([]StationInfo, 0, len(r.m))
+	for _, s := range r.m {
+		out = append(out, *s)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// String renders the registry as a one-line-per-station table.
+func (r *StationRegistry) String() string {
+	var sb strings.Builder
+	for _, s := range r.Snapshot() {
+		fmt.Fprintf(&sb, "station %-12s %-8s %4d slot(s)  %s\n", s.ID, s.Addr, s.Slots, s.State)
+	}
+	return sb.String()
+}

@@ -1,0 +1,95 @@
+package wiot
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStationRegistryLifecycle(t *testing.T) {
+	r := NewStationRegistry()
+	r.Register("station-00", "inproc")
+	r.Register("station-01", "127.0.0.1:9000")
+	r.SetSlots("station-00", 12)
+	r.SetSlots("station-01", 12)
+
+	if got := r.Live(); got != 2 {
+		t.Fatalf("live = %d, want 2", got)
+	}
+	info, ok := r.Lookup("station-01")
+	if !ok || info.Addr != "127.0.0.1:9000" || info.State != StationLive || info.Slots != 12 {
+		t.Fatalf("lookup = %+v, %v", info, ok)
+	}
+
+	// Failover bookkeeping: the dead station hands its remainder over.
+	r.MarkDead("station-01")
+	r.AddSlots("station-01", -8)
+	r.AddSlots("station-00", 8)
+	if got := r.Live(); got != 1 {
+		t.Errorf("live after death = %d, want 1", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "station-00" || snap[1].ID != "station-01" {
+		t.Fatalf("snapshot not sorted by ID: %+v", snap)
+	}
+	if snap[0].Slots != 20 || snap[1].Slots != 4 {
+		t.Errorf("slots after rebalance = %d/%d, want 20/4", snap[0].Slots, snap[1].Slots)
+	}
+	if snap[1].State != StationDead {
+		t.Errorf("station-01 state = %v, want dead", snap[1].State)
+	}
+
+	// Mutating a snapshot copy must not write through to the registry.
+	snap[0].Slots = 999
+	if info, _ := r.Lookup("station-00"); info.Slots != 20 {
+		t.Errorf("snapshot aliases registry state: %+v", info)
+	}
+
+	out := r.String()
+	if !strings.Contains(out, "station-01") || !strings.Contains(out, "dead") {
+		t.Errorf("String() missing station or state:\n%s", out)
+	}
+}
+
+func TestStationRegistryIgnoresUnknownIDs(t *testing.T) {
+	r := NewStationRegistry()
+	r.SetSlots("ghost", 5)
+	r.AddSlots("ghost", 5)
+	r.MarkDead("ghost")
+	if _, ok := r.Lookup("ghost"); ok {
+		t.Fatal("mutators resurrected an unregistered station")
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("registry not empty")
+	}
+}
+
+func TestStationRegistryConcurrent(t *testing.T) {
+	r := NewStationRegistry()
+	r.Register("s", "inproc")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.AddSlots("s", 1)
+				r.Snapshot()
+				r.Live()
+			}
+		}()
+	}
+	wg.Wait()
+	if info, _ := r.Lookup("s"); info.Slots != 800 {
+		t.Fatalf("slots = %d, want 800", info.Slots)
+	}
+}
+
+func TestStationStateString(t *testing.T) {
+	if StationLive.String() != "live" || StationDead.String() != "dead" {
+		t.Errorf("state strings = %q/%q", StationLive, StationDead)
+	}
+	if got := StationState(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown state string = %q", got)
+	}
+}
