@@ -7,7 +7,7 @@ GO ?= go
 # Coverage floor (percent) enforced on the packages PR 1 race-proofed.
 COVER_FLOOR ?= 85.0
 
-.PHONY: check vet build test race chaos shard shard-smoke shard-smoke-1m fuzz fuzz-verify fuzz-jit fleet-demo lint lint-custom vuln cover bench bench-check
+.PHONY: check vet build test race chaos shard shard-smoke shard-smoke-1m fuzz fuzz-verify fuzz-jit fleet-demo lint lint-custom campaigns vuln cover bench bench-check
 
 check: vet build race
 
@@ -93,10 +93,20 @@ lint:
 		$(GO) vet ./...; \
 	fi
 
-# The repo's own analyzers (opcomplete, detrand, spanend, qmisuse) —
-# needs nothing beyond the go toolchain, so it always runs.
+# The repo's own analyzers (opcomplete, detrand, spanend, qmisuse, plus
+# the campaign set: campreach, campseed, campsched, campbudget,
+# campdigest) — needs nothing beyond the go toolchain, so it always runs.
 lint-custom:
 	$(GO) run ./cmd/wiotlint ./...
+
+# The declarative campaign gate: the five camp* analyzers over every
+# package (machine-readable output), runtime validation of the catalog,
+# and the parity/digest-invariance tests that pin declaration lowering
+# byte-identical to the legacy imperative paths.
+campaigns:
+	$(GO) run ./cmd/wiotlint -campaigns -json ./...
+	$(GO) run ./cmd/wiotsim build -lint
+	$(GO) test ./internal/campaign/ -run 'DeclarativeMatchesImperative|ShardDigestInvariance|CatalogWellFormed'
 
 # Known-vulnerability scan; skipped gracefully where the scanner (or the
 # network to install it) is unavailable.

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// lint runs the CLI in-process and captures output.
+func lint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestListIncludesCampaignAnalyzers(t *testing.T) {
+	code, out, _ := lint(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	for _, name := range []string{"opcomplete", "detrand", "spanend", "qmisuse", "campreach", "campseed", "campsched", "campbudget", "campdigest"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}
+
+func TestCampaignsFlagRestrictsList(t *testing.T) {
+	code, out, _ := lint(t, "-campaigns", "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out, "opcomplete") || !strings.Contains(out, "campreach") {
+		t.Errorf("-campaigns -list should show only campaign analyzers:\n%s", out)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, out, errOut := lint(t, "-campaigns", "github.com/wiot-security/sift/internal/campaign/catalog")
+	if code != 0 {
+		t.Fatalf("catalog should lint clean, exit %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	code, out, _ := lint(t, "-campaigns", "../../internal/analysis/testdata/src/campreach")
+	if code != 1 {
+		t.Fatalf("fixture with findings should exit 1, got %d", code)
+	}
+	if !strings.Contains(out, "campreach:") {
+		t.Errorf("findings output missing analyzer name:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := lint(t, "-campaigns", "-json", "../../internal/analysis/testdata/src/campreach")
+	if code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON finding array: %v\n%s", err, out)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings decoded")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer != "campreach" || f.Message == "" {
+			t.Errorf("malformed finding: %+v", f)
+		}
+	}
+}
+
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	code, out, _ := lint(t, "-campaigns", "-json", "github.com/wiot-security/sift/internal/campaign/catalog")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json run should print an empty array, got %q", out)
+	}
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	if code, _, _ := lint(t, "-run", "nosuchanalyzer"); code != 2 {
+		t.Errorf("unknown analyzer should exit 2, got %d", code)
+	}
+	if code, _, _ := lint(t, "./does/not/exist"); code != 2 {
+		t.Errorf("bad pattern should exit 2, got %d", code)
+	}
+	if code, _, _ := lint(t, "-definitely-not-a-flag"); code != 2 {
+		t.Errorf("bad flag should exit 2, got %d", code)
+	}
+}

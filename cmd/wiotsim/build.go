@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/wiot-security/sift/internal/campaign"
+	_ "github.com/wiot-security/sift/internal/campaign/catalog" // registers the standard declarations
+)
+
+// buildMain is the `wiotsim build` subcommand: the CLI face of the
+// declarative campaign layer. It lists, lints, canonicalizes, and runs
+// registered campaign declarations.
+//
+// Usage:
+//
+//	wiotsim build -list
+//	wiotsim build -lint [campaign ...]
+//	wiotsim build -canon <campaign ...>
+//	wiotsim build <campaign ...>
+//
+// Exit codes mirror wiotlint: 0 clean, 1 lint violations or a failed
+// run, 2 usage errors.
+func buildMain(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("wiotsim build", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	list := fs.Bool("list", false, "list registered campaigns and exit")
+	lint := fs.Bool("lint", false, "validate declarations (runtime mirror of the campaign analyzers) instead of running")
+	canon := fs.Bool("canon", false, "print each campaign's canonical form and declaration digest instead of running")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, c := range campaign.All() {
+			fmt.Fprintf(out, "%-18s %-8s digest=%-8s %s\n", c.Name, c.Kind, c.Digest, c.Description)
+		}
+		return 0
+	}
+
+	selected, err := selectCampaigns(fs.Args())
+	if err != nil {
+		fmt.Fprintln(errOut, "wiotsim build:", err)
+		return 2
+	}
+
+	switch {
+	case *lint:
+		violations := 0
+		for _, c := range selected {
+			if err := c.Validate(); err != nil {
+				violations++
+				fmt.Fprintf(out, "%s: %v\n", c.Name, err)
+				continue
+			}
+			fmt.Fprintf(out, "%s: ok (decl digest %s)\n", c.Name, c.DeclDigest()[:12])
+		}
+		if violations > 0 {
+			fmt.Fprintf(errOut, "wiotsim build: %d campaign(s) failed validation\n", violations)
+			return 1
+		}
+		return 0
+	case *canon:
+		if len(fs.Args()) == 0 {
+			fmt.Fprintln(errOut, "wiotsim build: -canon needs campaign names")
+			return 2
+		}
+		for _, c := range selected {
+			fmt.Fprint(out, c.Canonical())
+			fmt.Fprintf(out, "# decl digest %s\n", c.DeclDigest())
+		}
+		return 0
+	}
+
+	if len(fs.Args()) == 0 {
+		fmt.Fprintln(errOut, "wiotsim build: name a campaign to run, or use -list / -lint / -canon")
+		return 2
+	}
+	for _, c := range selected {
+		if code := runCampaign(c, out, errOut); code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+// selectCampaigns resolves names against the registry; no names means
+// every registered campaign.
+func selectCampaigns(names []string) ([]campaign.Campaign, error) {
+	if len(names) == 0 {
+		return campaign.All(), nil
+	}
+	out := make([]campaign.Campaign, 0, len(names))
+	for _, name := range names {
+		c, err := campaign.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// runCampaign synthesizes and executes one declaration, printing the
+// outcome and its verdict digest.
+func runCampaign(c campaign.Campaign, out, errOut io.Writer) int {
+	fmt.Fprintf(out, "campaign %s (%s): %s\n", c.Name, c.Kind, c.Description)
+	plan, err := c.Synthesize()
+	if err != nil {
+		fmt.Fprintln(errOut, "wiotsim build:", err)
+		return 1
+	}
+	start := time.Now()
+	o, err := plan.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(errOut, "wiotsim build:", err)
+		return 1
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	switch {
+	case o.Fleet != nil:
+		fmt.Fprintf(out, "%s", o.Fleet)
+		if plan.Shard != nil {
+			fmt.Fprintf(out, "stations:\n%s", plan.Shard.Registry)
+		}
+		if err := o.Fleet.Err(); err != nil {
+			fmt.Fprintln(errOut, "wiotsim build:", err)
+			return 1
+		}
+	case o.Gallery != nil:
+		g := o.Gallery
+		fmt.Fprintf(out, "clean baseline: %d/%d windows pass\n", g.Clean, g.Windows)
+		for _, a := range g.Arms {
+			fmt.Fprintf(out, "  %-14s detected %2d/%2d attacked windows\n", a.Name, a.Detected, a.Total)
+		}
+	case o.Adaptive != nil:
+		a := o.Adaptive
+		fmt.Fprintf(out, "battery lasted %.1f days with %d version switches\n", a.ElapsedHr/24, a.Switches)
+		for _, w := range a.Windows {
+			fmt.Fprintf(out, "  %-11s %d windows classified\n", w.Version, w.Windows)
+		}
+	}
+	fmt.Fprintf(out, "verdict digest %s (decl %s) in %v\n\n", o.VerdictDigest()[:16], c.DeclDigest()[:12], elapsed)
+	return 0
+}

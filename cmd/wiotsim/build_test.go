@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/campaign"
+)
+
+func build(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = buildMain(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestBuildList(t *testing.T) {
+	code, out, _ := build(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	for _, name := range []string{"attack-gallery", "adaptive-security", "fleet-baseline", "chaos-soak", "sharded-smoke"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestBuildLintCatalogClean(t *testing.T) {
+	code, out, errOut := build(t, "-lint")
+	if code != 0 {
+		t.Fatalf("catalog should validate, exit %d\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "attack-gallery: ok") {
+		t.Errorf("lint output missing per-campaign verdicts:\n%s", out)
+	}
+}
+
+func TestBuildCanonRoundTrips(t *testing.T) {
+	code, out, _ := build(t, "-canon", "sharded-smoke")
+	if code != 0 {
+		t.Fatalf("-canon exit %d", code)
+	}
+	// Strip the trailing digest comment and reparse: the printed form is
+	// the machine-readable declaration.
+	text, _, ok := strings.Cut(out, "# decl digest ")
+	if !ok {
+		t.Fatalf("no digest trailer in:\n%s", out)
+	}
+	back, err := campaign.ParseCanonical(text)
+	if err != nil {
+		t.Fatalf("printed canonical form does not parse: %v", err)
+	}
+	want, _ := campaign.Lookup("sharded-smoke")
+	if back.DeclDigest() != want.DeclDigest() {
+		t.Error("printed canonical form changed the declaration digest")
+	}
+}
+
+func TestBuildUsageErrors(t *testing.T) {
+	if code, _, _ := build(t, "no-such-campaign"); code != 2 {
+		t.Errorf("unknown campaign should exit 2, got %d", code)
+	}
+	if code, _, _ := build(t); code != 2 {
+		t.Errorf("bare build should exit 2, got %d", code)
+	}
+	if code, _, _ := build(t, "-canon"); code != 2 {
+		t.Errorf("-canon with no names should exit 2, got %d", code)
+	}
+}
+
+// TestBuildRunShardedSmoke runs the smallest catalog fleet campaign end
+// to end through the subcommand.
+func TestBuildRunShardedSmoke(t *testing.T) {
+	code, out, errOut := build(t, "sharded-smoke")
+	if code != 0 {
+		t.Fatalf("run exit %d\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "verdict digest ") || !strings.Contains(out, "stations:") {
+		t.Errorf("run output missing digest or station table:\n%s", out)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/wiot-security/sift/internal/amulet"
+	"github.com/wiot-security/sift/internal/campaign"
 	"github.com/wiot-security/sift/internal/dataset"
 	"github.com/wiot-security/sift/internal/features"
 	"github.com/wiot-security/sift/internal/fleet"
@@ -30,6 +31,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "build" {
+		os.Exit(buildMain(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "wiotsim:", err)
 		os.Exit(1)
@@ -51,7 +55,7 @@ func run() error {
 	liveSec := flag.Float64("live", 120, "seconds of live signal to stream")
 	trainSec := flag.Float64("train", 300, "seconds of training signal")
 	versionName := flag.String("version", "Original", "detector version (Original|Simplified|Reduced)")
-	attackAt := flag.Float64("attack-at", 60, "second at which the MITM starts hijacking the ECG channel")
+	attackAt := flag.Float64("attack-at", 60, "second at which the MITM starts hijacking the ECG channel (adapts to half the live span when left default on a short -live)")
 	fleetN := flag.Int("fleet", 0, "stream N cohort subjects concurrently instead of the single-subject demo")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "fleet worker pool size (must be positive)")
 	loss := flag.Float64("loss", 0.02, "fleet mode: frame loss probability on the wireless link")
@@ -67,6 +71,20 @@ func run() error {
 
 	if *nojit {
 		amulet.SetJITEnabled(false)
+	}
+
+	// A shortened -live would push the default attack start past the end
+	// of the stream, which campaign validation rightly rejects. Only an
+	// attack time the user actually chose is held to that standard; the
+	// untouched default slides to the middle of the live span.
+	attackAtSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "attack-at" {
+			attackAtSet = true
+		}
+	})
+	if !attackAtSet && *attackAt >= *liveSec {
+		*attackAt = *liveSec / 2
 	}
 
 	// Reject nonsense values outright instead of silently coercing them
@@ -212,11 +230,44 @@ func chaosTCPRunner(loss float64) fleet.Runner {
 	}
 }
 
+// fleetCampaign lowers the CLI's fleet flags into a declared campaign,
+// so the flag-driven path and the registered declarations share one
+// synthesis recipe (and therefore byte-identical verdicts for the same
+// parameters).
+func fleetCampaign(opt fleetOptions) campaign.Campaign {
+	topo := campaign.Topology{
+		Kind:    campaign.TopoInProcess,
+		Workers: opt.workers,
+		Loss:    opt.loss,
+		Dup:     opt.dup,
+	}
+	if opt.chaos {
+		topo.Kind = campaign.TopoChaos
+		topo.Dup = 0 // the chaos wire corrupts; it does not duplicate
+	}
+	if opt.shards > 0 {
+		// The chaos+sharded combination keeps the sharded plan and gets
+		// its chaos runner reattached below: Topology expresses one kind.
+		topo.Kind = campaign.TopoSharded
+		topo.Shards = opt.shards
+	}
+	return campaign.Campaign{
+		Name:     "cli-fleet",
+		Kind:     campaign.KindFleet,
+		Cohort:   campaign.Cohort{Subjects: opt.subjects, BaseSeed: opt.seed, TrainSec: opt.trainSec, LiveSec: opt.liveSec},
+		Detector: campaign.Detector{Version: opt.version.String()},
+		Topology: topo,
+		Attacks:  []campaign.AttackWindow{{Kind: campaign.AttackSubstitution, FromSec: opt.attackAt}},
+	}
+}
+
 // runFleet trains one detector per cohort subject and streams every
 // subject's live recording concurrently through the fleet engine, each
 // over its own lossy channel with a MITM hijacking the ECG mid-stream.
-// Training happens inside the scenario source, so it is spread across
-// the worker pool too.
+// The run configuration is synthesized from a campaign declaration
+// built from the flags; observability (the telemetry shadow device,
+// metrics, trace capture) attaches through synthesis options and config
+// hooks so it never enters the declaration or changes verdicts.
 func runFleet(opt fleetOptions) error {
 	if opt.subjects < 2 {
 		return fmt.Errorf("-fleet %d needs at least 2 subjects (each wearer's MITM borrows a cohort neighbour's ECG)", opt.subjects)
@@ -237,77 +288,23 @@ func runFleet(opt fleetOptions) error {
 
 	obsv := newObservability(opt.serve, opt.tracePath)
 
-	src := func(index int, seed int64) (wiot.Scenario, error) {
-		wearer := subjects[index%len(subjects)]
-		gen := func(s physio.Subject, dur float64, offset int64) (*physio.Record, error) {
-			return physio.Generate(s, dur, physio.DefaultSampleRate, seed+offset)
-		}
-		trainRec, err := gen(wearer, opt.trainSec, 1)
-		if err != nil {
-			return wiot.Scenario{}, err
-		}
-		donorA, err := gen(subjects[(index+1)%len(subjects)], opt.trainSec, 2)
-		if err != nil {
-			return wiot.Scenario{}, err
-		}
-		donorB, err := gen(subjects[(index+2)%len(subjects)], opt.trainSec, 3)
-		if err != nil {
-			return wiot.Scenario{}, err
-		}
-		det, err := sift.TrainForSubject(trainRec, []*physio.Record{donorA, donorB}, sift.Config{
-			Version: opt.version,
-			SVM:     svm.Config{Seed: seed, MaxIter: 150},
-		})
-		if err != nil {
-			return wiot.Scenario{}, err
-		}
-		live, err := gen(wearer, opt.liveSec, 100)
-		if err != nil {
-			return wiot.Scenario{}, err
-		}
-		donorLive, err := gen(subjects[(index+1)%len(subjects)], opt.liveSec, 101)
-		if err != nil {
-			return wiot.Scenario{}, err
-		}
-		// In chaos mode the damage happens on the TCP wire instead of in
-		// an application-level lossy channel, so the scenario itself stays
-		// clean and the run doubles as a delivery-guarantee check.
-		var ch wiot.ChannelEffect = wiot.Reliable{}
-		if !opt.chaos {
-			ch, err = wiot.NewLossy(opt.loss, opt.dup, seed)
-			if err != nil {
-				return wiot.Scenario{}, err
-			}
-		}
-		attackFrom := int(opt.attackAt * live.SampleRate)
-		detector := wiot.Detector(hostDetector{det})
-		if obsv != nil {
-			// Shadow-run each window on an emulated Amulet for real VM
-			// cycle/SRAM/energy telemetry; host verdicts stay authoritative
-			// so instrumentation never changes the fleet result.
-			detector, err = newShadowDetector(detector, det, obsv, wearer.ID)
-			if err != nil {
-				return wiot.Scenario{}, err
-			}
-		}
-		return wiot.Scenario{
-			Record:     live,
-			Detector:   detector,
-			Attack:     &wiot.SubstitutionMITM{Donor: donorLive.ECG, ActiveFrom: attackFrom},
-			AttackFrom: attackFrom,
-			Channel:    ch,
-		}, nil
+	var synthOpts []campaign.SynthOption
+	if obsv != nil {
+		// Shadow-run each window on an emulated Amulet for real VM
+		// cycle/SRAM/energy telemetry; host verdicts stay authoritative
+		// so instrumentation never changes the fleet result.
+		synthOpts = append(synthOpts, campaign.WrapDetector(
+			func(slot int, wearerID string, host *sift.Detector, d wiot.Detector) (wiot.Detector, error) {
+				return newShadowDetector(d, host, obsv, wearerID)
+			}))
+	}
+	plan, err := fleetCampaign(opt).Synthesize(synthOpts...)
+	if err != nil {
+		return err
 	}
 
-	if opt.shards > 0 {
-		scfg := shard.Config{
-			Scenarios: opt.subjects,
-			Shards:    opt.shards,
-			Workers:   opt.workers,
-			BaseSeed:  opt.seed,
-			Source:    src,
-			Registry:  wiot.NewStationRegistry(),
-		}
+	if plan.Shard != nil {
+		scfg := plan.Shard
 		if opt.chaos {
 			scfg.Runner = chaosTCPRunner(opt.loss)
 			scfg.AddrFor = func(int) string { return "tcp+chaos" }
@@ -317,7 +314,7 @@ func runFleet(opt fleetOptions) error {
 			obsv.start()
 		}
 		start := time.Now()
-		res, err := shard.Run(context.Background(), scfg)
+		res, err := shard.Run(context.Background(), *scfg)
 		if err != nil {
 			return err
 		}
@@ -333,22 +330,14 @@ func runFleet(opt fleetOptions) error {
 	}
 
 	m := &fleet.Metrics{}
-	cfg := fleet.Config{
-		Scenarios: opt.subjects,
-		Workers:   opt.workers,
-		BaseSeed:  opt.seed,
-		Metrics:   m,
-		Source:    src,
-	}
-	if opt.chaos {
-		cfg.Runner = chaosTCPRunner(opt.loss)
-	}
+	cfg := plan.Fleet
+	cfg.Metrics = m
 	if obsv != nil {
 		cfg.Telemetry = obsv.reg
 		obsv.start()
 	}
 	start := time.Now()
-	res, err := fleet.Run(context.Background(), cfg)
+	res, err := fleet.Run(context.Background(), *cfg)
 	if err != nil {
 		return err
 	}

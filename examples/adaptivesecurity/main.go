@@ -2,20 +2,19 @@
 // between the three SIFT versions as the battery drains, trading
 // detection fidelity for lifetime instead of dying early or being
 // manually re-flashed.
+//
+// The simulation is declared, not constructed: the whole run is the
+// catalog.AdaptiveSecurity campaign declaration, synthesized and
+// executed by internal/campaign. The parity test in internal/campaign
+// pins this path to the imperative construction that used to live here.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"github.com/wiot-security/sift/internal/adaptive"
-	"github.com/wiot-security/sift/internal/amulet/program"
-	"github.com/wiot-security/sift/internal/arp"
-	"github.com/wiot-security/sift/internal/dataset"
-	"github.com/wiot-security/sift/internal/features"
-	"github.com/wiot-security/sift/internal/fixedpoint"
-	"github.com/wiot-security/sift/internal/physio"
-	"github.com/wiot-security/sift/internal/svm"
+	"github.com/wiot-security/sift/internal/campaign/catalog"
 )
 
 func main() {
@@ -25,80 +24,34 @@ func main() {
 }
 
 func run() error {
-	// Measure each version's real per-window cycle cost on the emulated
-	// Amulet (this is the engine's "dynamic constraint" input).
-	rec, err := physio.Generate(physio.DefaultSubject(), 15, physio.DefaultSampleRate, 5)
-	if err != nil {
-		return err
-	}
-	wins, err := dataset.FromRecord(rec, dataset.WindowSec)
-	if err != nil {
-		return err
-	}
-	profiles := make([]adaptive.VersionProfile, 0, 3)
-	fmt.Println("measuring per-version cost on the emulated device:")
-	for _, v := range features.Versions {
-		dev, err := program.NewDeviceDetector(v, nil, unitModel(v.Dim()))
-		if err != nil {
-			return err
-		}
-		for _, w := range wins {
-			if _, err := dev.Classify(w); err != nil {
-				return err
-			}
-		}
-		fmt.Printf("  %-11s %9.0f cycles/window, %4d B FRAM\n",
-			v, dev.AvgCyclesPerWindow(), dev.Program().FootprintBytes())
-		profiles = append(profiles, adaptive.VersionProfile{
-			Version:         v,
-			CyclesPerWindow: dev.AvgCyclesPerWindow(),
-			DetectorFRAM:    dev.Program().FootprintBytes(),
-			NeedsSoftFloat:  v == features.Original,
-			NeedsFixMath:    v != features.Original,
-		})
-	}
+	c := catalog.AdaptiveSecurity
+	fmt.Printf("campaign %s (decl digest %s)\n", c.Name, c.DeclDigest()[:12])
 
-	caps := adaptive.StaticConstraints{HasSoftFloat: true, HasFixMath: true}
-	engine, err := adaptive.NewEngine(profiles, caps, adaptive.HysteresisPolicy{}, arp.DefaultEnergyModel(), dataset.WindowSec)
+	plan, err := c.Synthesize()
 	if err != nil {
 		return err
+	}
+	out, err := plan.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	a := out.Adaptive
+
+	fmt.Println("measuring per-version cost on the emulated device:")
+	for _, p := range a.Profiles {
+		fmt.Printf("  %-11s %9.0f cycles/window, %4d B FRAM\n", p.Version, p.CyclesPerWindow, p.FRAMBytes)
 	}
 
 	fmt.Println("\nsimulating a full battery discharge (one row per ~10% drop):")
 	fmt.Printf("  %-8s %-9s %-12s\n", "day", "battery", "version")
-	lastDecile := 11
-	for {
-		alive, err := engine.Step(adaptive.ResourceState{BatteryFrac: engine.BatteryFrac(), CPUBudget: 1})
-		if err != nil {
-			return err
-		}
-		decile := int(engine.BatteryFrac() * 10)
-		if decile < lastDecile {
-			lastDecile = decile
-			fmt.Printf("  %-8.1f %7.0f%%  %-12s\n",
-				engine.ElapsedHr/24, 100*engine.BatteryFrac(), engine.Current())
-		}
-		if !alive {
-			break
-		}
+	for _, row := range a.Deciles {
+		fmt.Printf("  %-8.1f %7.0f%%  %-12s\n", row.Day, 100*row.BatteryFrac, row.Version)
 	}
-	fmt.Printf("\nbattery exhausted after %.1f days with %d version switches\n",
-		engine.ElapsedHr/24, engine.Switches)
-	for _, v := range features.Versions {
-		fmt.Printf("  %-11s ran %d windows\n", v, engine.Windows[v])
-	}
-	return nil
-}
 
-func unitModel(dim int) *svm.Quantized {
-	q := &svm.Quantized{
-		Weights: make(fixedpoint.Vec, dim),
-		Mean:    make(fixedpoint.Vec, dim),
-		InvStd:  make(fixedpoint.Vec, dim),
+	fmt.Printf("\nbattery exhausted after %.1f days with %d version switches\n", a.ElapsedHr/24, a.Switches)
+	for _, w := range a.Windows {
+		fmt.Printf("  %-11s ran %d windows\n", w.Version, w.Windows)
 	}
-	for i := 0; i < dim; i++ {
-		q.Weights[i] = fixedpoint.One
-		q.InvStd[i] = fixedpoint.One
-	}
-	return q
+	fmt.Printf("\nverdict digest %s\n", out.VerdictDigest()[:16])
+	return nil
 }

@@ -2,18 +2,20 @@
 // confronted with every sensor-hijacking manifestation in the attack
 // package — substitution, replay, flatline, noise injection, and
 // time-shift — to demonstrate the attack-agnostic design claim.
+//
+// The evaluation is declared, not constructed: the whole run is the
+// catalog.AttackGallery campaign declaration, synthesized and executed
+// by internal/campaign. The parity test in internal/campaign pins this
+// path byte-identical to the imperative construction that used to live
+// here.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"github.com/wiot-security/sift/internal/attack"
-	"github.com/wiot-security/sift/internal/dataset"
-	"github.com/wiot-security/sift/internal/features"
-	"github.com/wiot-security/sift/internal/physio"
-	"github.com/wiot-security/sift/internal/sift"
-	"github.com/wiot-security/sift/internal/svm"
+	"github.com/wiot-security/sift/internal/campaign/catalog"
 )
 
 func main() {
@@ -23,71 +25,23 @@ func main() {
 }
 
 func run() error {
-	subjects, err := physio.Cohort(3, 21)
-	if err != nil {
-		return err
-	}
-	gen := func(s physio.Subject, dur float64, seed int64) (*physio.Record, error) {
-		return physio.Generate(s, dur, physio.DefaultSampleRate, seed)
-	}
-	trainRec, err := gen(subjects[0], 300, 1)
-	if err != nil {
-		return err
-	}
-	donA, err := gen(subjects[1], 300, 2)
-	if err != nil {
-		return err
-	}
-	donB, err := gen(subjects[2], 300, 3)
-	if err != nil {
-		return err
-	}
-
+	c := catalog.AttackGallery
+	fmt.Printf("campaign %s (decl digest %s)\n", c.Name, c.DeclDigest()[:12])
 	fmt.Println("training on the substitution attack only...")
-	det, err := sift.TrainForSubject(trainRec, []*physio.Record{donA, donB}, sift.Config{
-		Version: features.Original,
-		SVM:     svm.Config{Seed: 3, MaxIter: 150},
-	})
-	if err != nil {
-		return err
-	}
 
-	live, err := gen(subjects[0], 120, 100)
+	plan, err := c.Synthesize()
 	if err != nil {
 		return err
 	}
-	donorLive, err := gen(subjects[1], 120, 101)
+	out, err := plan.Run(context.Background())
 	if err != nil {
 		return err
 	}
-	wins, err := dataset.FromRecord(live, dataset.WindowSec)
-	if err != nil {
-		return err
-	}
-	donorWins, err := dataset.FromRecord(donorLive, dataset.WindowSec)
-	if err != nil {
-		return err
-	}
+	g := out.Gallery
 
-	// Baseline: false positives on clean windows.
-	clean := 0
-	for _, w := range wins {
-		r, err := det.Classify(w)
-		if err != nil {
-			return err
-		}
-		if !r.Altered {
-			clean++
-		}
-	}
 	fmt.Printf("clean stream: %d/%d windows pass (%.1f%% specificity)\n\n",
-		clean, len(wins), 100*float64(clean)/float64(len(wins)))
+		g.Clean, g.Windows, 100*float64(g.Clean)/float64(g.Windows))
 
-	history := wins[:len(wins)/2]
-	targets := wins[len(wins)/2:]
-	gallery := attack.Gallery(history, donorWins, live.SampleRate, 7)
-
-	fmt.Printf("%-14s %-10s %s\n", "attack", "detected", "note")
 	notes := map[string]string{
 		"substitution": "the trained attack: another person's ECG",
 		"replay":       "wearer's own stale ECG, desynchronized from live ABP",
@@ -95,23 +49,10 @@ func run() error {
 		"noise":        "EMI-style injection corrupting the waveform",
 		"timeshift":    "ECG reported late by ~0.4 s",
 	}
-	for _, a := range gallery {
-		detected, total := 0, 0
-		for _, w := range targets {
-			attacked, err := a.Apply(w)
-			if err != nil {
-				return err
-			}
-			r, err := det.Classify(attacked)
-			if err != nil {
-				return err
-			}
-			total++
-			if r.Altered {
-				detected++
-			}
-		}
-		fmt.Printf("%-14s %3d/%-3d    %s\n", a.Name(), detected, total, notes[a.Name()])
+	fmt.Printf("%-14s %-10s %s\n", "attack", "detected", "note")
+	for _, a := range g.Arms {
+		fmt.Printf("%-14s %3d/%-3d    %s\n", a.Name, a.Detected, a.Total, notes[a.Name])
 	}
+	fmt.Printf("\nverdict digest %s\n", out.VerdictDigest()[:16])
 	return nil
 }

@@ -1,5 +1,5 @@
 // Package analysis is a self-contained, go/analysis-shaped static
-// analysis framework plus the repo's four custom analyzers. The real
+// analysis framework plus the repo's custom analyzers. The real
 // golang.org/x/tools/go/analysis module is deliberately not a
 // dependency — the repo builds offline with a bare toolchain — so this
 // package reimplements the small slice of it the analyzers need: an
@@ -19,7 +19,23 @@
 //   - qmisuse: no raw * or / on two fixedpoint.Q values (the Q16.16
 //     scale squares or cancels; fixedpoint.Mul/Div exist for this).
 //
-// cmd/wiotlint drives all four over the module.
+// On top of those, five campaign analyzers judge the declarative
+// campaign layer (internal/campaign): package-level Campaign struct
+// literals are folded through a constant-propagation evaluator
+// (structeval.go, campdecl.go) and checked before anything runs:
+//
+//   - campreach: attack windows must be reachable — inside the live
+//     span and not fully masked by a declared partition schedule;
+//   - campseed: seeds must be explicit and arm-unique, or runs stop
+//     being reproducible and arms stop being independent;
+//   - campsched: fault schedules must not invert, overlap, or exceed
+//     the run duration;
+//   - campbudget: declared cycle/SRAM budgets must be satisfiable by
+//     vmlint's static bounds for the declared detector version;
+//   - campdigest: declared campaigns must opt into the CI
+//     digest-invariance gate.
+//
+// cmd/wiotlint drives all of them over the module.
 package analysis
 
 import (
@@ -93,6 +109,10 @@ type Package struct {
 	// suppress maps filename -> line -> analyzer names allowed there.
 	suppress map[string]map[int][]string
 	diags    []Diagnostic
+
+	// campDecls caches the package's recovered campaign declarations so
+	// the five campaign analyzers share one extraction per package.
+	campDecls *[]*declCampaign
 }
 
 var allowRe = regexp.MustCompile(`^//wiotlint:allow\s+([A-Za-z0-9_,\s]+)`)
@@ -186,5 +206,14 @@ func SortDiagnostics(ds []Diagnostic) {
 
 // All returns the repo's analyzers in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{OpComplete, DetRand, SpanEnd, QMisuse}
+	return []*Analyzer{
+		OpComplete, DetRand, SpanEnd, QMisuse,
+		CampReach, CampSeed, CampSched, CampBudget, CampDigest,
+	}
+}
+
+// CampaignAnalyzers returns just the campaign-declaration analyzers, in
+// the order wiotlint -campaigns runs them.
+func CampaignAnalyzers() []*Analyzer {
+	return []*Analyzer{CampReach, CampSeed, CampSched, CampBudget, CampDigest}
 }

@@ -28,8 +28,36 @@ func TestDetRandShard(t *testing.T) {
 	analysistest.Run(t, fixture("shard"), analysis.DetRand)
 }
 
+func TestDetRandJIT(t *testing.T) {
+	analysistest.Run(t, fixture("jit"), analysis.DetRand, analysis.SpanEnd)
+}
+
+func TestDetRandCampaign(t *testing.T) {
+	analysistest.Run(t, fixture("campaign"), analysis.DetRand)
+}
+
 func TestSpanEnd(t *testing.T) {
 	analysistest.Run(t, fixture("spans"), analysis.SpanEnd)
+}
+
+func TestCampReach(t *testing.T) {
+	analysistest.Run(t, fixture("campreach"), analysis.CampReach)
+}
+
+func TestCampSeed(t *testing.T) {
+	analysistest.Run(t, fixture("campseed"), analysis.CampSeed)
+}
+
+func TestCampSched(t *testing.T) {
+	analysistest.Run(t, fixture("campsched"), analysis.CampSched)
+}
+
+func TestCampBudget(t *testing.T) {
+	analysistest.Run(t, fixture("campbudget"), analysis.CampBudget)
+}
+
+func TestCampDigest(t *testing.T) {
+	analysistest.Run(t, fixture("campdigest"), analysis.CampDigest)
 }
 
 func TestQMisuse(t *testing.T) {
@@ -40,7 +68,10 @@ func TestQMisuse(t *testing.T) {
 // wants in one fixture must hold when the other analyzers run too (no
 // cross-analyzer false positives on the fixtures).
 func TestAllOverFixtures(t *testing.T) {
-	for _, name := range []string{"opcomplete", "physio", "chaos", "shard", "spans", "qarith"} {
+	for _, name := range []string{
+		"opcomplete", "physio", "chaos", "shard", "spans", "qarith",
+		"jit", "campaign", "campreach", "campseed", "campsched", "campbudget", "campdigest",
+	} {
 		t.Run(name, func(t *testing.T) {
 			analysistest.Run(t, fixture(name), analysis.All()...)
 		})

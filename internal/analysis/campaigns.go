@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/wiot-security/sift/internal/campaign"
+)
+
+// The campaign analyzers judge package-level campaign.Campaign
+// declarations recovered by campdecl.go. Each one proves a property the
+// runtime mirror campaign.Validate would otherwise only catch when the
+// campaign is synthesized — which for a million-wearer soak is hours too
+// late. The split by analyzer matters for suppression: a deliberately
+// digest-exempt campaign gets //wiotlint:allow campdigest without also
+// muting reachability or seed hygiene at the same site.
+
+// CampReach flags attack windows that can never influence a verdict:
+// windows starting at or after the live span ends, empty windows, and
+// windows fully inside a declared link partition (every attacked frame
+// is dropped before the station sees it).
+var CampReach = &Analyzer{
+	Name: "campreach",
+	Doc:  "campaign attack windows must be reachable: inside the live span and not fully masked by a partition schedule",
+	Run:  runCampReach,
+}
+
+// CampSeed enforces seed hygiene on declarations: a BaseSeed must be
+// set (zero means runs are not reproducible), stochastic arms need an
+// explicit Seed, and two arms sharing a Seed are not independent.
+var CampSeed = &Analyzer{
+	Name: "campseed",
+	Doc:  "campaign seeds must be explicit and arm-unique so declared runs reproduce bit-identically",
+	Run:  runCampSeed,
+}
+
+// CampSched checks declared fault schedules: windows must not invert,
+// must fit inside the live span, and same-kind windows must not overlap.
+var CampSched = &Analyzer{
+	Name: "campsched",
+	Doc:  "campaign fault schedules must be well-formed: no inverted, overlapping, or out-of-span windows",
+	Run:  runCampSched,
+}
+
+// CampBudget cross-checks declared resource budgets against vmlint's
+// static bounds for the declared detector version: a budget below the
+// proven worst case is unsatisfiable by construction.
+var CampBudget = &Analyzer{
+	Name: "campbudget",
+	Doc:  "declared cycle/SRAM budgets must be satisfiable by the detector version's vmlint static bounds",
+	Run:  runCampBudget,
+}
+
+// CampDigest demands the determinism digest opt-in: declared campaigns
+// default into the CI digest-invariance gate, and opting out is an
+// explicit, suppressed act.
+var CampDigest = &Analyzer{
+	Name: "campdigest",
+	Doc:  "declared campaigns must opt into the digest-invariance gate (Digest: campaign.DigestRequired)",
+	Run:  runCampDigest,
+}
+
+// window is a resolved [from, to) interval in live-span seconds.
+type window struct{ from, to float64 }
+
+func resolveWindow(from, to, liveSec float64) window {
+	if to == 0 {
+		to = liveSec
+	}
+	return window{from, to}
+}
+
+func runCampReach(pass *Pass) error {
+	for _, d := range campaignDecls(pass) {
+		if !d.known("Cohort.LiveSec") {
+			continue
+		}
+		live := d.C.Cohort.LiveSec
+		if live <= 0 {
+			continue // malformed cohort, not a reachability question
+		}
+		for i, a := range d.C.Attacks {
+			path := fmt.Sprintf("Attacks[%d]", i)
+			if !d.known(path) {
+				continue
+			}
+			w := resolveWindow(a.FromSec, a.ToSec, live)
+			switch {
+			case w.from < 0:
+				pass.Reportf(d.pos(path+".FromSec"), "attack arm %d (%s) starts at negative time %g s", i, a.Kind, w.from)
+			case w.from >= live:
+				pass.Reportf(d.pos(path+".FromSec"), "attack arm %d (%s) starts at %g s but the live span ends at %g s: the window can never fire", i, a.Kind, w.from, live)
+			case w.to <= w.from:
+				pass.Reportf(d.pos(path), "attack arm %d (%s) window [%g,%g)s is empty", i, a.Kind, w.from, w.to)
+			default:
+				if !d.known("Faults") {
+					continue
+				}
+				for j, f := range d.C.Faults {
+					fpath := fmt.Sprintf("Faults[%d]", j)
+					if !d.known(fpath) || f.Kind != campaign.FaultPartition {
+						continue
+					}
+					fw := resolveWindow(f.FromSec, f.ToSec, live)
+					if fw.from <= w.from && w.to <= fw.to {
+						pass.Reportf(d.pos(path), "attack arm %d (%s) window [%g,%g)s lies fully inside partition %d [%g,%g)s: every attacked frame is dropped before the station sees it", i, a.Kind, w.from, w.to, j, fw.from, fw.to)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func runCampSeed(pass *Pass) error {
+	for _, d := range campaignDecls(pass) {
+		if d.known("Cohort.BaseSeed") && d.C.Cohort.BaseSeed == 0 {
+			pass.Reportf(d.pos("Cohort.BaseSeed"), "campaign %q has no Cohort.BaseSeed: runs are not reproducible", d.C.Name)
+		}
+		seen := make(map[int64]int)
+		for i, a := range d.C.Attacks {
+			path := fmt.Sprintf("Attacks[%d]", i)
+			if !d.known(path) {
+				continue
+			}
+			if a.Kind == campaign.AttackNoise && a.Seed == 0 {
+				pass.Reportf(d.pos(path), "attack arm %d (%s) is stochastic but has no explicit Seed", i, a.Kind)
+			}
+			if a.Seed != 0 {
+				if j, dup := seen[a.Seed]; dup {
+					pass.Reportf(d.pos(path+".Seed"), "attack arms %d and %d share Seed %d: the arms are not statistically independent", j, i, a.Seed)
+				}
+				seen[a.Seed] = i
+			}
+		}
+	}
+	return nil
+}
+
+func runCampSched(pass *Pass) error {
+	for _, d := range campaignDecls(pass) {
+		if !d.known("Cohort.LiveSec") {
+			continue
+		}
+		live := d.C.Cohort.LiveSec
+		if live <= 0 {
+			continue
+		}
+		for i, f := range d.C.Faults {
+			path := fmt.Sprintf("Faults[%d]", i)
+			if !d.known(path) {
+				continue
+			}
+			w := resolveWindow(f.FromSec, f.ToSec, live)
+			switch {
+			case w.from < 0:
+				pass.Reportf(d.pos(path+".FromSec"), "fault %d (%s) starts at negative time %g s", i, f.Kind, w.from)
+			case w.to <= w.from:
+				pass.Reportf(d.pos(path), "fault %d (%s) window [%g,%g)s inverts: it can never be active", i, f.Kind, w.from, w.to)
+			case w.from >= live || w.to > live:
+				pass.Reportf(d.pos(path), "fault %d (%s) window [%g,%g)s exceeds the %g s live span", i, f.Kind, w.from, w.to, live)
+			}
+			for j := i + 1; j < len(d.C.Faults); j++ {
+				jpath := fmt.Sprintf("Faults[%d]", j)
+				g := d.C.Faults[j]
+				if !d.known(jpath) || g.Kind != f.Kind {
+					continue
+				}
+				gw := resolveWindow(g.FromSec, g.ToSec, live)
+				if w.from < gw.to && gw.from < w.to {
+					pass.Reportf(d.pos(jpath), "fault windows %d [%g,%g)s and %d [%g,%g)s overlap: the schedule is ambiguous", i, w.from, w.to, j, gw.from, gw.to)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func runCampBudget(pass *Pass) error {
+	for _, d := range campaignDecls(pass) {
+		if !d.known("Budget", "Detector.Version", "Kind") {
+			continue
+		}
+		if d.C.Budget == (campaign.Budget{}) || d.C.Kind == campaign.KindAdaptive {
+			continue
+		}
+		v, err := campaign.ParseVersion(d.C.Detector.Version)
+		if err != nil {
+			continue // version errors are Validate's to report
+		}
+		b, err := campaign.StaticBounds(v)
+		if err != nil {
+			return err
+		}
+		if max := d.C.Budget.MaxCyclesPerWindow; max > 0 && max < b.Cycles {
+			pass.Reportf(d.pos("Budget.MaxCyclesPerWindow"), "declared cycle budget %d/window is below the vmlint static worst case %d for %s: unsatisfiable", max, b.Cycles, d.C.Detector.Version)
+		}
+		if max := d.C.Budget.MaxSRAMBytes; max > 0 && max < b.SRAMBytes {
+			pass.Reportf(d.pos("Budget.MaxSRAMBytes"), "declared SRAM budget %d B is below the vmlint static peak %d B for %s: unsatisfiable", max, b.SRAMBytes, d.C.Detector.Version)
+		}
+	}
+	return nil
+}
+
+func runCampDigest(pass *Pass) error {
+	for _, d := range campaignDecls(pass) {
+		if !d.known("Digest") {
+			continue
+		}
+		if d.C.Digest == campaign.DigestOff {
+			pass.Reportf(d.pos("Digest"), "campaign %q is outside the digest-invariance gate: declare Digest: campaign.DigestRequired or suppress deliberately", d.C.Name)
+		}
+	}
+	return nil
+}

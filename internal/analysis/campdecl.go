@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/wiot-security/sift/internal/campaign"
+)
+
+// This file recovers declared campaigns from a package's syntax: every
+// package-level `var X = campaign.Campaign{...}` (or a Campaign literal
+// nested in a package-level slice) is folded through the struct-literal
+// evaluator into a concrete campaign.Campaign plus a position map, which
+// the campreach/campseed/campsched/campbudget/campdigest analyzers then
+// judge. Function-local Campaign values — flag-built configs, test
+// mutations, `return Campaign{}, err` — are deliberately out of scope:
+// they are dynamic, and campaign.Validate covers them at runtime.
+
+// A declCampaign is one statically recovered campaign declaration.
+type declCampaign struct {
+	// C is the folded declaration. Fields listed in Unknown hold their
+	// zero value here and must not be judged.
+	C campaign.Campaign
+	// Pos anchors the declaration (the composite literal).
+	Pos token.Pos
+	// At maps field paths ("Cohort.LiveSec", "Attacks[1].Seed") to the
+	// position of the expression that set them.
+	At map[string]token.Pos
+	// Unknown holds field paths the evaluator could not fold.
+	Unknown map[string]bool
+}
+
+// pos resolves the best reporting position for a field path: the exact
+// expression, else the nearest enclosing path, else the literal.
+func (d *declCampaign) pos(path string) token.Pos {
+	for p := path; p != ""; {
+		if at, ok := d.At[p]; ok {
+			return at
+		}
+		dot := strings.LastIndexAny(p, ".[")
+		if dot < 0 {
+			break
+		}
+		p = p[:dot]
+	}
+	return d.Pos
+}
+
+// known reports whether every listed field path folded, so a check that
+// depends on them is sound.
+func (d *declCampaign) known(paths ...string) bool {
+	if d.Unknown[""] {
+		return false
+	}
+	for _, p := range paths {
+		if d.Unknown[p] {
+			return false
+		}
+		// A prefix marked unknown poisons everything under it.
+		for u := range d.Unknown {
+			if strings.HasPrefix(p, u+".") || strings.HasPrefix(p, u+"[") {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isCampaignType reports whether t is campaign.Campaign.
+func isCampaignType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Campaign" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/campaign")
+}
+
+// campaignDecls recovers every package-level campaign declaration in the
+// pass's package. Results are cached per package so the five campaign
+// analyzers share one extraction.
+func campaignDecls(pass *Pass) []*declCampaign {
+	if pass.pkg.campDecls != nil {
+		return *pass.pkg.campDecls
+	}
+	ev := newEvaluator(pass)
+	var decls []*declCampaign
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, value := range vs.Values {
+					// A declaration is either the var's own literal or an
+					// element of a package-level slice of campaigns;
+					// identifier references to sibling vars are skipped so
+					// each literal is judged exactly once.
+					ast.Inspect(value, func(n ast.Node) bool {
+						lit, ok := n.(*ast.CompositeLit)
+						if !ok {
+							return true
+						}
+						tv, ok := pass.Info.Types[lit]
+						if !ok || !isCampaignType(tv.Type) {
+							return true
+						}
+						decls = append(decls, foldCampaign(ev, lit))
+						return false
+					})
+				}
+			}
+		}
+	}
+	pass.pkg.campDecls = &decls
+	return decls
+}
+
+// foldCampaign lowers one Campaign composite literal into a declCampaign.
+func foldCampaign(ev *evaluator, lit *ast.CompositeLit) *declCampaign {
+	d := &declCampaign{
+		Pos:     lit.Pos(),
+		At:      make(map[string]token.Pos),
+		Unknown: make(map[string]bool),
+	}
+	v := ev.evalComposite(lit)
+	if v.Unknown {
+		d.Unknown[""] = true
+		return d
+	}
+
+	scalarInt := func(path string, v *evalValue, set func(int64)) {
+		if v == nil {
+			return // omitted: zero value, known
+		}
+		d.At[path] = v.Pos
+		if i, ok := v.Int64(); ok {
+			set(i)
+		} else {
+			d.Unknown[path] = true
+		}
+	}
+	scalarFloat := func(path string, v *evalValue, set func(float64)) {
+		if v == nil {
+			return
+		}
+		d.At[path] = v.Pos
+		if f, ok := v.Float64(); ok {
+			set(f)
+		} else {
+			d.Unknown[path] = true
+		}
+	}
+	scalarString := func(path string, v *evalValue, set func(string)) {
+		if v == nil {
+			return
+		}
+		d.At[path] = v.Pos
+		if s, ok := v.String(); ok {
+			set(s)
+		} else {
+			d.Unknown[path] = true
+		}
+	}
+
+	scalarString("Name", v.Field("Name"), func(s string) { d.C.Name = s })
+	scalarString("Description", v.Field("Description"), func(s string) { d.C.Description = s })
+	scalarInt("Kind", v.Field("Kind"), func(i int64) { d.C.Kind = campaign.Kind(i) })
+	scalarInt("Digest", v.Field("Digest"), func(i int64) { d.C.Digest = campaign.DigestMode(i) })
+
+	if co := v.Field("Cohort"); co != nil {
+		d.At["Cohort"] = co.Pos
+		if co.Fields == nil {
+			d.Unknown["Cohort"] = true
+		} else {
+			scalarInt("Cohort.Subjects", co.Field("Subjects"), func(i int64) { d.C.Cohort.Subjects = int(i) })
+			scalarInt("Cohort.BaseSeed", co.Field("BaseSeed"), func(i int64) { d.C.Cohort.BaseSeed = i })
+			scalarFloat("Cohort.TrainSec", co.Field("TrainSec"), func(f float64) { d.C.Cohort.TrainSec = f })
+			scalarFloat("Cohort.LiveSec", co.Field("LiveSec"), func(f float64) { d.C.Cohort.LiveSec = f })
+		}
+	}
+	if det := v.Field("Detector"); det != nil {
+		d.At["Detector"] = det.Pos
+		if det.Fields == nil {
+			d.Unknown["Detector"] = true
+		} else {
+			scalarString("Detector.Version", det.Field("Version"), func(s string) { d.C.Detector.Version = s })
+			scalarInt("Detector.SVMSeed", det.Field("SVMSeed"), func(i int64) { d.C.Detector.SVMSeed = i })
+			scalarInt("Detector.MaxIter", det.Field("MaxIter"), func(i int64) { d.C.Detector.MaxIter = int(i) })
+		}
+	}
+	if topo := v.Field("Topology"); topo != nil {
+		d.At["Topology"] = topo.Pos
+		if topo.Fields == nil {
+			d.Unknown["Topology"] = true
+		} else {
+			scalarInt("Topology.Kind", topo.Field("Kind"), func(i int64) { d.C.Topology.Kind = campaign.TopologyKind(i) })
+			scalarInt("Topology.Shards", topo.Field("Shards"), func(i int64) { d.C.Topology.Shards = int(i) })
+			scalarInt("Topology.Workers", topo.Field("Workers"), func(i int64) { d.C.Topology.Workers = int(i) })
+			scalarFloat("Topology.Loss", topo.Field("Loss"), func(f float64) { d.C.Topology.Loss = f })
+			scalarFloat("Topology.Dup", topo.Field("Dup"), func(f float64) { d.C.Topology.Dup = f })
+		}
+	}
+	if b := v.Field("Budget"); b != nil {
+		d.At["Budget"] = b.Pos
+		if b.Fields == nil {
+			d.Unknown["Budget"] = true
+		} else {
+			scalarInt("Budget.MaxCyclesPerWindow", b.Field("MaxCyclesPerWindow"), func(i int64) { d.C.Budget.MaxCyclesPerWindow = uint64(i) })
+			scalarInt("Budget.MaxSRAMBytes", b.Field("MaxSRAMBytes"), func(i int64) { d.C.Budget.MaxSRAMBytes = int(i) })
+		}
+	}
+
+	if atk := v.Field("Attacks"); atk != nil {
+		d.At["Attacks"] = atk.Pos
+		if atk.Elems == nil && atk.Fields == nil {
+			d.Unknown["Attacks"] = true
+		}
+		for i, el := range atk.Elems {
+			path := fmt.Sprintf("Attacks[%d]", i)
+			d.At[path] = el.Pos
+			// Append even when the arm is unfoldable so path indices and
+			// slice indices stay aligned.
+			d.C.Attacks = append(d.C.Attacks, campaign.AttackWindow{})
+			if el.Fields == nil {
+				d.Unknown[path] = true
+				continue
+			}
+			aw := &d.C.Attacks[len(d.C.Attacks)-1]
+			scalarInt(path+".Kind", el.Field("Kind"), func(n int64) { aw.Kind = campaign.AttackKind(n) })
+			scalarFloat(path+".FromSec", el.Field("FromSec"), func(f float64) { aw.FromSec = f })
+			scalarFloat(path+".ToSec", el.Field("ToSec"), func(f float64) { aw.ToSec = f })
+			scalarInt(path+".Seed", el.Field("Seed"), func(n int64) { aw.Seed = n })
+			scalarFloat(path+".Magnitude", el.Field("Magnitude"), func(f float64) { aw.Magnitude = f })
+		}
+	}
+	if flt := v.Field("Faults"); flt != nil {
+		d.At["Faults"] = flt.Pos
+		if flt.Elems == nil && flt.Fields == nil {
+			d.Unknown["Faults"] = true
+		}
+		for i, el := range flt.Elems {
+			path := fmt.Sprintf("Faults[%d]", i)
+			d.At[path] = el.Pos
+			d.C.Faults = append(d.C.Faults, campaign.FaultWindow{})
+			if el.Fields == nil {
+				d.Unknown[path] = true
+				continue
+			}
+			fw := &d.C.Faults[len(d.C.Faults)-1]
+			scalarInt(path+".Kind", el.Field("Kind"), func(n int64) { fw.Kind = campaign.FaultKind(n) })
+			scalarFloat(path+".FromSec", el.Field("FromSec"), func(f float64) { fw.FromSec = f })
+			scalarFloat(path+".ToSec", el.Field("ToSec"), func(f float64) { fw.ToSec = f })
+		}
+	}
+	return d
+}

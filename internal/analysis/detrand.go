@@ -33,6 +33,15 @@ var deterministicPackages = map[string]bool{
 	"shard":       true,
 	"experiments": true,
 	"chaos":       true,
+	// The template JIT must emit identical code for identical bytecode
+	// across hosts, or differential testing against the interpreter
+	// stops being reproducible.
+	"jit": true,
+	// Campaign synthesis is the determinism root: a declared campaign's
+	// verdict digest is pinned by CI, so nothing in the lowering may
+	// read the clock or the global random source.
+	"campaign": true,
+	"catalog":  true,
 }
 
 // bannedTime are the wall-clock entry points of package time.

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared constant-propagation evaluator the campaign
+// analyzers build on: it folds a restricted expression language — struct
+// and slice composite literals whose leaves are Go constants, plus
+// references to package-level variables initialized by such literals —
+// into a concrete value tree with source positions. The type checker has
+// already folded every scalar constant (named constants, iota sequences,
+// cross-file and cross-package consts, constant arithmetic) into
+// types.Info, so the evaluator's job is structure: composites, field
+// names, element order, and chasing sibling var initializers.
+//
+// Anything outside the language — a function call, a channel read, a
+// variable with no visible initializer — evaluates to an unknown leaf
+// rather than an error, so analyzers degrade conservatively: they check
+// what folds and stay silent about what does not.
+
+// An evalValue is the folded form of one expression.
+type evalValue struct {
+	// Pos is where the expression appears (the use site, for variable
+	// references).
+	Pos token.Pos
+	// Const holds the folded scalar for constant leaves.
+	Const constant.Value
+	// Fields holds a struct composite's folded fields by name. A field
+	// omitted from the literal is absent from the map (its value is the
+	// type's zero, which callers synthesize as needed).
+	Fields map[string]*evalValue
+	// Elems holds a slice or array composite's folded elements in order.
+	Elems []*evalValue
+	// Unknown marks an expression the evaluator cannot fold.
+	Unknown bool
+	// Why says what defeated folding, for diagnostics and tests.
+	Why string
+}
+
+// unknownValue constructs an unfoldable leaf.
+func unknownValue(pos token.Pos, format string, args ...any) *evalValue {
+	return &evalValue{Pos: pos, Unknown: true, Why: fmt.Sprintf(format, args...)}
+}
+
+// Int64 returns the value as an int64 when it is a foldable integer
+// (or integer-valued float — composite literals spell 0 both ways).
+func (v *evalValue) Int64() (int64, bool) {
+	if v == nil || v.Const == nil {
+		return 0, false
+	}
+	if i, ok := constant.Int64Val(constant.ToInt(v.Const)); ok {
+		return i, true
+	}
+	return 0, false
+}
+
+// Float64 returns the value as a float64 when it is a foldable number.
+func (v *evalValue) Float64() (float64, bool) {
+	if v == nil || v.Const == nil {
+		return 0, false
+	}
+	if f, ok := constant.Float64Val(constant.ToFloat(v.Const)); ok {
+		return f, true
+	}
+	return 0, false
+}
+
+// String returns the value as a string when it is a foldable string.
+func (v *evalValue) String() (string, bool) {
+	if v == nil || v.Const == nil || v.Const.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(v.Const), true
+}
+
+// Field returns the folded struct field, or nil when the field was
+// omitted from the literal or the value is not a struct composite.
+func (v *evalValue) Field(name string) *evalValue {
+	if v == nil || v.Fields == nil {
+		return nil
+	}
+	return v.Fields[name]
+}
+
+// An evaluator folds expressions of one pass's package. It indexes
+// package-level var initializers once so identifier references resolve
+// across the package's files.
+type evaluator struct {
+	info *types.Info
+	// inits maps a package-level variable to its initializer expression.
+	inits map[types.Object]ast.Expr
+	// visiting guards against initializer reference cycles.
+	visiting map[types.Object]bool
+}
+
+// newEvaluator indexes the pass's package-level single-value var
+// declarations (var X = expr, including grouped blocks).
+func newEvaluator(pass *Pass) *evaluator {
+	ev := &evaluator{
+		info:     pass.Info,
+		inits:    make(map[types.Object]ast.Expr),
+		visiting: make(map[types.Object]bool),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i, name := range vs.Names {
+					if obj := ev.info.Defs[name]; obj != nil {
+						ev.inits[obj] = vs.Values[i]
+					}
+				}
+			}
+		}
+	}
+	return ev
+}
+
+// eval folds one expression into a value tree.
+func (ev *evaluator) eval(expr ast.Expr) *evalValue {
+	expr = ast.Unparen(expr)
+
+	// The type checker already folded every constant expression —
+	// named constants, iota members, cross-file and cross-package
+	// consts, untyped arithmetic — into Info.Types.
+	if tv, ok := ev.info.Types[expr]; ok && tv.Value != nil {
+		return &evalValue{Pos: expr.Pos(), Const: tv.Value}
+	}
+
+	switch e := expr.(type) {
+	case *ast.CompositeLit:
+		return ev.evalComposite(e)
+	case *ast.Ident:
+		return ev.evalRef(e, ev.info.Uses[e])
+	case *ast.SelectorExpr:
+		// pkg.Var for a sibling-package variable has no syntax here;
+		// only same-package (dot-free) references resolve. Constants
+		// were already handled above.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := ev.info.Uses[id].(*types.PkgName); isPkg {
+				return unknownValue(e.Pos(), "cross-package variable %s.%s has no visible initializer", id.Name, e.Sel.Name)
+			}
+		}
+		return unknownValue(e.Pos(), "selector %s is not constant", e.Sel.Name)
+	default:
+		return unknownValue(expr.Pos(), "%T is not a constant-foldable declaration expression", expr)
+	}
+}
+
+// evalRef resolves an identifier through a package-level variable's
+// initializer.
+func (ev *evaluator) evalRef(id *ast.Ident, obj types.Object) *evalValue {
+	if obj == nil {
+		return unknownValue(id.Pos(), "unresolved identifier %s", id.Name)
+	}
+	init, ok := ev.inits[obj]
+	if !ok {
+		return unknownValue(id.Pos(), "variable %s has no package-level initializer", id.Name)
+	}
+	if ev.visiting[obj] {
+		return unknownValue(id.Pos(), "initializer cycle through %s", id.Name)
+	}
+	ev.visiting[obj] = true
+	v := ev.eval(init)
+	delete(ev.visiting, obj)
+	// Report at the use site, not where the initializer lives.
+	out := *v
+	out.Pos = id.Pos()
+	return &out
+}
+
+// evalComposite folds a struct, slice, or array literal.
+func (ev *evaluator) evalComposite(lit *ast.CompositeLit) *evalValue {
+	tv, ok := ev.info.Types[lit]
+	if !ok {
+		return unknownValue(lit.Pos(), "untyped composite literal")
+	}
+	switch under := tv.Type.Underlying().(type) {
+	case *types.Struct:
+		fields := make(map[string]*evalValue, len(lit.Elts))
+		for i, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					return unknownValue(elt.Pos(), "non-identifier struct key")
+				}
+				fields[key.Name] = ev.eval(kv.Value)
+				continue
+			}
+			// Positional literal: field order is declaration order.
+			if i >= under.NumFields() {
+				return unknownValue(elt.Pos(), "excess positional element")
+			}
+			fields[under.Field(i).Name()] = ev.eval(elt)
+		}
+		return &evalValue{Pos: lit.Pos(), Fields: fields}
+	case *types.Slice, *types.Array:
+		elems := make([]*evalValue, 0, len(lit.Elts))
+		for _, elt := range lit.Elts {
+			if _, ok := elt.(*ast.KeyValueExpr); ok {
+				return unknownValue(elt.Pos(), "indexed array element defeats order folding")
+			}
+			elems = append(elems, ev.eval(elt))
+		}
+		return &evalValue{Pos: lit.Pos(), Elems: elems}
+	default:
+		return unknownValue(lit.Pos(), "composite of unsupported kind %s", tv.Type)
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+// loadFixturePass loads a testdata fixture and wraps it in a Pass the
+// evaluator can run against.
+func loadFixturePass(t *testing.T, name string) *Pass {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader(root).LoadDir(abs)
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	return &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, pkg: pkg}
+}
+
+// declValue finds the package-level var's initializer expression.
+func declValue(t *testing.T, pass *Pass, name string) ast.Expr {
+	t.Helper()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name == name && i < len(vs.Values) {
+						return vs.Values[i]
+					}
+				}
+			}
+		}
+	}
+	t.Fatalf("no package-level var %s in fixture", name)
+	return nil
+}
+
+func TestStructEval(t *testing.T) {
+	pass := loadFixturePass(t, "structeval")
+	ev := newEvaluator(pass)
+	eval := func(name string) *evalValue { return ev.eval(declValue(t, pass, name)) }
+
+	wantInt := func(v *evalValue, path string, want int64) {
+		t.Helper()
+		if v == nil {
+			t.Errorf("%s: missing", path)
+			return
+		}
+		if got, ok := v.Int64(); !ok || got != want {
+			t.Errorf("%s = %v (ok=%v), want %d", path, got, ok, want)
+		}
+	}
+	wantFloat := func(v *evalValue, path string, want float64) {
+		t.Helper()
+		if got, ok := v.Float64(); v == nil || !ok || got != want {
+			t.Errorf("%s: want %g, got %v", path, want, v)
+		}
+	}
+
+	t.Run("cross-file named constant", func(t *testing.T) {
+		base := eval("Base")
+		wantInt(base.Field("A"), "Base.A", 5)
+		wantFloat(base.Field("B"), "Base.B", 1.5)
+	})
+
+	t.Run("nested composites, iota, const arithmetic", func(t *testing.T) {
+		full := eval("Full")
+		if s, ok := full.Field("Name").String(); !ok || s != "full" {
+			t.Errorf("Full.Name = %q ok=%v", s, ok)
+		}
+		wantInt(full.Field("Inner").Field("A"), "Full.Inner.A", 6) // baseA + 1
+		wantInt(full.Field("Mode"), "Full.Mode", 2)                // ModeAuto via iota
+		list := full.Field("List")
+		if list == nil || len(list.Elems) != 2 {
+			t.Fatalf("Full.List did not fold: %+v", list)
+		}
+		wantInt(list.Elems[0].Field("A"), "Full.List[0].A", 1)
+		if list.Elems[0].Field("B") != nil {
+			t.Error("omitted field B should be absent, not zero-filled")
+		}
+		wantFloat(list.Elems[1].Field("B"), "Full.List[1].B", 0.5) // crossHalf
+	})
+
+	t.Run("sibling variable reference", func(t *testing.T) {
+		via := eval("ViaRef")
+		inner := via.Field("Inner")
+		if inner == nil || inner.Unknown {
+			t.Fatalf("ViaRef.Inner did not resolve through Base: %+v", inner)
+		}
+		wantInt(inner.Field("A"), "ViaRef.Inner.A", 5)
+		wantInt(via.Field("Mode"), "ViaRef.Mode", 1)
+	})
+
+	t.Run("positional fields fold by declaration order", func(t *testing.T) {
+		pos := eval("Positional")
+		wantInt(pos.Field("A"), "Positional.A", 7)
+		wantFloat(pos.Field("B"), "Positional.B", 2.25)
+	})
+
+	t.Run("parenthesized leaf", func(t *testing.T) {
+		wantInt(eval("Paren").Field("A"), "Paren.A", 5)
+	})
+
+	t.Run("function call defeats folding without poisoning siblings", func(t *testing.T) {
+		dyn := eval("Dynamic")
+		name := dyn.Field("Name")
+		if name == nil || !name.Unknown {
+			t.Fatalf("Dynamic.Name should be unknown, got %+v", name)
+		}
+		wantInt(dyn.Field("Mode"), "Dynamic.Mode", 1)
+	})
+
+	t.Run("indexed array element defeats folding", func(t *testing.T) {
+		if v := eval("Keyed"); !v.Unknown {
+			t.Fatalf("Keyed should be unknown, got %+v", v)
+		}
+	})
+}

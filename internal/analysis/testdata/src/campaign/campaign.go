@@ -1,0 +1,40 @@
+// Package campaign is a detrand fixture for the campaign synthesis
+// layer: a declared campaign's verdict digest is pinned by CI, so the
+// lowering from declaration to run config may depend on nothing but the
+// declaration — no wall-clock reads, no process-global randomness.
+package campaign
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badRunStamp names a run after the wall clock, so two synthesized runs
+// of one declaration differ.
+func badRunStamp() string {
+	return time.Now().Format(time.RFC3339) // want "wall-clock state breaks seeded reproducibility"
+}
+
+// badArmShuffle orders attack arms from runtime entropy.
+func badArmShuffle(arms []string) {
+	rand.Shuffle(len(arms), func(i, j int) { // want "process-global random source"
+		arms[i], arms[j] = arms[j], arms[i]
+	})
+}
+
+// goodDerivedSeed derives every per-slot seed arithmetically from the
+// declared base, the sanctioned pattern.
+func goodDerivedSeed(base int64, slot int) int64 {
+	return base + int64(slot)
+}
+
+// goodSeededChannel builds channel faults from an explicit seed.
+func goodSeededChannel(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// allowedTelemetryClock is operator-facing latency telemetry that never
+// feeds simulation state, suppressed at the site.
+func allowedTelemetryClock() time.Time {
+	return time.Now() //wiotlint:allow detrand
+}

@@ -1,0 +1,76 @@
+// Package campbudget is a campbudget fixture: a declared resource
+// budget below vmlint's statically proven floor for the declared
+// detector version can never be met — the longest acyclic bytecode path
+// alone already costs more.
+package campbudget
+
+import "github.com/wiot-security/sift/internal/campaign"
+
+// BadCycles claims the Reduced detector classifies a window in 10
+// cycles; the verifier-proven floor is five orders of magnitude higher.
+var BadCycles = campaign.Campaign{
+	Name:     "bad-cycles",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 41, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6},
+	},
+	Budget: campaign.Budget{MaxCyclesPerWindow: 10}, // want "below the vmlint static worst case"
+	Digest: campaign.DigestRequired,
+}
+
+// BadSRAM claims an 8-byte peak for a detector whose frame alone is
+// bigger.
+var BadSRAM = campaign.Campaign{
+	Name:     "bad-sram",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 42, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Original"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6},
+	},
+	Budget: campaign.Budget{MaxSRAMBytes: 8}, // want "below the vmlint static peak"
+	Digest: campaign.DigestRequired,
+}
+
+// AllowedAspirational keeps an intentionally unsatisfiable budget as a
+// tracking target for a future detector, suppressed at the site.
+var AllowedAspirational = campaign.Campaign{
+	Name:     "allowed-aspirational",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 43, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6},
+	},
+	//wiotlint:allow campbudget
+	Budget: campaign.Budget{MaxSRAMBytes: 64},
+	Digest: campaign.DigestRequired,
+}
+
+// Good declares the device envelope, which every shipped version fits.
+var Good = campaign.Campaign{
+	Name:     "good",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 44, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6},
+	},
+	Budget: campaign.Budget{MaxSRAMBytes: 2048},
+	Digest: campaign.DigestRequired,
+}
+
+// Unbudgeted declares no budget at all, which is fine: the analyzer
+// judges claims, it does not demand them.
+var Unbudgeted = campaign.Campaign{
+	Name:     "unbudgeted",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 45, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6},
+	},
+	Digest: campaign.DigestRequired,
+}

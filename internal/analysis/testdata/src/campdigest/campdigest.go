@@ -1,0 +1,56 @@
+// Package campdigest is a campdigest fixture: declared campaigns
+// default into CI's digest-invariance gate, so leaving Digest at its
+// zero value (off) is a finding unless deliberately suppressed.
+package campdigest
+
+import "github.com/wiot-security/sift/internal/campaign"
+
+// BadOmitted never mentions Digest, silently opting out of the gate.
+var BadOmitted = campaign.Campaign{ // want "outside the digest-invariance gate"
+	Name:     "bad-omitted",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 51, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6},
+	},
+}
+
+// BadExplicitOff opts out explicitly but without suppression — the
+// analyzer still demands the marker so reviewers see the decision.
+var BadExplicitOff = campaign.Campaign{
+	Name:     "bad-explicit-off",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 52, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6},
+	},
+	Digest: campaign.DigestOff, // want "outside the digest-invariance gate"
+}
+
+// AllowedScratch is a scratch campaign kept out of the gate on purpose:
+// the suppression marker is the audit trail.
+var AllowedScratch = campaign.Campaign{
+	Name:     "allowed-scratch",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 53, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6},
+	},
+	//wiotlint:allow campdigest
+	Digest: campaign.DigestOff,
+}
+
+// Good opts in.
+var Good = campaign.Campaign{
+	Name:     "good",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 54, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6},
+	},
+	Digest: campaign.DigestRequired,
+}

@@ -1,0 +1,90 @@
+// Package campreach is a campreach fixture: declared attack windows
+// must be able to fire — inside the live span, non-empty, and not fully
+// swallowed by a declared link partition.
+package campreach
+
+import "github.com/wiot-security/sift/internal/campaign"
+
+// BadLate starts its attack after the live span has already ended.
+var BadLate = campaign.Campaign{
+	Name:     "bad-late",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 9, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 12}, // want "can never fire"
+	},
+	Digest: campaign.DigestRequired,
+}
+
+// BadEmpty declares a window whose end does not exceed its start.
+var BadEmpty = campaign.Campaign{
+	Name:     "bad-empty",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 10, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6, ToSec: 6}, // want "is empty"
+	},
+	Digest: campaign.DigestRequired,
+}
+
+// BadNegative starts before the stream does.
+var BadNegative = campaign.Campaign{
+	Name:     "bad-negative",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 11, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: -1}, // want "negative time"
+	},
+	Digest: campaign.DigestRequired,
+}
+
+// BadMasked attacks only while the partition drops every frame, so the
+// station never sees an attacked sample.
+var BadMasked = campaign.Campaign{
+	Name:     "bad-masked",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 12, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6, ToSec: 8}, // want "fully inside partition"
+	},
+	Faults: []campaign.FaultWindow{
+		{Kind: campaign.FaultPartition, FromSec: 5, ToSec: 9},
+	},
+	Digest: campaign.DigestRequired,
+}
+
+// AllowedLate documents a deliberately unreachable window (a control
+// arm), suppressed at the site.
+var AllowedLate = campaign.Campaign{
+	Name:     "allowed-late",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 13, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		//wiotlint:allow campreach
+		{Kind: campaign.AttackSubstitution, FromSec: 30},
+	},
+	Digest: campaign.DigestRequired,
+}
+
+// liveSpan shows the evaluator following a named constant.
+const liveSpan = 12
+
+// Good is clean: the window overlaps the partition but extends past it.
+var Good = campaign.Campaign{
+	Name:     "good",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 14, TrainSec: 60, LiveSec: liveSpan},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6},
+	},
+	Faults: []campaign.FaultWindow{
+		{Kind: campaign.FaultPartition, FromSec: 5, ToSec: 9},
+	},
+	Digest: campaign.DigestRequired,
+}

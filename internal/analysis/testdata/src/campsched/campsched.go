@@ -1,0 +1,87 @@
+// Package campsched is a campsched fixture: declared fault schedules
+// must be satisfiable — windows that invert, spill past the live span,
+// or overlap a same-kind window describe a schedule the synthesizer
+// cannot honor deterministically.
+package campsched
+
+import "github.com/wiot-security/sift/internal/campaign"
+
+// BadInverted ends before it starts.
+var BadInverted = campaign.Campaign{
+	Name:     "bad-inverted",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 31, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6},
+	},
+	Faults: []campaign.FaultWindow{
+		{Kind: campaign.FaultPartition, FromSec: 8, ToSec: 4}, // want "inverts"
+	},
+	Digest: campaign.DigestRequired,
+}
+
+// BadOverrun partitions past the end of the live span.
+var BadOverrun = campaign.Campaign{
+	Name:     "bad-overrun",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 32, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 1},
+	},
+	Faults: []campaign.FaultWindow{
+		{Kind: campaign.FaultPartition, FromSec: 2, ToSec: 20}, // want "exceeds the 12 s live span"
+	},
+	Digest: campaign.DigestRequired,
+}
+
+// BadOverlap declares two partitions that are live at once.
+var BadOverlap = campaign.Campaign{
+	Name:     "bad-overlap",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 33, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6},
+	},
+	Faults: []campaign.FaultWindow{
+		{Kind: campaign.FaultPartition, FromSec: 1, ToSec: 4},
+		{Kind: campaign.FaultPartition, FromSec: 3, ToSec: 5}, // want "overlap"
+	},
+	Digest: campaign.DigestRequired,
+}
+
+// AllowedOverrun keeps a to-end-of-run partition written with an
+// explicit overshoot, suppressed while the declaration is migrated.
+var AllowedOverrun = campaign.Campaign{
+	Name:     "allowed-overrun",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 34, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 1},
+	},
+	Faults: []campaign.FaultWindow{
+		//wiotlint:allow campsched
+		{Kind: campaign.FaultPartition, FromSec: 2, ToSec: 999},
+	},
+	Digest: campaign.DigestRequired,
+}
+
+// Good schedules two disjoint partitions inside the span (ToSec 0 means
+// "to the end", which is well-formed).
+var Good = campaign.Campaign{
+	Name:     "good",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 35, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 4, ToSec: 10},
+	},
+	Faults: []campaign.FaultWindow{
+		{Kind: campaign.FaultPartition, FromSec: 1, ToSec: 3},
+		{Kind: campaign.FaultPartition, FromSec: 10},
+	},
+	Digest: campaign.DigestRequired,
+}

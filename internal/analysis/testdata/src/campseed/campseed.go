@@ -1,0 +1,74 @@
+// Package campseed is a campseed fixture: declared campaigns must seed
+// everything explicitly — a zero BaseSeed is an unreproducible run, a
+// seedless stochastic arm changes between runs, and two arms sharing a
+// seed are correlated, not independent.
+package campseed
+
+import "github.com/wiot-security/sift/internal/campaign"
+
+// BadNoBase never declares a BaseSeed, so the cohort (and every derived
+// per-slot seed) comes from the zero value.
+var BadNoBase = campaign.Campaign{
+	Name:     "bad-nobase",
+	Kind:     campaign.KindFleet,
+	Cohort:   campaign.Cohort{Subjects: 4, TrainSec: 60, LiveSec: 12}, // want "no Cohort.BaseSeed"
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6},
+	},
+	Digest: campaign.DigestRequired,
+}
+
+// BadSeedless declares a noise arm with no Seed: the injected noise
+// would differ between hosts.
+var BadSeedless = campaign.Campaign{
+	Name:     "bad-seedless",
+	Kind:     campaign.KindGallery,
+	Cohort:   campaign.Cohort{Subjects: 3, BaseSeed: 21, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackNoise, FromSec: 6}, // want "no explicit Seed"
+	},
+	Digest: campaign.DigestRequired,
+}
+
+// BadShared reuses one seed across two arms, so their noise draws are
+// identical rather than independent.
+var BadShared = campaign.Campaign{
+	Name:     "bad-shared",
+	Kind:     campaign.KindGallery,
+	Cohort:   campaign.Cohort{Subjects: 3, BaseSeed: 22, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackNoise, FromSec: 6, Seed: 7},
+		{Kind: campaign.AttackNoise, FromSec: 6, Seed: 7, Magnitude: 2}, // want "share Seed 7"
+	},
+	Digest: campaign.DigestRequired,
+}
+
+// AllowedLegacy keeps a historical unseeded declaration, suppressed
+// deliberately while it is reproduced for an errata run.
+var AllowedLegacy = campaign.Campaign{
+	Name: "allowed-legacy",
+	Kind: campaign.KindFleet,
+	//wiotlint:allow campseed
+	Cohort:   campaign.Cohort{Subjects: 4, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackSubstitution, FromSec: 6},
+	},
+	Digest: campaign.DigestRequired,
+}
+
+// Good seeds the cohort and gives each stochastic arm its own seed.
+var Good = campaign.Campaign{
+	Name:     "good",
+	Kind:     campaign.KindGallery,
+	Cohort:   campaign.Cohort{Subjects: 3, BaseSeed: 23, TrainSec: 60, LiveSec: 12},
+	Detector: campaign.Detector{Version: "Reduced"},
+	Attacks: []campaign.AttackWindow{
+		{Kind: campaign.AttackNoise, FromSec: 6, Seed: 7},
+		{Kind: campaign.AttackNoise, FromSec: 6, Seed: 8, Magnitude: 2},
+	},
+	Digest: campaign.DigestRequired,
+}

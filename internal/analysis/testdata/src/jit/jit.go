@@ -1,0 +1,48 @@
+// Package jit is a detrand + spanend fixture for the template JIT: the
+// compiler must emit identical code for identical bytecode on every
+// host (differential testing against the interpreter depends on it), so
+// compile decisions may not read the clock or the global random source,
+// and its compile-time spans must end like everyone else's.
+package jit
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/wiot-security/sift/internal/obs"
+)
+
+var compileTimer = obs.NewTimer("fixture.jit.compile")
+
+// badCompileStamp embeds a compile timestamp in the emitted header,
+// making two compiles of the same program differ.
+func badCompileStamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock state breaks seeded reproducibility"
+}
+
+// badCodeCacheJitter randomizes cache eviction from runtime entropy.
+func badCodeCacheJitter(n int) int {
+	return rand.Intn(n) // want "process-global random source"
+}
+
+// badCompileSpan starts a compile span and forgets it on the error
+// path.
+func badCompileSpan(ok bool) {
+	sp := compileTimer.Start() // want "started but never ended"
+	if !ok {
+		return
+	}
+	_ = sp.Running()
+}
+
+// goodCompileSpan is the canonical shape.
+func goodCompileSpan() {
+	sp := compileTimer.Start()
+	defer sp.End()
+}
+
+// goodSeededFuzzOrder derives any compile-order shuffle from an
+// explicit seed, which stays reproducible.
+func goodSeededFuzzOrder(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}

@@ -1,0 +1,9 @@
+package structeval
+
+// Declared in a separate file so the evaluator's tests prove cross-file
+// constant resolution (the type checker folds these before the
+// evaluator ever runs).
+const (
+	baseA     = 5
+	crossHalf = 0.5
+)

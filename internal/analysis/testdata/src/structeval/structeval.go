@@ -1,0 +1,57 @@
+// Package structeval is the constant-propagation evaluator's fixture:
+// nested composites, named constants, iota members, cross-file consts,
+// sibling-variable references, and the expressions that must defeat
+// folding.
+package structeval
+
+type Mode int
+
+const (
+	ModeOff Mode = iota
+	ModeOn
+	ModeAuto
+)
+
+type Inner struct {
+	A int
+	B float64
+}
+
+type Outer struct {
+	Name  string
+	Inner Inner
+	List  []Inner
+	Mode  Mode
+}
+
+// Base is referenced by sibling declarations below.
+var Base = Inner{A: baseA, B: 1.5}
+
+// Full exercises nesting, named constants, iota, and constant
+// arithmetic.
+var Full = Outer{
+	Name:  "full",
+	Inner: Inner{A: baseA + 1, B: 2},
+	List: []Inner{
+		{A: 1},
+		{A: 2, B: crossHalf},
+	},
+	Mode: ModeAuto,
+}
+
+// ViaRef reaches Base through an identifier.
+var ViaRef = Outer{Name: "via", Inner: Base, Mode: ModeOn}
+
+// Positional uses unkeyed fields, which fold by declaration order.
+var Positional = Inner{7, 2.25}
+
+// Paren wraps a leaf in parentheses.
+var Paren = Inner{A: (baseA)}
+
+// Dynamic has a leaf no evaluator may fold.
+var Dynamic = Outer{Name: dyn(), Mode: ModeOn}
+
+// Keyed uses an indexed array element, which defeats order folding.
+var Keyed = []Inner{1: {A: 1}}
+
+func dyn() string { return "x" }

@@ -1,0 +1,424 @@
+// Package campaign is the declarative scenario layer: cohorts,
+// topologies, fault schedules, and attack campaigns are plain Go struct
+// literals, and everything the simulator runs is synthesized from them.
+//
+// The paper's evaluation is a matrix of cohorts × attack campaigns ×
+// resource budgets; before this package that matrix lived as imperative
+// construction code scattered across cmd/wiotsim flags, examples/, and
+// test fixtures. A Campaign value is the single source of truth instead:
+//
+//   - Synthesize lowers a declaration into the existing fleet/shard run
+//     configuration deterministically, so a declared campaign and the
+//     imperative code it replaced produce byte-identical verdicts;
+//   - Canonical/Digest give every declaration a stable fingerprint the
+//     CI digest-invariance check pins;
+//   - internal/analysis lints the declarations statically (campreach,
+//     campseed, campsched, campbudget, campdigest), so an unreachable
+//     attack window or an unsatisfiable budget is a lint failure, not a
+//     surprise in hour three of a million-wearer run.
+//
+// Declarations are deliberately restricted to constant-foldable struct
+// literals: no function calls, no wall-clock, no environment. That is
+// what makes them cheap to prove things about.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/wiot-security/sift/internal/features"
+)
+
+// Kind selects which runner a campaign synthesizes into.
+type Kind int
+
+const (
+	// KindFleet streams a cohort through the fleet engine (optionally
+	// sharded or over chaos TCP) with a wire-level MITM attack.
+	KindFleet Kind = iota
+	// KindGallery trains on one attack and confronts the detector with
+	// every declared attack arm at window level — the attack-gallery
+	// evaluation shape.
+	KindGallery
+	// KindAdaptive simulates a full battery discharge with the adaptive
+	// engine switching detector versions as energy drains.
+	KindAdaptive
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindFleet:
+		return "fleet"
+	case KindGallery:
+		return "gallery"
+	case KindAdaptive:
+		return "adaptive"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// TopologyKind selects the transport a fleet campaign runs over.
+type TopologyKind int
+
+const (
+	// TopoInProcess runs scenarios through the in-process simulation
+	// with an application-level lossy channel.
+	TopoInProcess TopologyKind = iota
+	// TopoTCP streams every scenario over real loopback TCP.
+	TopoTCP
+	// TopoChaos routes TCP through the seeded chaos fault injector.
+	TopoChaos
+	// TopoSharded partitions the cohort across stations via the sharded
+	// control plane.
+	TopoSharded
+)
+
+// String implements fmt.Stringer.
+func (t TopologyKind) String() string {
+	switch t {
+	case TopoInProcess:
+		return "inproc"
+	case TopoTCP:
+		return "tcp"
+	case TopoChaos:
+		return "chaos"
+	case TopoSharded:
+		return "sharded"
+	}
+	return fmt.Sprintf("TopologyKind(%d)", int(t))
+}
+
+// AttackKind names one sensor-hijacking manifestation from
+// internal/attack (window-level arms) or the wire-level MITM.
+type AttackKind int
+
+const (
+	// AttackSubstitution replaces the wearer's ECG with a donor's — the
+	// paper's evaluated attack, and the only kind the wire-level MITM
+	// path synthesizes.
+	AttackSubstitution AttackKind = iota
+	// AttackReplay reports the wearer's own stale ECG.
+	AttackReplay
+	// AttackFlatline reports a constant ECG value.
+	AttackFlatline
+	// AttackNoise injects seeded Gaussian noise (EMI-style).
+	AttackNoise
+	// AttackTimeShift delays the reported ECG within the window.
+	AttackTimeShift
+)
+
+// String implements fmt.Stringer.
+func (a AttackKind) String() string {
+	switch a {
+	case AttackSubstitution:
+		return "substitution"
+	case AttackReplay:
+		return "replay"
+	case AttackFlatline:
+		return "flatline"
+	case AttackNoise:
+		return "noise"
+	case AttackTimeShift:
+		return "timeshift"
+	}
+	return fmt.Sprintf("AttackKind(%d)", int(a))
+}
+
+// FaultKind names one declared infrastructure fault.
+type FaultKind int
+
+const (
+	// FaultPartition severs the wireless link for the window: every
+	// frame whose first sample falls inside [FromSec, ToSec) is dropped
+	// before the station sees it.
+	FaultPartition FaultKind = iota
+)
+
+// String implements fmt.Stringer.
+func (f FaultKind) String() string {
+	switch f {
+	case FaultPartition:
+		return "partition"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(f))
+}
+
+// DigestMode declares whether CI's digest-invariance gate covers the
+// campaign. The zero value is off, so opting in is an explicit act the
+// campdigest analyzer can demand.
+type DigestMode int
+
+const (
+	// DigestOff leaves the campaign outside the digest gate.
+	DigestOff DigestMode = iota
+	// DigestRequired pins the campaign's synthesized verdicts: CI fails
+	// if the declarative and imperative paths (or two shard counts)
+	// disagree.
+	DigestRequired
+)
+
+// String implements fmt.Stringer.
+func (d DigestMode) String() string {
+	switch d {
+	case DigestOff:
+		return "off"
+	case DigestRequired:
+		return "required"
+	}
+	return fmt.Sprintf("DigestMode(%d)", int(d))
+}
+
+// Cohort declares who is being simulated and for how long.
+type Cohort struct {
+	// Subjects is the cohort size (wearers). Adaptive campaigns use the
+	// default subject when this is <= 1.
+	Subjects int
+	// BaseSeed roots every derived seed: subject generation, per-slot
+	// scenario seeds (BaseSeed + index), channel faults. A campaign's
+	// outcome is a pure function of its declaration.
+	BaseSeed int64
+	// TrainSec is the training-span length per subject, seconds.
+	TrainSec float64
+	// LiveSec is the live streaming span, seconds — the scenario
+	// duration every attack and fault window is checked against.
+	LiveSec float64
+}
+
+// Detector declares the SIFT detector arm.
+type Detector struct {
+	// Version is the feature version name: Original, Simplified, or
+	// Reduced.
+	Version string
+	// SVMSeed seeds training for gallery campaigns. Fleet campaigns
+	// ignore it: each slot trains with its own derived seed so the
+	// fleet stays worker-count invariant.
+	SVMSeed int64
+	// MaxIter bounds SVM training iterations (0 = the sift default).
+	MaxIter int
+}
+
+// Topology declares the transport and scale-out shape of a fleet
+// campaign.
+type Topology struct {
+	Kind TopologyKind
+	// Shards is the station count for TopoSharded.
+	Shards int
+	// Workers bounds the worker pool (per station when sharded);
+	// <= 0 lets the engine pick.
+	Workers int
+	// Loss is the frame-loss probability in-process, or the corruption
+	// probability on the chaos path (half of it becomes the mid-frame
+	// cut probability, mirroring wiotsim -chaos).
+	Loss float64
+	// Dup is the in-process frame duplication probability.
+	Dup float64
+}
+
+// AttackWindow declares one attack arm: what the adversary does and
+// when, in seconds of the live span. ToSec 0 means "until the end".
+type AttackWindow struct {
+	Kind    AttackKind
+	FromSec float64
+	ToSec   float64
+	// Seed seeds stochastic attacks (noise). Deterministic kinds leave
+	// it zero.
+	Seed int64
+	// Magnitude parameterizes the attack: noise sigma, timeshift delay
+	// in seconds, flatline value. Zero keeps each kind's default.
+	Magnitude float64
+}
+
+// FaultWindow declares one scheduled infrastructure fault.
+type FaultWindow struct {
+	Kind    FaultKind
+	FromSec float64
+	ToSec   float64
+}
+
+// Budget declares the per-window resource envelope the campaign claims
+// its detector fits. The campbudget analyzer cross-checks these against
+// vmlint's static bounds for the declared version, so an unsatisfiable
+// claim dies in lint.
+type Budget struct {
+	// MaxCyclesPerWindow is the declared worst-case VM cycles per
+	// classified window (0 = unconstrained).
+	MaxCyclesPerWindow uint64
+	// MaxSRAMBytes is the declared peak SRAM footprint (0 =
+	// unconstrained; the device envelope is 2048).
+	MaxSRAMBytes int
+}
+
+// Campaign is one declared evaluation: the unit the build CLI lists,
+// the lint pass checks, and Synthesize lowers into a run.
+type Campaign struct {
+	// Name identifies the campaign in the registry, CLI, and findings.
+	Name string
+	// Description is a one-line human summary.
+	Description string
+	Kind        Kind
+	Cohort      Cohort
+	Detector    Detector
+	Topology    Topology
+	Attacks     []AttackWindow
+	Faults      []FaultWindow
+	Budget      Budget
+	Digest      DigestMode
+}
+
+// effectiveTo resolves an attack or fault window's exclusive end against
+// the live span: a zero ToSec means the window runs to the end.
+func effectiveTo(toSec, liveSec float64) float64 {
+	if toSec == 0 {
+		return liveSec
+	}
+	return toSec
+}
+
+// Validate is the runtime mirror of the campaign-lint analyzers: every
+// condition campreach/campseed/campsched/campbudget/campdigest can prove
+// statically is rechecked here on the concrete value, so campaigns built
+// at runtime (e.g. from CLI flags) meet the same bar as declared ones.
+// It returns all violations joined, nil when clean.
+func (c Campaign) Validate() error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	if c.Name == "" {
+		report("campaign has no Name")
+	}
+	if c.Cohort.Subjects <= 0 && c.Kind != KindAdaptive {
+		report("campaign %q: Cohort.Subjects %d must be positive", c.Name, c.Cohort.Subjects)
+	}
+	if c.Cohort.LiveSec <= 0 {
+		report("campaign %q: Cohort.LiveSec %g must be positive", c.Name, c.Cohort.LiveSec)
+	}
+	if c.Kind != KindAdaptive {
+		if c.Cohort.TrainSec <= 0 {
+			report("campaign %q: Cohort.TrainSec %g must be positive", c.Name, c.Cohort.TrainSec)
+		}
+		if _, err := ParseVersion(c.Detector.Version); err != nil {
+			report("campaign %q: %v", c.Name, err)
+		}
+	}
+
+	// campseed: reproducibility needs explicit seeds.
+	if c.Cohort.BaseSeed == 0 {
+		report("campaign %q: Cohort.BaseSeed is unset: runs are not reproducible (campseed)", c.Name)
+	}
+	seen := make(map[int64]int)
+	for i, a := range c.Attacks {
+		if a.Kind == AttackNoise && a.Seed == 0 {
+			report("campaign %q: attack arm %d (%s) needs an explicit Seed (campseed)", c.Name, i, a.Kind)
+		}
+		if a.Seed != 0 {
+			if j, dup := seen[a.Seed]; dup {
+				report("campaign %q: attack arms %d and %d share Seed %d: arms are not independent (campseed)", c.Name, j, i, a.Seed)
+			}
+			seen[a.Seed] = i
+		}
+	}
+
+	// campreach: every attack window must be able to fire.
+	for i, a := range c.Attacks {
+		to := effectiveTo(a.ToSec, c.Cohort.LiveSec)
+		switch {
+		case a.FromSec < 0:
+			report("campaign %q: attack arm %d (%s) starts at negative time %g (campreach)", c.Name, i, a.Kind, a.FromSec)
+		case a.FromSec >= c.Cohort.LiveSec:
+			report("campaign %q: attack arm %d (%s) window [%g,%g)s starts at or after the %g s live span ends: it can never fire (campreach)",
+				c.Name, i, a.Kind, a.FromSec, to, c.Cohort.LiveSec)
+		case to <= a.FromSec:
+			report("campaign %q: attack arm %d (%s) window [%g,%g)s is empty (campreach)", c.Name, i, a.Kind, a.FromSec, to)
+		default:
+			for j, f := range c.Faults {
+				if f.Kind == FaultPartition && f.FromSec <= a.FromSec && to <= effectiveTo(f.ToSec, c.Cohort.LiveSec) {
+					report("campaign %q: attack arm %d (%s) window [%g,%g)s is fully inside partition %d [%g,%g)s: every attacked frame is dropped before the station sees it (campreach)",
+						c.Name, i, a.Kind, a.FromSec, to, j, f.FromSec, f.ToSec)
+				}
+			}
+		}
+	}
+
+	// campsched: fault schedules must be well-formed and satisfiable.
+	for i, f := range c.Faults {
+		to := effectiveTo(f.ToSec, c.Cohort.LiveSec)
+		switch {
+		case f.FromSec < 0:
+			report("campaign %q: fault %d (%s) starts at negative time %g (campsched)", c.Name, i, f.Kind, f.FromSec)
+		case to <= f.FromSec:
+			report("campaign %q: fault %d (%s) window inverts: [%g,%g)s (campsched)", c.Name, i, f.Kind, f.FromSec, to)
+		case f.FromSec >= c.Cohort.LiveSec || to > c.Cohort.LiveSec:
+			report("campaign %q: fault %d (%s) window [%g,%g)s exceeds the %g s live span (campsched)", c.Name, i, f.Kind, f.FromSec, to, c.Cohort.LiveSec)
+		}
+		for j := i + 1; j < len(c.Faults); j++ {
+			g := c.Faults[j]
+			if g.Kind != f.Kind {
+				continue
+			}
+			gTo := effectiveTo(g.ToSec, c.Cohort.LiveSec)
+			if f.FromSec < gTo && g.FromSec < to {
+				report("campaign %q: fault windows %d [%g,%g)s and %d [%g,%g)s overlap (campsched)", c.Name, i, f.FromSec, to, j, g.FromSec, gTo)
+			}
+		}
+	}
+
+	// campbudget: declared budgets must be satisfiable by the declared
+	// detector version's statically proven bounds.
+	if c.Budget != (Budget{}) && c.Kind != KindAdaptive {
+		if v, err := ParseVersion(c.Detector.Version); err == nil {
+			if b, err := StaticBounds(v); err == nil {
+				if c.Budget.MaxCyclesPerWindow > 0 && c.Budget.MaxCyclesPerWindow < b.Cycles {
+					report("campaign %q: declared cycle budget %d/window is below the static worst-case %d for %s: unsatisfiable (campbudget)",
+						c.Name, c.Budget.MaxCyclesPerWindow, b.Cycles, c.Detector.Version)
+				}
+				if c.Budget.MaxSRAMBytes > 0 && c.Budget.MaxSRAMBytes < b.SRAMBytes {
+					report("campaign %q: declared SRAM budget %d B is below the static peak %d B for %s: unsatisfiable (campbudget)",
+						c.Name, c.Budget.MaxSRAMBytes, b.SRAMBytes, c.Detector.Version)
+				}
+			}
+		}
+	}
+
+	// Kind/topology coherence.
+	switch c.Kind {
+	case KindFleet:
+		for i, a := range c.Attacks {
+			if a.Kind != AttackSubstitution {
+				report("campaign %q: fleet attack arm %d: only %s is synthesizable on the wire path (got %s)", c.Name, i, AttackSubstitution, a.Kind)
+			}
+		}
+		if len(c.Attacks) > 1 {
+			report("campaign %q: fleet campaigns take one attack window, got %d", c.Name, len(c.Attacks))
+		}
+		if c.Topology.Kind == TopoSharded && c.Topology.Shards <= 0 {
+			report("campaign %q: sharded topology needs Shards > 0", c.Name)
+		}
+		if c.Topology.Loss < 0 || c.Topology.Loss > 1 || c.Topology.Dup < 0 || c.Topology.Dup > 1 {
+			report("campaign %q: channel probabilities (%g, %g) outside [0,1]", c.Name, c.Topology.Loss, c.Topology.Dup)
+		}
+	case KindGallery, KindAdaptive:
+		if c.Topology != (Topology{}) {
+			report("campaign %q: %s campaigns run in-process: leave Topology zero", c.Name, c.Kind)
+		}
+	default:
+		report("campaign %q: unknown Kind %d", c.Name, int(c.Kind))
+	}
+	if c.Kind == KindGallery && len(c.Attacks) == 0 {
+		report("campaign %q: gallery campaigns need at least one attack arm", c.Name)
+	}
+
+	return errors.Join(errs...)
+}
+
+// ParseVersion resolves a declared detector version name.
+func ParseVersion(name string) (features.Version, error) {
+	for _, v := range features.Versions {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("campaign: unknown detector version %q (want Original, Simplified, or Reduced)", name)
+}

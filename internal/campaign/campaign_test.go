@@ -1,0 +1,194 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+// validFleet returns a minimal well-formed fleet campaign tests mutate.
+func validFleet() Campaign {
+	return Campaign{
+		Name:     "t",
+		Kind:     KindFleet,
+		Cohort:   Cohort{Subjects: 4, BaseSeed: 9, TrainSec: 60, LiveSec: 12},
+		Detector: Detector{Version: "Reduced"},
+		Topology: Topology{Kind: TopoInProcess, Workers: 2, Loss: 0.02, Dup: 0.01},
+		Attacks:  []AttackWindow{{Kind: AttackSubstitution, FromSec: 6}},
+		Digest:   DigestRequired,
+	}
+}
+
+func TestValidateClean(t *testing.T) {
+	if err := validFleet().Validate(); err != nil {
+		t.Fatalf("valid campaign rejected: %v", err)
+	}
+}
+
+func TestValidateFindings(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Campaign)
+		want string // substring of the joined error
+	}{
+		{"no name", func(c *Campaign) { c.Name = "" }, "no Name"},
+		{"no seed", func(c *Campaign) { c.Cohort.BaseSeed = 0 }, "campseed"},
+		{"bad version", func(c *Campaign) { c.Detector.Version = "Turbo" }, "unknown detector version"},
+		{"unreachable attack", func(c *Campaign) { c.Attacks[0].FromSec = 12 }, "can never fire (campreach)"},
+		{"negative attack", func(c *Campaign) { c.Attacks[0].FromSec = -1 }, "negative time"},
+		{"empty attack window", func(c *Campaign) { c.Attacks[0].ToSec = 6; c.Attacks[0].FromSec = 6 }, "campreach"},
+		{"masked attack", func(c *Campaign) {
+			c.Faults = []FaultWindow{{Kind: FaultPartition, FromSec: 5, ToSec: 0}}
+		}, "fully inside partition"},
+		{"inverted fault", func(c *Campaign) {
+			c.Faults = []FaultWindow{{Kind: FaultPartition, FromSec: 8, ToSec: 4}}
+		}, "inverts"},
+		{"fault past end", func(c *Campaign) {
+			c.Faults = []FaultWindow{{Kind: FaultPartition, FromSec: 2, ToSec: 20}}
+		}, "exceeds"},
+		{"overlapping faults", func(c *Campaign) {
+			c.Faults = []FaultWindow{
+				{Kind: FaultPartition, FromSec: 1, ToSec: 4},
+				{Kind: FaultPartition, FromSec: 3, ToSec: 5},
+			}
+		}, "overlap"},
+		{"noise needs seed", func(c *Campaign) {
+			c.Kind = KindGallery
+			c.Topology = Topology{}
+			c.Attacks = []AttackWindow{{Kind: AttackNoise, FromSec: 6}}
+		}, "needs an explicit Seed"},
+		{"duplicate arm seeds", func(c *Campaign) {
+			c.Kind = KindGallery
+			c.Topology = Topology{}
+			c.Attacks = []AttackWindow{
+				{Kind: AttackNoise, FromSec: 6, Seed: 3},
+				{Kind: AttackNoise, FromSec: 6, Seed: 3},
+			}
+		}, "share Seed"},
+		{"fleet non-substitution", func(c *Campaign) { c.Attacks[0].Kind = AttackFlatline }, "only substitution"},
+		{"sharded needs shards", func(c *Campaign) { c.Topology.Kind = TopoSharded }, "Shards > 0"},
+		{"cycle budget unsatisfiable", func(c *Campaign) { c.Budget.MaxCyclesPerWindow = 10 }, "campbudget"},
+		{"sram budget unsatisfiable", func(c *Campaign) { c.Budget.MaxSRAMBytes = 8 }, "campbudget"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := validFleet()
+			tc.mut(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatalf("mutation %q passed validation", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBudgetSatisfiable pins that a generous budget passes: the 2 KB
+// device envelope must be enough for every shipped version.
+func TestBudgetSatisfiable(t *testing.T) {
+	c := validFleet()
+	c.Budget = Budget{MaxSRAMBytes: 2048}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("2 KB SRAM budget rejected: %v", err)
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	cases := []Campaign{
+		validFleet(),
+		{
+			Name: "gallery", Description: "arms", Kind: KindGallery,
+			Cohort:   Cohort{Subjects: 3, BaseSeed: 21, TrainSec: 300, LiveSec: 120},
+			Detector: Detector{Version: "Original", SVMSeed: 3, MaxIter: 150},
+			Attacks: []AttackWindow{
+				{Kind: AttackNoise, FromSec: 60, Seed: 7, Magnitude: 0.5},
+				{Kind: AttackTimeShift, FromSec: 60, Magnitude: 0.4},
+			},
+			Budget: Budget{MaxCyclesPerWindow: 3_000_000, MaxSRAMBytes: 2048},
+			Digest: DigestRequired,
+		},
+		{
+			Name: "faulty", Kind: KindFleet,
+			Cohort:   Cohort{Subjects: 6, BaseSeed: 11, TrainSec: 120, LiveSec: 60},
+			Detector: Detector{Version: "Simplified"},
+			Topology: Topology{Kind: TopoChaos, Workers: 4, Loss: 0.05},
+			Attacks:  []AttackWindow{{Kind: AttackSubstitution, FromSec: 30}},
+			Faults: []FaultWindow{
+				{Kind: FaultPartition, FromSec: 6, ToSec: 12},
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.Name, func(t *testing.T) {
+			text := c.Canonical()
+			back, err := ParseCanonical(text)
+			if err != nil {
+				t.Fatalf("ParseCanonical: %v", err)
+			}
+			if back.Canonical() != text {
+				t.Fatalf("round trip drifted:\n%s\nvs\n%s", back.Canonical(), text)
+			}
+			if back.DeclDigest() != c.DeclDigest() {
+				t.Fatal("round trip changed the declaration digest")
+			}
+		})
+	}
+}
+
+func TestCanonicalRejectsGarbage(t *testing.T) {
+	for _, text := range []string{
+		"",
+		"nope",
+		"campaign/1\nname", // not key=value
+		"campaign/1\nname=a\nname=b\nkind=fleet\n",
+		"campaign/1\nname=a\nkind=warp\n",
+	} {
+		if _, err := ParseCanonical(text); err == nil {
+			t.Errorf("ParseCanonical(%q) accepted garbage", text)
+		}
+	}
+}
+
+// TestDeclDigestSensitivity pins that the digest is stable across
+// re-rendering and moves when any declaration field moves.
+func TestDeclDigestSensitivity(t *testing.T) {
+	base := validFleet()
+	if base.DeclDigest() != base.DeclDigest() {
+		t.Fatal("digest is not stable")
+	}
+	mutants := []func(*Campaign){
+		func(c *Campaign) { c.Cohort.BaseSeed++ },
+		func(c *Campaign) { c.Cohort.LiveSec += 0.5 },
+		func(c *Campaign) { c.Attacks[0].FromSec++ },
+		func(c *Campaign) { c.Topology.Loss = 0.03 },
+		func(c *Campaign) { c.Detector.Version = "Original" },
+		func(c *Campaign) { c.Digest = DigestOff },
+	}
+	for i, mut := range mutants {
+		c := validFleet()
+		mut(&c)
+		if c.DeclDigest() == base.DeclDigest() {
+			t.Errorf("mutant %d left the digest unchanged", i)
+		}
+	}
+}
+
+func TestStaticBounds(t *testing.T) {
+	for _, name := range []string{"Original", "Simplified", "Reduced"} {
+		v, err := ParseVersion(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := StaticBounds(v)
+		if err != nil {
+			t.Fatalf("StaticBounds(%s): %v", name, err)
+		}
+		if b.Cycles == 0 || b.SRAMBytes == 0 {
+			t.Fatalf("StaticBounds(%s) degenerate: %+v", name, b)
+		}
+		if b.SRAMBytes > 2048 {
+			t.Fatalf("StaticBounds(%s) breaks the 2 KB envelope: %d B", name, b.SRAMBytes)
+		}
+	}
+}

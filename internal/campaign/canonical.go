@@ -1,0 +1,184 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Canonical renders the campaign as a stable, line-oriented key=value
+// text: one field per line, fixed order, shortest float form. Two
+// campaigns render identically iff they are equal, so the canonical form
+// is what Digest fingerprints and what ParseCanonical round-trips.
+func (c Campaign) Canonical() string {
+	var sb strings.Builder
+	put := func(key, val string) { fmt.Fprintf(&sb, "%s=%s\n", key, val) }
+	putF := func(key string, v float64) { put(key, strconv.FormatFloat(v, 'g', -1, 64)) }
+	putI := func(key string, v int64) { put(key, strconv.FormatInt(v, 10)) }
+
+	sb.WriteString("campaign/1\n")
+	put("name", c.Name)
+	put("description", c.Description)
+	put("kind", c.Kind.String())
+	putI("cohort.subjects", int64(c.Cohort.Subjects))
+	putI("cohort.baseseed", c.Cohort.BaseSeed)
+	putF("cohort.trainsec", c.Cohort.TrainSec)
+	putF("cohort.livesec", c.Cohort.LiveSec)
+	put("detector.version", c.Detector.Version)
+	putI("detector.svmseed", c.Detector.SVMSeed)
+	putI("detector.maxiter", int64(c.Detector.MaxIter))
+	put("topology.kind", c.Topology.Kind.String())
+	putI("topology.shards", int64(c.Topology.Shards))
+	putI("topology.workers", int64(c.Topology.Workers))
+	putF("topology.loss", c.Topology.Loss)
+	putF("topology.dup", c.Topology.Dup)
+	for i, a := range c.Attacks {
+		p := fmt.Sprintf("attack[%d].", i)
+		put(p+"kind", a.Kind.String())
+		putF(p+"fromsec", a.FromSec)
+		putF(p+"tosec", a.ToSec)
+		putI(p+"seed", a.Seed)
+		putF(p+"magnitude", a.Magnitude)
+	}
+	for i, f := range c.Faults {
+		p := fmt.Sprintf("fault[%d].", i)
+		put(p+"kind", f.Kind.String())
+		putF(p+"fromsec", f.FromSec)
+		putF(p+"tosec", f.ToSec)
+	}
+	putI("budget.maxcycles", int64(c.Budget.MaxCyclesPerWindow))
+	putI("budget.maxsram", int64(c.Budget.MaxSRAMBytes))
+	put("digest", c.Digest.String())
+	return sb.String()
+}
+
+// DeclDigest is the campaign's stable fingerprint: hex SHA-256 of its
+// canonical form. Any declaration edit changes it; re-rendering does not.
+func (c Campaign) DeclDigest() string {
+	sum := sha256.Sum256([]byte(c.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// kindNames / topoNames / attackNames / faultNames / digestNames invert
+// the String forms for ParseCanonical.
+var (
+	kindNames   = map[string]Kind{"fleet": KindFleet, "gallery": KindGallery, "adaptive": KindAdaptive}
+	topoNames   = map[string]TopologyKind{"inproc": TopoInProcess, "tcp": TopoTCP, "chaos": TopoChaos, "sharded": TopoSharded}
+	attackNames = map[string]AttackKind{"substitution": AttackSubstitution, "replay": AttackReplay, "flatline": AttackFlatline, "noise": AttackNoise, "timeshift": AttackTimeShift}
+	faultNames  = map[string]FaultKind{"partition": FaultPartition}
+	digestNames = map[string]DigestMode{"off": DigestOff, "required": DigestRequired}
+)
+
+// ParseCanonical parses the canonical text form back into a Campaign:
+// ParseCanonical(c.Canonical()) == c for every valid campaign, which is
+// the round-trip property the tests pin.
+func ParseCanonical(text string) (Campaign, error) {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 || lines[0] != "campaign/1" {
+		return Campaign{}, fmt.Errorf("campaign: canonical text missing campaign/1 header")
+	}
+	fields := make(map[string]string, len(lines))
+	for _, line := range lines[1:] {
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return Campaign{}, fmt.Errorf("campaign: canonical line %q is not key=value", line)
+		}
+		if _, dup := fields[key]; dup {
+			return Campaign{}, fmt.Errorf("campaign: duplicate canonical key %q", key)
+		}
+		fields[key] = val
+	}
+
+	var c Campaign
+	var firstErr error
+	get := func(key string) string { return fields[key] }
+	getI := func(key string) int64 {
+		v, err := strconv.ParseInt(fields[key], 10, 64)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("campaign: canonical key %s: %v", key, err)
+		}
+		return v
+	}
+	getF := func(key string) float64 {
+		v, err := strconv.ParseFloat(fields[key], 64)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("campaign: canonical key %s: %v", key, err)
+		}
+		return v
+	}
+
+	c.Name = get("name")
+	c.Description = get("description")
+	var ok bool
+	if c.Kind, ok = kindNames[get("kind")]; !ok {
+		return Campaign{}, fmt.Errorf("campaign: unknown kind %q", get("kind"))
+	}
+	c.Cohort = Cohort{
+		Subjects: int(getI("cohort.subjects")),
+		BaseSeed: getI("cohort.baseseed"),
+		TrainSec: getF("cohort.trainsec"),
+		LiveSec:  getF("cohort.livesec"),
+	}
+	c.Detector = Detector{
+		Version: get("detector.version"),
+		SVMSeed: getI("detector.svmseed"),
+		MaxIter: int(getI("detector.maxiter")),
+	}
+	if c.Topology.Kind, ok = topoNames[get("topology.kind")]; !ok {
+		return Campaign{}, fmt.Errorf("campaign: unknown topology kind %q", get("topology.kind"))
+	}
+	c.Topology.Shards = int(getI("topology.shards"))
+	c.Topology.Workers = int(getI("topology.workers"))
+	c.Topology.Loss = getF("topology.loss")
+	c.Topology.Dup = getF("topology.dup")
+
+	// Attack and fault arms are indexed keys; counting kind keys in
+	// order recovers the slices.
+	for i := 0; ; i++ {
+		p := fmt.Sprintf("attack[%d].", i)
+		name, present := fields[p+"kind"]
+		if !present {
+			break
+		}
+		kind, ok := attackNames[name]
+		if !ok {
+			return Campaign{}, fmt.Errorf("campaign: unknown attack kind %q", name)
+		}
+		c.Attacks = append(c.Attacks, AttackWindow{
+			Kind:      kind,
+			FromSec:   getF(p + "fromsec"),
+			ToSec:     getF(p + "tosec"),
+			Seed:      getI(p + "seed"),
+			Magnitude: getF(p + "magnitude"),
+		})
+	}
+	for i := 0; ; i++ {
+		p := fmt.Sprintf("fault[%d].", i)
+		name, present := fields[p+"kind"]
+		if !present {
+			break
+		}
+		kind, ok := faultNames[name]
+		if !ok {
+			return Campaign{}, fmt.Errorf("campaign: unknown fault kind %q", name)
+		}
+		c.Faults = append(c.Faults, FaultWindow{
+			Kind:    kind,
+			FromSec: getF(p + "fromsec"),
+			ToSec:   getF(p + "tosec"),
+		})
+	}
+	c.Budget = Budget{
+		MaxCyclesPerWindow: uint64(getI("budget.maxcycles")),
+		MaxSRAMBytes:       int(getI("budget.maxsram")),
+	}
+	if c.Digest, ok = digestNames[get("digest")]; !ok {
+		return Campaign{}, fmt.Errorf("campaign: unknown digest mode %q", get("digest"))
+	}
+	if firstErr != nil {
+		return Campaign{}, firstErr
+	}
+	return c, nil
+}

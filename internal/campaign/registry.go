@@ -1,0 +1,59 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps campaign names to declarations so the build CLI can
+// list, lint, and synthesize them. Registration happens from package
+// init of declaration catalogs (internal/campaign/catalog registers the
+// repo's standard set).
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Campaign)
+)
+
+// Register adds a declared campaign to the registry. Duplicate names
+// panic: two declarations fighting over a name is a programming error a
+// test catches immediately.
+func Register(c Campaign) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if c.Name == "" {
+		panic("campaign: Register needs a Name")
+	}
+	if _, dup := registry[c.Name]; dup {
+		panic(fmt.Sprintf("campaign: duplicate registration of %q", c.Name))
+	}
+	registry[c.Name] = c
+}
+
+// All returns every registered campaign sorted by name.
+func All() []Campaign {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Campaign, 0, len(registry))
+	for _, c := range registry {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup resolves a registered campaign by name.
+func Lookup(name string) (Campaign, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := registry[name]
+	if !ok {
+		names := make([]string, 0, len(registry))
+		for n := range registry {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return Campaign{}, fmt.Errorf("campaign: unknown campaign %q (registered: %v)", name, names)
+	}
+	return c, nil
+}

@@ -1,0 +1,350 @@
+package campaign
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"github.com/wiot-security/sift/internal/dataset"
+	"github.com/wiot-security/sift/internal/fleet"
+	"github.com/wiot-security/sift/internal/fleet/shard"
+	"github.com/wiot-security/sift/internal/physio"
+	"github.com/wiot-security/sift/internal/sift"
+	"github.com/wiot-security/sift/internal/svm"
+	"github.com/wiot-security/sift/internal/wiot"
+	"github.com/wiot-security/sift/internal/wiot/chaos"
+)
+
+// DetectorWrapper lets a caller interpose on the synthesized per-slot
+// detector — cmd/wiotsim uses it to attach the telemetry shadow device —
+// without the campaign layer knowing about observability. Wrapping must
+// not change verdicts: the campaign digest is computed from the host
+// detector's output either way.
+type DetectorWrapper func(slot int, wearerID string, host *sift.Detector, d wiot.Detector) (wiot.Detector, error)
+
+// SynthOption customizes synthesis without entering the declaration (and
+// therefore without changing the campaign's digest).
+type SynthOption func(*synthOpts)
+
+type synthOpts struct {
+	wrap DetectorWrapper
+}
+
+// WrapDetector interposes fn on every synthesized slot detector.
+func WrapDetector(fn DetectorWrapper) SynthOption {
+	return func(o *synthOpts) { o.wrap = fn }
+}
+
+// Plan is a lowered campaign: the concrete run configuration synthesis
+// produced. Exactly one of the payload fields is set, matching the
+// campaign's Kind (fleet campaigns fill Fleet, or Shard when the
+// topology is sharded).
+type Plan struct {
+	Campaign Campaign
+	Fleet    *fleet.Config
+	Shard    *shard.Config
+
+	gallery  bool
+	adaptive bool
+}
+
+// Synthesize validates the declaration and lowers it into a Plan. The
+// lowering is deterministic: the same declaration always yields a run
+// with identical verdicts, which is what lets the migrated examples pin
+// byte-identity against their legacy imperative paths.
+func (c Campaign) Synthesize(opts ...SynthOption) (*Plan, error) {
+	var so synthOpts
+	for _, opt := range opts {
+		opt(&so)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("campaign %q fails validation: %w", c.Name, err)
+	}
+	switch c.Kind {
+	case KindGallery:
+		return &Plan{Campaign: c, gallery: true}, nil
+	case KindAdaptive:
+		return &Plan{Campaign: c, adaptive: true}, nil
+	}
+
+	src, err := c.fleetSource(so.wrap)
+	if err != nil {
+		return nil, err
+	}
+	runner := c.runner()
+	if c.Topology.Kind == TopoSharded {
+		return &Plan{Campaign: c, Shard: &shard.Config{
+			Scenarios: c.Cohort.Subjects,
+			Shards:    c.Topology.Shards,
+			Workers:   c.Topology.Workers,
+			BaseSeed:  c.Cohort.BaseSeed,
+			Source:    src,
+			Runner:    runner,
+			Registry:  wiot.NewStationRegistry(),
+		}}, nil
+	}
+	return &Plan{Campaign: c, Fleet: &fleet.Config{
+		Scenarios: c.Cohort.Subjects,
+		Workers:   c.Topology.Workers,
+		BaseSeed:  c.Cohort.BaseSeed,
+		Source:    src,
+		Runner:    runner,
+	}}, nil
+}
+
+// runner picks the slot executor for the declared topology: nil keeps
+// the in-process simulation, TCP and chaos dial every scenario out over
+// loopback TCP (chaos adds the seeded fault injector, with -loss
+// semantics identical to wiotsim: Loss is the corruption probability and
+// half of it the mid-frame cut probability).
+func (c Campaign) runner() fleet.Runner {
+	switch c.Topology.Kind {
+	case TopoTCP:
+		return func(ctx context.Context, slot fleet.Slot, sc wiot.Scenario) (wiot.ScenarioResult, error) {
+			return wiot.RunScenarioOverTCP(ctx, sc, wiot.NetConfig{Seed: slot.Seed})
+		}
+	case TopoChaos:
+		loss := c.Topology.Loss
+		return func(ctx context.Context, slot fleet.Slot, sc wiot.Scenario) (wiot.ScenarioResult, error) {
+			return wiot.RunScenarioOverTCP(ctx, sc, wiot.NetConfig{
+				Seed: slot.Seed,
+				WrapListener: chaos.WrapListener(chaos.Config{
+					Seed:        slot.Seed,
+					CorruptProb: loss,
+					CutProb:     loss / 2,
+				}),
+			})
+		}
+	}
+	return nil
+}
+
+// fleetSource builds the per-slot scenario source. The construction is
+// byte-for-byte the imperative recipe cmd/wiotsim's fleet mode used
+// before the declarative migration — wearer = subjects[index%n], donors
+// are the two cohort neighbours, generation seeds are slot seed + fixed
+// offsets — so declared campaigns reproduce legacy runs exactly.
+func (c Campaign) fleetSource(wrap DetectorWrapper) (fleet.Source, error) {
+	version, err := ParseVersion(c.Detector.Version)
+	if err != nil {
+		return nil, err
+	}
+	subjects, err := physio.Cohort(c.Cohort.Subjects, c.Cohort.BaseSeed)
+	if err != nil {
+		return nil, err
+	}
+	if c.Cohort.Subjects < 2 {
+		return nil, fmt.Errorf("campaign %q: fleet cohorts need at least 2 subjects (each wearer's MITM borrows a cohort neighbour's ECG)", c.Name)
+	}
+	var attackArm *AttackWindow
+	if len(c.Attacks) == 1 {
+		attackArm = &c.Attacks[0]
+	}
+	maxIter := c.Detector.MaxIter
+	if maxIter == 0 {
+		maxIter = 150
+	}
+
+	return func(index int, seed int64) (wiot.Scenario, error) {
+		wearer := subjects[index%len(subjects)]
+		gen := func(s physio.Subject, dur float64, offset int64) (*physio.Record, error) {
+			return physio.Generate(s, dur, physio.DefaultSampleRate, seed+offset)
+		}
+		trainRec, err := gen(wearer, c.Cohort.TrainSec, 1)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		donorA, err := gen(subjects[(index+1)%len(subjects)], c.Cohort.TrainSec, 2)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		donorB, err := gen(subjects[(index+2)%len(subjects)], c.Cohort.TrainSec, 3)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		det, err := sift.TrainForSubject(trainRec, []*physio.Record{donorA, donorB}, sift.Config{
+			Version: version,
+			SVM:     svm.Config{Seed: seed, MaxIter: maxIter},
+		})
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		live, err := gen(wearer, c.Cohort.LiveSec, 100)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+		donorLive, err := gen(subjects[(index+1)%len(subjects)], c.Cohort.LiveSec, 101)
+		if err != nil {
+			return wiot.Scenario{}, err
+		}
+
+		// In-process topologies (sharded stations included) damage
+		// frames in an application-level lossy channel; TCP topologies
+		// keep the scenario clean and let the wire (or the chaos
+		// injector) do the damage.
+		var ch wiot.ChannelEffect = wiot.Reliable{}
+		if c.Topology.Kind == TopoInProcess || c.Topology.Kind == TopoSharded {
+			ch, err = wiot.NewLossy(c.Topology.Loss, c.Topology.Dup, seed)
+			if err != nil {
+				return wiot.Scenario{}, err
+			}
+		}
+		if len(c.Faults) > 0 {
+			ch = newPartitionChannel(ch, c.Faults, c.Cohort.LiveSec, live.SampleRate)
+		}
+
+		sc := wiot.Scenario{
+			Record:   live,
+			Detector: hostDetector{det},
+			Channel:  ch,
+		}
+		if attackArm != nil {
+			from := int(attackArm.FromSec * live.SampleRate)
+			sc.Attack = &wiot.SubstitutionMITM{Donor: donorLive.ECG, ActiveFrom: from}
+			sc.AttackFrom = from
+			if attackArm.ToSec > 0 {
+				to := int(attackArm.ToSec * live.SampleRate)
+				sc.AttackTo = to
+				sc.Attack.(*wiot.SubstitutionMITM).ActiveTo = to
+			}
+		}
+		if wrap != nil {
+			sc.Detector, err = wrap(index, wearer.ID, det, sc.Detector)
+			if err != nil {
+				return wiot.Scenario{}, err
+			}
+		}
+		return sc, nil
+	}, nil
+}
+
+// hostDetector adapts the trained SIFT detector to the station's
+// boolean-verdict interface (identical to the adapter wiotsim used).
+type hostDetector struct{ d *sift.Detector }
+
+// Classify implements wiot.Detector.
+func (h hostDetector) Classify(w dataset.Window) (bool, error) {
+	r, err := h.d.Classify(w)
+	if err != nil {
+		return false, err
+	}
+	return r.Altered, nil
+}
+
+// partitionChannel drops every frame whose first sample falls inside a
+// declared partition window, modeling a scheduled link sever. It wraps
+// the topology's own channel effect, and is deterministic by
+// construction: which frames die is a pure function of the schedule.
+type partitionChannel struct {
+	inner wiot.ChannelEffect
+	// windows are [from, to) bounds in samples.
+	windows [][2]int
+	chunk   int
+}
+
+// newPartitionChannel compiles the fault schedule into sample ranges.
+func newPartitionChannel(inner wiot.ChannelEffect, faults []FaultWindow, liveSec, sampleRate float64) *partitionChannel {
+	pc := &partitionChannel{inner: inner, chunk: wiot.DefaultChunkSize}
+	for _, f := range faults {
+		if f.Kind != FaultPartition {
+			continue
+		}
+		from := int(f.FromSec * sampleRate)
+		to := int(effectiveTo(f.ToSec, liveSec) * sampleRate)
+		pc.windows = append(pc.windows, [2]int{from, to})
+	}
+	return pc
+}
+
+// Transmit implements wiot.ChannelEffect.
+func (pc *partitionChannel) Transmit(f wiot.Frame) []wiot.Frame {
+	start := int(f.Seq) * pc.chunk
+	for _, w := range pc.windows {
+		if start >= w[0] && start < w[1] {
+			return nil
+		}
+	}
+	return pc.inner.Transmit(f)
+}
+
+// Outcome is the result of running a synthesized plan: exactly one
+// payload field is set, matching the plan's kind.
+type Outcome struct {
+	Campaign string
+	Fleet    *fleet.FleetResult
+	Gallery  *GalleryOutcome
+	Adaptive *AdaptiveOutcome
+}
+
+// Run executes the plan to completion and wraps the result.
+func (p *Plan) Run(ctx context.Context) (*Outcome, error) {
+	out := &Outcome{Campaign: p.Campaign.Name}
+	switch {
+	case p.gallery:
+		g, err := p.Campaign.runGallery()
+		if err != nil {
+			return nil, err
+		}
+		out.Gallery = g
+	case p.adaptive:
+		a, err := p.Campaign.runAdaptive()
+		if err != nil {
+			return nil, err
+		}
+		out.Adaptive = a
+	case p.Shard != nil:
+		res, err := shard.Run(ctx, *p.Shard)
+		if err != nil {
+			return nil, err
+		}
+		out.Fleet = &res.FleetResult
+	case p.Fleet != nil:
+		res, err := fleet.Run(ctx, *p.Fleet)
+		if err != nil {
+			return nil, err
+		}
+		out.Fleet = &res
+	default:
+		return nil, fmt.Errorf("campaign %q: empty plan", p.Campaign.Name)
+	}
+	return out, nil
+}
+
+// VerdictCanonical renders the outcome's verdicts in a stable text form
+// — the exact bytes the digest-invariance gate compares between the
+// declarative and imperative paths (and across shard counts).
+func (o *Outcome) VerdictCanonical() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "verdicts/1 campaign=%s\n", o.Campaign)
+	switch {
+	case o.Fleet != nil:
+		r := o.Fleet
+		fmt.Fprintf(&sb, "fleet scenarios=%d completed=%d failed=%d skipped=%d windows=%d tp=%d fn=%d fp=%d tn=%d seqerr=%d\n",
+			r.Scenarios, r.Completed, r.Failed, r.Skipped, r.Windows, r.TruePos, r.FalseNeg, r.FalsePos, r.TrueNeg, r.SeqErrors)
+		for _, s := range r.PerSubject {
+			fmt.Fprintf(&sb, "subject %s scenarios=%d windows=%d tp=%d fn=%d fp=%d tn=%d seqerr=%d\n",
+				s.Subject, s.Scenarios, s.Windows, s.TruePos, s.FalseNeg, s.FalsePos, s.TrueNeg, s.SeqErrors)
+		}
+	case o.Gallery != nil:
+		fmt.Fprintf(&sb, "gallery clean=%d/%d\n", o.Gallery.Clean, o.Gallery.Windows)
+		for _, a := range o.Gallery.Arms {
+			fmt.Fprintf(&sb, "arm %s detected=%d/%d\n", a.Name, a.Detected, a.Total)
+		}
+	case o.Adaptive != nil:
+		a := o.Adaptive
+		fmt.Fprintf(&sb, "adaptive elapsedhr=%.4f switches=%d\n", a.ElapsedHr, a.Switches)
+		for _, w := range a.Windows {
+			fmt.Fprintf(&sb, "version %s windows=%d\n", w.Version, w.Windows)
+		}
+	}
+	return sb.String()
+}
+
+// VerdictDigest fingerprints the outcome: hex SHA-256 of the canonical
+// verdict rendering.
+func (o *Outcome) VerdictDigest() string {
+	sum := sha256.Sum256([]byte(o.VerdictCanonical()))
+	return hex.EncodeToString(sum[:])
+}

@@ -57,6 +57,13 @@ func RunScenario(sc Scenario) (ScenarioResult, error) {
 	return RunScenarioContext(context.Background(), sc)
 }
 
+// DefaultChunkSize is the samples-per-frame default every scenario gets
+// when ChunkSize is unset: 90 samples = 0.25 s at 360 Hz, one BLE
+// connection event. The campaign layer's fault-schedule compilation
+// relies on it to translate frame sequence numbers back into sample
+// positions.
+const DefaultChunkSize = 90
+
 // normalize applies scenario defaults in place, reporting whether the
 // scenario carries a real attack. Both the in-process and TCP runners
 // share it so they drive identical streams.
@@ -65,7 +72,7 @@ func (sc *Scenario) normalize() (hasAttack bool, err error) {
 		return false, errors.New("wiot: scenario needs a record")
 	}
 	if sc.ChunkSize == 0 {
-		sc.ChunkSize = 90
+		sc.ChunkSize = DefaultChunkSize
 	}
 	hasAttack = sc.Attack != nil
 	if !hasAttack {
