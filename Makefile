@@ -36,12 +36,15 @@ chaos:
 
 # The sharded control plane under the race detector: the coordinator's
 # oracle-parity suite (including mid-run station kills and failover),
-# the station registry, snapshot merging, telemetry folding, and the
-# heap-watermark sampler the streamed smoke relies on.
+# the station registry, snapshot merging, telemetry folding, the
+# heap-watermark sampler the streamed smoke relies on, and the metrics
+# federation layer (keep-latest absorption, publisher flush ordering,
+# federated-sum exactness, cross-station trace connectivity).
 shard:
 	$(GO) test -race -count=1 ./internal/fleet/shard/ ./internal/fleet/ -run 'Shard|SnapshotMerge'
 	$(GO) test -race -count=1 ./internal/wiot/ -run 'StationRegistry'
 	$(GO) test -race -count=1 ./internal/obs/ ./internal/obs/telemetry/ -run 'HeapWatermark|Absorb|RegistryMerge'
+	$(GO) test -race -count=1 ./internal/obs/federate/
 
 # 100k streamed smoke: the same cohort at S=4 and S=1 must print
 # byte-identical digest lines (aggregates are shard-count-invariant),
@@ -102,11 +105,12 @@ lint-custom:
 # The declarative campaign gate: the five camp* analyzers over every
 # package (machine-readable output), runtime validation of the catalog,
 # and the parity/digest-invariance tests that pin declaration lowering
-# byte-identical to the legacy imperative paths.
+# byte-identical to the legacy imperative paths (plus the run-manifest
+# round-trip and shard-invariance suite).
 campaigns:
 	$(GO) run ./cmd/wiotlint -campaigns -json ./...
 	$(GO) run ./cmd/wiotsim build -lint
-	$(GO) test ./internal/campaign/ -run 'DeclarativeMatchesImperative|ShardDigestInvariance|CatalogWellFormed'
+	$(GO) test ./internal/campaign/ -run 'DeclarativeMatchesImperative|ShardDigestInvariance|CatalogWellFormed|Manifest'
 
 # Known-vulnerability scan; skipped gracefully where the scanner (or the
 # network to install it) is unavailable.

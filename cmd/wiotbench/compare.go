@@ -62,6 +62,7 @@ func compareReports(old, cur Report, thresholdPct float64, w io.Writer) int {
 	regressions += gateTraceOverhead(cur, thresholdPct, w)
 	regressions += gateJITSpeedup(cur, w)
 	regressions += gateShardOverhead(cur, w)
+	regressions += gateFederateOverhead(cur, w)
 	return regressions
 }
 
@@ -100,6 +101,44 @@ func gateShardOverhead(cur Report, w io.Writer) int {
 	}
 	fmt.Fprintf(w, "shard overhead: fleet/sharded/S4 %+.1f%% vs fleet/W8 (ceiling %.1f%%) — %s\n",
 		overhead, shardOverheadCeilingPct, verdict)
+	return fail
+}
+
+// federateOverheadCeilingPct bounds what metrics federation may cost on
+// the sharded run it observes: federate/on versus federate/off over the
+// identical cohort. Publishing is a cumulative snapshot copy per station
+// per tick plus a mutex-guarded absorb on the coordinator — bookkeeping
+// entirely off the frame hot path — so federation that shows up beyond
+// a tenth of the per-scenario budget means a publisher regression.
+const federateOverheadCeilingPct = 10.0
+
+// gateFederateOverhead enforces the federation overhead ceiling inside
+// the new report. Like the other intra-report gates it is an absolute
+// property of the build under test and silently skips when either suite
+// is absent.
+func gateFederateOverhead(cur Report, w io.Writer) int {
+	byName := make(map[string]Result, len(cur.Suites))
+	for _, s := range cur.Suites {
+		byName[s.Name] = s
+	}
+	base, okBase := byName["federate/off"]
+	fed, okFed := byName["federate/on"]
+	if !okBase || !okFed {
+		return 0
+	}
+	baseNS, fedNS := compared(base), compared(fed)
+	if baseNS <= 0 {
+		return 0
+	}
+	overhead := (fedNS - baseNS) / baseNS * 100
+	verdict := "within ceiling"
+	fail := 0
+	if overhead > federateOverheadCeilingPct {
+		verdict = "OVER CEILING"
+		fail = 1
+	}
+	fmt.Fprintf(w, "federation overhead: federate/on %+.1f%% vs federate/off (ceiling %.1f%%) — %s\n",
+		overhead, federateOverheadCeilingPct, verdict)
 	return fail
 }
 

@@ -3,12 +3,16 @@ package main
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"strings"
+	"time"
 
 	"github.com/wiot-security/sift/internal/amulet/program"
 	"github.com/wiot-security/sift/internal/features"
 	"github.com/wiot-security/sift/internal/fleet"
+	"github.com/wiot-security/sift/internal/fleet/shard"
 	"github.com/wiot-security/sift/internal/obs"
+	"github.com/wiot-security/sift/internal/obs/federate"
 	"github.com/wiot-security/sift/internal/obs/telemetry"
 	"github.com/wiot-security/sift/internal/obs/trace"
 )
@@ -167,6 +171,82 @@ func telemetrySuite() suite {
 			res.Extra = map[string]float64{
 				"devices":      devices,
 				"deviceSeries": float64(series),
+			}
+			return res, nil
+		},
+	}
+}
+
+// federateSuite measures the sharded control plane with metrics
+// federation either off (federate/off — the plain shard run every
+// deployment pays) or on (federate/on — per-station publishers shipping
+// cumulative snapshots to a coordinator-side federator on a 10 ms
+// cadence, plus the final flushes that make the federated view exact).
+// Both suites run the identical cohort, so federate/on ÷ federate/off
+// is the federation machinery's overhead on the workload it observes —
+// the number the ≤10% compare gate bounds.
+func federateSuite(on bool) suite {
+	const shards = 4
+	workers := shardTotalWorkers / shards
+	if workers < 1 {
+		workers = 1
+	}
+	name := "federate/off"
+	describe := fmt.Sprintf("sharded cohort across %d stations, metrics federation off (baseline)", shards)
+	if on {
+		name = "federate/on"
+		describe = fmt.Sprintf("sharded cohort across %d stations with per-station snapshot federation every 10 ms", shards)
+	}
+	return suite{
+		name:     name,
+		describe: describe,
+		run: func(cfg runConfig, quick bool) (Result, error) {
+			fix, err := getFleetFixture(quick)
+			if err != nil {
+				return Result{}, err
+			}
+			var absorbed float64
+			op := func() error {
+				scfg := shard.Config{
+					Scenarios: fix.scenarios,
+					Shards:    shards,
+					Workers:   workers,
+					BaseSeed:  42,
+					Source:    fix.src,
+				}
+				var fed *federate.Federator
+				if on {
+					fed = federate.New()
+					scfg.Federation = fed
+					scfg.FederateEvery = 10 * time.Millisecond
+				}
+				res, err := shard.Run(context.Background(), scfg)
+				if err != nil {
+					return err
+				}
+				if err := res.Err(); err != nil {
+					return err
+				}
+				if on {
+					if !reflect.DeepEqual(fed.MergedFleet(), res.MergedMetrics()) {
+						return fmt.Errorf("federated view diverged from the merged station metrics")
+					}
+					absorbed = float64(fed.Absorbed())
+				}
+				return nil
+			}
+			res, err := measure(name, "scenarios/sec", cfg, 1, fix.scenarios, op)
+			if err != nil {
+				return Result{}, err
+			}
+			res.Extra = map[string]float64{
+				"stations":          shards,
+				"workersPerStation": float64(workers),
+				"cohort":            float64(fix.scenarios),
+			}
+			if on {
+				res.Extra["snapshotsAbsorbed"] = absorbed
+				res.Extra["federateEveryMS"] = 10
 			}
 			return res, nil
 		},

@@ -52,6 +52,7 @@ func allSuites() []suite {
 		suites = append(suites, vmlintSuite(v))
 	}
 	suites = append(suites, traceSuite(false), traceSuite(true), telemetrySuite())
+	suites = append(suites, federateSuite(false), federateSuite(true))
 	return suites
 }
 

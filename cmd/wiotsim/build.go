@@ -5,10 +5,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"github.com/wiot-security/sift/internal/campaign"
 	_ "github.com/wiot-security/sift/internal/campaign/catalog" // registers the standard declarations
+	"github.com/wiot-security/sift/internal/obs/federate"
+	"github.com/wiot-security/sift/internal/obs/telemetry"
 )
 
 // buildMain is the `wiotsim build` subcommand: the CLI face of the
@@ -20,7 +23,11 @@ import (
 //	wiotsim build -list
 //	wiotsim build -lint [campaign ...]
 //	wiotsim build -canon <campaign ...>
-//	wiotsim build <campaign ...>
+//	wiotsim build [run] <campaign ...> [-manifest out.json]
+//
+// The optional `run` keyword names the default action explicitly, and
+// flags may follow the campaign names (`build run sharded-smoke
+// -manifest out.json` reads naturally).
 //
 // Exit codes mirror wiotlint: 0 clean, 1 lint violations or a failed
 // run, 2 usage errors.
@@ -30,6 +37,7 @@ func buildMain(args []string, out, errOut io.Writer) int {
 	list := fs.Bool("list", false, "list registered campaigns and exit")
 	lint := fs.Bool("lint", false, "validate declarations (runtime mirror of the campaign analyzers) instead of running")
 	canon := fs.Bool("canon", false, "print each campaign's canonical form and declaration digest instead of running")
+	manifest := fs.String("manifest", "", "write the run's manifest (deterministic JSON run report) to this file; needs exactly one campaign")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -41,7 +49,30 @@ func buildMain(args []string, out, errOut io.Writer) int {
 		return 0
 	}
 
-	selected, err := selectCampaigns(fs.Args())
+	// The stdlib flag package stops at the first positional, so reparse
+	// the tail until it is exhausted: campaign names and flags may
+	// interleave, and an optional leading `run` keyword is accepted.
+	names, rest := []string(nil), fs.Args()
+	if len(rest) > 0 && rest[0] == "run" {
+		rest = rest[1:]
+	}
+	for len(rest) > 0 {
+		if rest[0] == "--" {
+			names = append(names, rest[1:]...)
+			break
+		}
+		if len(rest[0]) > 0 && rest[0][0] != '-' {
+			names = append(names, rest[0])
+			rest = rest[1:]
+			continue
+		}
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		rest = fs.Args()
+	}
+
+	selected, err := selectCampaigns(names)
 	if err != nil {
 		fmt.Fprintln(errOut, "wiotsim build:", err)
 		return 2
@@ -64,7 +95,7 @@ func buildMain(args []string, out, errOut io.Writer) int {
 		}
 		return 0
 	case *canon:
-		if len(fs.Args()) == 0 {
+		if len(names) == 0 {
 			fmt.Fprintln(errOut, "wiotsim build: -canon needs campaign names")
 			return 2
 		}
@@ -75,12 +106,16 @@ func buildMain(args []string, out, errOut io.Writer) int {
 		return 0
 	}
 
-	if len(fs.Args()) == 0 {
+	if len(names) == 0 {
 		fmt.Fprintln(errOut, "wiotsim build: name a campaign to run, or use -list / -lint / -canon")
 		return 2
 	}
+	if *manifest != "" && len(names) != 1 {
+		fmt.Fprintln(errOut, "wiotsim build: -manifest needs exactly one campaign (the report describes a single run)")
+		return 2
+	}
 	for _, c := range selected {
-		if code := runCampaign(c, out, errOut); code != 0 {
+		if code := runCampaign(c, *manifest, out, errOut); code != 0 {
 			return code
 		}
 	}
@@ -105,13 +140,21 @@ func selectCampaigns(names []string) ([]campaign.Campaign, error) {
 }
 
 // runCampaign synthesizes and executes one declaration, printing the
-// outcome and its verdict digest.
-func runCampaign(c campaign.Campaign, out, errOut io.Writer) int {
+// outcome and its verdict digest. A non-empty manifestPath additionally
+// observes the run (telemetry plus, for sharded plans, metrics
+// federation) and writes the deterministic JSON run report there.
+func runCampaign(c campaign.Campaign, manifestPath string, out, errOut io.Writer) int {
 	fmt.Fprintf(out, "campaign %s (%s): %s\n", c.Name, c.Kind, c.Description)
 	plan, err := c.Synthesize()
 	if err != nil {
 		fmt.Fprintln(errOut, "wiotsim build:", err)
 		return 1
+	}
+	if manifestPath != "" {
+		plan.Observe(campaign.ObserveConfig{
+			Telemetry:  telemetry.NewRegistry(),
+			Federation: federate.New(),
+		})
 	}
 	start := time.Now()
 	o, err := plan.Run(context.Background())
@@ -145,5 +188,24 @@ func runCampaign(c campaign.Campaign, out, errOut io.Writer) int {
 		}
 	}
 	fmt.Fprintf(out, "verdict digest %s (decl %s) in %v\n\n", o.VerdictDigest()[:16], c.DeclDigest()[:12], elapsed)
+
+	if manifestPath != "" {
+		m := plan.Manifest(o)
+		b, err := m.Encode()
+		if err != nil {
+			fmt.Fprintln(errOut, "wiotsim build: encode manifest:", err)
+			return 1
+		}
+		if err := os.WriteFile(manifestPath, b, 0o644); err != nil {
+			fmt.Fprintln(errOut, "wiotsim build: write manifest:", err)
+			return 1
+		}
+		digest, err := m.Digest()
+		if err != nil {
+			fmt.Fprintln(errOut, "wiotsim build: digest manifest:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "manifest %s (digest %s)\n", manifestPath, digest[:16])
+	}
 	return 0
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -79,5 +81,64 @@ func TestBuildRunShardedSmoke(t *testing.T) {
 	}
 	if !strings.Contains(out, "verdict digest ") || !strings.Contains(out, "stations:") {
 		t.Errorf("run output missing digest or station table:\n%s", out)
+	}
+}
+
+// TestBuildRunManifest exercises the run-report path end to end: the
+// `run` keyword, trailing -manifest flag, and determinism — two runs of
+// the same campaign write byte-identical manifest documents.
+func TestBuildRunManifest(t *testing.T) {
+	dir := t.TempDir()
+	emit := func(path string) []byte {
+		t.Helper()
+		code, out, errOut := build(t, "run", "sharded-smoke", "-manifest", path)
+		if code != 0 {
+			t.Fatalf("run exit %d\n%s%s", code, out, errOut)
+		}
+		if !strings.Contains(out, "manifest "+path) {
+			t.Fatalf("run output missing manifest line:\n%s", out)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first := emit(filepath.Join(dir, "a.json"))
+	second := emit(filepath.Join(dir, "b.json"))
+	if !bytes.Equal(first, second) {
+		t.Fatalf("manifest bytes differ between identical runs:\n%s\nvs\n%s", first, second)
+	}
+
+	m, err := campaign.ParseManifest(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Campaign != "sharded-smoke" || m.Fleet == nil || len(m.Stations) == 0 {
+		t.Fatalf("manifest content wrong: %+v", m)
+	}
+	if m.FederationDrops != 0 {
+		t.Fatalf("clean run reports %d federation drops", m.FederationDrops)
+	}
+
+	// The verdict digest inside the manifest matches what the plain run
+	// prints — CI greps for this agreement.
+	code, out, _ := build(t, "sharded-smoke")
+	if code != 0 {
+		t.Fatalf("plain run exit %d", code)
+	}
+	if !strings.Contains(out, "verdict digest "+m.VerdictDigest[:16]) {
+		t.Fatalf("manifest verdict digest %s not in plain run output:\n%s", m.VerdictDigest[:16], out)
+	}
+}
+
+// TestBuildManifestUsage pins the usage contract: -manifest needs
+// exactly one campaign.
+func TestBuildManifestUsage(t *testing.T) {
+	if code, _, _ := build(t, "-manifest", "x.json"); code != 2 {
+		t.Errorf("-manifest with no campaign should exit 2, got %d", code)
+	}
+	if code, _, _ := build(t, "run", "sharded-smoke", "fleet-baseline", "-manifest", "x.json"); code != 2 {
+		t.Errorf("-manifest with two campaigns should exit 2, got %d", code)
 	}
 }

@@ -23,6 +23,8 @@ import (
 	"github.com/wiot-security/sift/internal/features"
 	"github.com/wiot-security/sift/internal/fleet"
 	"github.com/wiot-security/sift/internal/fleet/shard"
+	"github.com/wiot-security/sift/internal/obs/federate"
+	"github.com/wiot-security/sift/internal/obs/logx"
 	"github.com/wiot-security/sift/internal/physio"
 	"github.com/wiot-security/sift/internal/sift"
 	"github.com/wiot-security/sift/internal/svm"
@@ -64,11 +66,18 @@ func run() error {
 	shards := flag.Int("shards", 0, "fleet mode: partition the cohort across N stations via the sharded control plane (-workers becomes the per-station pool)")
 	stream := flag.Bool("stream", false, "sharded fleet mode: streamed smoke run — one shared detector, short per-wearer spans, no per-subject state, bounded memory (requires -shards)")
 	maxHeapMiB := flag.Int("max-heap-mib", 0, "stream mode: fail if the sampled heap watermark exceeds this many MiB (0 = report only)")
-	serve := flag.String("serve", "", "fleet mode: serve /metrics, /debug/trace, /healthz on this address during and after the run")
+	serve := flag.String("serve", "", "fleet mode: serve /metrics, /debug/trace, /healthz, /readyz on this address during and after the run")
 	tracePath := flag.String("trace", "", "fleet mode: write a Chrome trace_event JSON dump of the run to this file at exit")
 	nojit := flag.Bool("nojit", false, "disable the template JIT process-wide: every emulated device interprets its bytecode")
+	logfmt := flag.String("logfmt", "off", "structured log output to stderr: off|text|json (off keeps the CLI silent as before)")
+	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof/* on the -serve endpoint")
 	flag.Parse()
 
+	if err := logx.Configure(*logfmt, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "wiotsim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *nojit {
 		amulet.SetJITEnabled(false)
 	}
@@ -90,6 +99,11 @@ func run() error {
 	// Reject nonsense values outright instead of silently coercing them
 	// (the fleet engine would otherwise map a non-positive -workers to
 	// GOMAXPROCS behind the user's back).
+	if *pprofFlag && *serve == "" {
+		fmt.Fprintln(os.Stderr, "wiotsim: -pprof: the profiler endpoints need the serve endpoint (-serve addr)")
+		flag.Usage()
+		os.Exit(2)
+	}
 	if err := validateFlags(*fleetN, *workers, *loss, *dup, *trainSec, *liveSec, *attackAt, *serve, *tracePath, *chaosMode, *shards, *stream, *maxHeapMiB); err != nil {
 		fmt.Fprintln(os.Stderr, "wiotsim:", err)
 		flag.Usage()
@@ -116,6 +130,7 @@ func run() error {
 			version:    version,
 			serve:      *serve,
 			tracePath:  *tracePath,
+			pprof:      *pprofFlag,
 		}
 		if *stream {
 			return runStreamFleet(opt)
@@ -213,6 +228,7 @@ type fleetOptions struct {
 	version    features.Version
 	serve      string // addr for the live observability endpoint; "" = off
 	tracePath  string // Chrome trace dump path; "" = off
+	pprof      bool   // mount /debug/pprof/* on the -serve endpoint
 }
 
 // chaosTCPRunner dials every scenario out over loopback TCP through the
@@ -220,7 +236,8 @@ type fleetOptions struct {
 func chaosTCPRunner(loss float64) fleet.Runner {
 	return func(ctx context.Context, slot fleet.Slot, sc wiot.Scenario) (wiot.ScenarioResult, error) {
 		return wiot.RunScenarioOverTCP(ctx, sc, wiot.NetConfig{
-			Seed: slot.Seed,
+			Seed:        slot.Seed,
+			TraceParent: slot.Trace,
 			WrapListener: chaos.WrapListener(chaos.Config{
 				Seed:        slot.Seed,
 				CorruptProb: loss,
@@ -286,7 +303,7 @@ func runFleet(opt fleetOptions) error {
 			100*opt.loss, 100*opt.dup, opt.attackAt)
 	}
 
-	obsv := newObservability(opt.serve, opt.tracePath)
+	obsv := newObservability(opt.serve, opt.tracePath, opt.pprof)
 
 	var synthOpts []campaign.SynthOption
 	if obsv != nil {
@@ -311,6 +328,13 @@ func runFleet(opt fleetOptions) error {
 		}
 		if obsv != nil {
 			scfg.Telemetry = obsv.reg
+			// Federate every station's metrics into the serve endpoint so
+			// /metrics shows the merged fleet view plus per-station
+			// breakdowns while the run is in flight.
+			obsv.fed = federate.New()
+			obsv.stations = scfg.Registry
+			scfg.Federation = obsv.fed
+			scfg.FederateEvery = time.Second
 			obsv.start()
 		}
 		start := time.Now()

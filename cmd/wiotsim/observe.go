@@ -16,6 +16,7 @@ import (
 	"github.com/wiot-security/sift/internal/dataset"
 	"github.com/wiot-security/sift/internal/obs"
 	"github.com/wiot-security/sift/internal/obs/expose"
+	"github.com/wiot-security/sift/internal/obs/federate"
 	"github.com/wiot-security/sift/internal/obs/telemetry"
 	"github.com/wiot-security/sift/internal/obs/trace"
 	"github.com/wiot-security/sift/internal/sift"
@@ -35,21 +36,29 @@ type observability struct {
 	rec     *trace.Recorder
 	srv     *http.Server
 
+	// fed and stations are set by the sharded path before start(): the
+	// endpoint then serves the federated fleet view with per-station
+	// labels, and /readyz tracks station liveness.
+	fed      *federate.Federator
+	stations *wiot.StationRegistry
+
 	serveAddr string
 	tracePath string
+	pprof     bool
 	prevObs   bool
 	srvErr    chan error
 }
 
 // newObservability builds the stack for whichever of -serve/-trace are
 // set; both empty returns nil and the run stays uninstrumented.
-func newObservability(serveAddr, tracePath string) *observability {
+func newObservability(serveAddr, tracePath string, pprof bool) *observability {
 	if serveAddr == "" && tracePath == "" {
 		return nil
 	}
 	o := &observability{
 		serveAddr: serveAddr,
 		tracePath: tracePath,
+		pprof:     pprof,
 		reg:       telemetry.NewRegistry(),
 		srvErr:    make(chan error, 1),
 	}
@@ -79,9 +88,12 @@ func (o *observability) start() {
 			Telemetry: o.reg,
 			Sampler:   o.sampler,
 			Recorder:  o.rec,
+			Federator: o.fed,
+			Stations:  o.stations,
+			Pprof:     o.pprof,
 		}),
 	}
-	fmt.Printf("observability: serving /metrics, /debug/trace, /healthz on %s\n", o.serveAddr)
+	fmt.Printf("observability: serving /metrics, /debug/trace, /healthz, /readyz on %s\n", o.serveAddr)
 	go func() {
 		err := o.srv.ListenAndServe()
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -36,6 +36,10 @@ func TestDetRandCampaign(t *testing.T) {
 	analysistest.Run(t, fixture("campaign"), analysis.DetRand)
 }
 
+func TestDetRandFederate(t *testing.T) {
+	analysistest.Run(t, fixture("federate"), analysis.DetRand, analysis.SpanEnd)
+}
+
 func TestSpanEnd(t *testing.T) {
 	analysistest.Run(t, fixture("spans"), analysis.SpanEnd)
 }
@@ -71,6 +75,7 @@ func TestAllOverFixtures(t *testing.T) {
 	for _, name := range []string{
 		"opcomplete", "physio", "chaos", "shard", "spans", "qarith",
 		"jit", "campaign", "campreach", "campseed", "campsched", "campbudget", "campdigest",
+		"federate",
 	} {
 		t.Run(name, func(t *testing.T) {
 			analysistest.Run(t, fixture(name), analysis.All()...)

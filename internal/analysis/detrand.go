@@ -42,6 +42,12 @@ var deterministicPackages = map[string]bool{
 	// read the clock or the global random source.
 	"campaign": true,
 	"catalog":  true,
+	// Metrics federation must never perturb verdicts: staleness is
+	// decided by snapshot sequence numbers, not timestamps, so the
+	// federated view merges identically regardless of publish timing.
+	// Only the publish cadence itself (an explicitly suppressed ticker)
+	// may touch the clock.
+	"federate": true,
 }
 
 // bannedTime are the wall-clock entry points of package time.

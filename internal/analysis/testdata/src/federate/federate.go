@@ -1,0 +1,67 @@
+// Package federate is a detrand + spanend fixture shaped like the
+// metrics-federation layer: staleness decisions must come from snapshot
+// sequence numbers (never timestamps), the publish cadence is the one
+// explicitly suppressed clock use, and absorb-side spans follow the
+// usual lifetime rules.
+package federate
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/wiot-security/sift/internal/obs"
+)
+
+var absorbTimer = obs.NewTimer("fixture.federate.absorb")
+
+// badSnapshotStamp timestamps a snapshot from the wall clock, which
+// would make staleness depend on scheduling instead of sequence order.
+func badSnapshotStamp() time.Time {
+	return time.Now() // want "wall-clock state breaks seeded reproducibility"
+}
+
+// badPublishJitter staggers publishes from runtime entropy.
+func badPublishJitter() int {
+	return rand.Intn(100) // want "process-global random source"
+}
+
+// badStalenessByAge decides staleness from elapsed wall time.
+func badStalenessByAge(published time.Time) bool {
+	return time.Since(published) > time.Second // want "wall-clock state breaks seeded reproducibility"
+}
+
+// goodStalenessBySeq is the sequence-based rule the real federator
+// uses: a snapshot is stale iff its sequence number does not advance.
+func goodStalenessBySeq(last, incoming uint64) bool {
+	return incoming <= last
+}
+
+// goodSuppressedTicker is the one sanctioned clock use — the publish
+// cadence — and carries the explicit suppression the real publisher
+// does.
+func goodSuppressedTicker(every time.Duration) *time.Ticker {
+	return time.NewTicker(every) //wiotlint:allow detrand
+}
+
+// goodAbsorbSpan prices one absorb with the canonical deferred end.
+func goodAbsorbSpan() {
+	sp := absorbTimer.Start()
+	defer sp.End()
+	goodStalenessBySeq(1, 2)
+}
+
+// badAbsorbSpanInline ends the absorb span on the straight-line path
+// only — a panic mid-absorb would leak it open.
+func badAbsorbSpanInline() {
+	sp := absorbTimer.Start() // want "ended but not via defer"
+	goodStalenessBySeq(1, 2)
+	sp.End()
+}
+
+// badAbsorbSpanLeak starts the absorb span and abandons it.
+func badAbsorbSpanLeak() {
+	sp := absorbTimer.Start() // want "started but never ended"
+	if sp.Running() {
+		goodStalenessBySeq(1, 2)
+	}
+}

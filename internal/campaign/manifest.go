@@ -1,0 +1,243 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/wiot-security/sift/internal/obs/federate"
+	"github.com/wiot-security/sift/internal/obs/telemetry"
+)
+
+// ManifestSchema versions the run-manifest JSON document. Consumers
+// must reject documents whose schema field they do not recognize.
+const ManifestSchema = "wiotmanifest/1"
+
+// Manifest is a campaign run report: the deterministic summary of one
+// synthesized run, emitted as JSON by `wiotsim build run -manifest` and
+// compared by CI against the pinned smoke digests. Every field is a
+// pure function of the declaration and its verdicts — no wall-clock, no
+// hostnames, no absorbed-snapshot counts — so the same campaign at any
+// shard count carries the same verdict digest, and the same campaign at
+// the same shard count encodes to identical bytes.
+type Manifest struct {
+	Schema        string `json:"schema"`
+	Campaign      string `json:"campaign"`
+	Kind          string `json:"kind"`
+	DeclDigest    string `json:"declDigest"`
+	VerdictDigest string `json:"verdictDigest"`
+
+	Fleet    *ManifestFleet    `json:"fleet,omitempty"`
+	Gallery  *ManifestGallery  `json:"gallery,omitempty"`
+	Adaptive *ManifestAdaptive `json:"adaptive,omitempty"`
+
+	// Stations is the per-station rollup for sharded topologies; empty
+	// otherwise. Deaths/Rebalanced summarize failover activity.
+	Stations   []ManifestStation `json:"stations,omitempty"`
+	Deaths     int               `json:"deaths,omitempty"`
+	Rebalanced int               `json:"rebalanced,omitempty"`
+
+	// Devices is the Table-III resource rollup from the run's telemetry
+	// registry (cycles, SRAM watermark, energy, projected lifetime),
+	// present when the run observed devices. Wall-clock series
+	// (ScenarioTime) are deliberately excluded.
+	Devices []ManifestDevice `json:"devices,omitempty"`
+
+	// FederationDrops counts snapshots the coordinator rejected as
+	// stale — nonzero values indicate a publisher regression, so the
+	// count is part of the report.
+	FederationDrops int64 `json:"federationDrops,omitempty"`
+}
+
+// ManifestFleet mirrors the deterministic scalars of a fleet verdict.
+type ManifestFleet struct {
+	Scenarios int `json:"scenarios"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Skipped   int `json:"skipped"`
+	Windows   int `json:"windows"`
+	TruePos   int `json:"truePos"`
+	FalseNeg  int `json:"falseNeg"`
+	FalsePos  int `json:"falsePos"`
+	TrueNeg   int `json:"trueNeg"`
+	SeqErrors int `json:"seqErrors"`
+}
+
+// ManifestGallery mirrors a gallery verdict.
+type ManifestGallery struct {
+	Clean   int                  `json:"clean"`
+	Windows int                  `json:"windows"`
+	Arms    []ManifestGalleryArm `json:"arms"`
+}
+
+// ManifestGalleryArm is one attack arm's detection rate.
+type ManifestGalleryArm struct {
+	Name     string `json:"name"`
+	Detected int    `json:"detected"`
+	Total    int    `json:"total"`
+}
+
+// ManifestAdaptive mirrors an adaptive (battery-ladder) verdict.
+// ElapsedHr is simulated hours, not wall-clock.
+type ManifestAdaptive struct {
+	ElapsedHr float64                  `json:"elapsedHr"`
+	Switches  int                      `json:"switches"`
+	Windows   []ManifestAdaptiveWindow `json:"windows"`
+}
+
+// ManifestAdaptiveWindow is one detector version's classified-window
+// count on the ladder.
+type ManifestAdaptiveWindow struct {
+	Version string `json:"version"`
+	Windows int    `json:"windows"`
+}
+
+// ManifestStation is one station's control-plane rollup.
+type ManifestStation struct {
+	ID        string `json:"id"`
+	Assigned  int    `json:"assigned"`
+	Adopted   int    `json:"adopted,omitempty"`
+	Requeued  int    `json:"requeued,omitempty"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed,omitempty"`
+	Died      bool   `json:"died,omitempty"`
+}
+
+// ManifestDevice is one device's Table-III resource rollup.
+type ManifestDevice struct {
+	Name            string  `json:"name"`
+	Windows         int64   `json:"windows"`
+	Cycles          int64   `json:"cycles,omitempty"`
+	SRAMPeakBytes   int64   `json:"sramPeakBytes,omitempty"`
+	EnergyMicroJ    float64 `json:"energyMicroJ,omitempty"`
+	LifetimeDays    float64 `json:"lifetimeDays,omitempty"`
+	Scenarios       int64   `json:"scenarios,omitempty"`
+	ScenarioWindows int64   `json:"scenarioWindows,omitempty"`
+	Alerts          int64   `json:"alerts,omitempty"`
+}
+
+// ObserveConfig attaches observability to a synthesized plan without
+// entering the declaration (the campaign digest is unchanged).
+type ObserveConfig struct {
+	// Telemetry receives the run's per-device series (sharded plans
+	// merge every station's registry into it after the run).
+	Telemetry *telemetry.Registry
+	// Federation receives per-station snapshots during sharded runs on
+	// the FederateEvery cadence; ignored for unsharded topologies.
+	Federation    *federate.Federator
+	FederateEvery time.Duration
+}
+
+// Observe wires observability into the plan. Call it after Synthesize
+// and before Run; the manifest built afterwards folds in whatever was
+// observed. Gallery and adaptive plans have no fleet machinery to
+// observe, so for them only the config is retained (their manifests
+// carry verdicts but no stations or devices).
+func (p *Plan) Observe(oc ObserveConfig) {
+	p.obs = oc
+	switch {
+	case p.Shard != nil:
+		p.Shard.Telemetry = oc.Telemetry
+		p.Shard.Federation = oc.Federation
+		p.Shard.FederateEvery = oc.FederateEvery
+	case p.Fleet != nil:
+		p.Fleet.Telemetry = oc.Telemetry
+	}
+}
+
+// Manifest builds the run report for an outcome this plan produced.
+func (p *Plan) Manifest(o *Outcome) Manifest {
+	m := Manifest{
+		Schema:        ManifestSchema,
+		Campaign:      p.Campaign.Name,
+		Kind:          p.Campaign.Kind.String(),
+		DeclDigest:    p.Campaign.DeclDigest(),
+		VerdictDigest: o.VerdictDigest(),
+	}
+	switch {
+	case o.Fleet != nil:
+		r := o.Fleet
+		m.Fleet = &ManifestFleet{
+			Scenarios: r.Scenarios, Completed: r.Completed, Failed: r.Failed,
+			Skipped: r.Skipped, Windows: r.Windows,
+			TruePos: r.TruePos, FalseNeg: r.FalseNeg, FalsePos: r.FalsePos, TrueNeg: r.TrueNeg,
+			SeqErrors: r.SeqErrors,
+		}
+	case o.Gallery != nil:
+		g := &ManifestGallery{Clean: o.Gallery.Clean, Windows: o.Gallery.Windows}
+		for _, a := range o.Gallery.Arms {
+			g.Arms = append(g.Arms, ManifestGalleryArm{Name: a.Name, Detected: a.Detected, Total: a.Total})
+		}
+		m.Gallery = g
+	case o.Adaptive != nil:
+		a := &ManifestAdaptive{ElapsedHr: o.Adaptive.ElapsedHr, Switches: o.Adaptive.Switches}
+		for _, w := range o.Adaptive.Windows {
+			a.Windows = append(a.Windows, ManifestAdaptiveWindow{Version: w.Version, Windows: w.Windows})
+		}
+		m.Adaptive = a
+	}
+	if o.Shard != nil {
+		m.Deaths = o.Shard.Deaths
+		m.Rebalanced = o.Shard.Rebalanced
+		for _, st := range o.Shard.Stations {
+			m.Stations = append(m.Stations, ManifestStation{
+				ID: st.ID, Assigned: st.Assigned, Adopted: st.Adopted, Requeued: st.Requeued,
+				Completed: st.Completed, Failed: st.Failed, Died: st.Died,
+			})
+		}
+	}
+	if p.obs.Telemetry != nil {
+		for _, d := range p.obs.Telemetry.Snapshot() {
+			m.Devices = append(m.Devices, ManifestDevice{
+				Name: d.Name, Windows: d.Windows, Cycles: d.Cycles,
+				SRAMPeakBytes: d.SRAMPeakBytes, EnergyMicroJ: d.EnergyMicroJ,
+				LifetimeDays: d.LifetimeDays, Scenarios: d.Scenarios,
+				ScenarioWindows: d.ScenarioWindows, Alerts: d.Alerts,
+			})
+		}
+	}
+	if p.obs.Federation != nil {
+		m.FederationDrops = p.obs.Federation.Dropped()
+	}
+	return m
+}
+
+// Encode renders the manifest as canonical JSON: two-space indent,
+// fixed field order (struct order), trailing newline. The bytes are the
+// unit of comparison — the same run configuration must encode
+// identically across processes.
+func (m Manifest) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Digest fingerprints the manifest: hex SHA-256 of its canonical
+// encoding.
+func (m Manifest) Digest() (string, error) {
+	b, err := m.Encode()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// ParseManifest decodes and validates a run-manifest document.
+func ParseManifest(b []byte) (Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Manifest{}, fmt.Errorf("manifest: %w", err)
+	}
+	if m.Schema != ManifestSchema {
+		return Manifest{}, fmt.Errorf("manifest: schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if m.Campaign == "" || m.VerdictDigest == "" {
+		return Manifest{}, fmt.Errorf("manifest: missing campaign name or verdict digest")
+	}
+	return m, nil
+}

@@ -1,0 +1,121 @@
+package campaign_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/wiot-security/sift/internal/campaign"
+	"github.com/wiot-security/sift/internal/obs/federate"
+	"github.com/wiot-security/sift/internal/obs/telemetry"
+)
+
+// TestManifestRoundTrip pins the run-report contract: the same
+// declaration run twice encodes to byte-identical manifest documents,
+// and a manifest survives emit → parse → re-emit unchanged.
+func TestManifestRoundTrip(t *testing.T) {
+	decl := campaign.Campaign{
+		Name:     "manifest-roundtrip",
+		Kind:     campaign.KindFleet,
+		Cohort:   campaign.Cohort{Subjects: 3, BaseSeed: 19, TrainSec: 60, LiveSec: 9},
+		Detector: campaign.Detector{Version: "Reduced"},
+		Topology: campaign.Topology{Kind: campaign.TopoInProcess, Workers: 2},
+		Attacks:  []campaign.AttackWindow{{Kind: campaign.AttackSubstitution, FromSec: 4}},
+		Digest:   campaign.DigestRequired,
+	}
+	emit := func() []byte {
+		plan, err := decl.Synthesize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan.Observe(campaign.ObserveConfig{Telemetry: telemetry.NewRegistry()})
+		out, err := plan.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := plan.Manifest(out).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first, second := emit(), emit()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("manifest bytes differ between identical runs:\n%s\nvs\n%s", first, second)
+	}
+
+	m, err := campaign.ParseManifest(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, again) {
+		t.Fatalf("manifest does not round-trip:\n%s\nvs\n%s", first, again)
+	}
+	if m.Schema != campaign.ManifestSchema || m.Campaign != decl.Name || m.DeclDigest != decl.DeclDigest() {
+		t.Fatalf("parsed manifest header wrong: %+v", m)
+	}
+	if m.Fleet == nil || m.Fleet.Scenarios != 3 {
+		t.Fatalf("manifest fleet summary wrong: %+v", m.Fleet)
+	}
+	if len(m.Devices) == 0 {
+		t.Fatal("manifest has no device rollups despite telemetry being observed")
+	}
+
+	// A tampered schema must be rejected.
+	if _, err := campaign.ParseManifest(bytes.Replace(first, []byte(campaign.ManifestSchema), []byte("wiotmanifest/9"), 1)); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
+// TestManifestShardDigestInvariance proves the report's verdict digest
+// is shard-count invariant: the same declaration at S=1 and S=3 yields
+// manifests with identical verdict digests (the per-station rollup is
+// the only part allowed to differ), with the federation drop counter
+// zero in both.
+func TestManifestShardDigestInvariance(t *testing.T) {
+	base := campaign.Campaign{
+		Name:     "manifest-shard",
+		Kind:     campaign.KindFleet,
+		Cohort:   campaign.Cohort{Subjects: 4, BaseSeed: 23, TrainSec: 60, LiveSec: 9},
+		Detector: campaign.Detector{Version: "Reduced"},
+		Topology: campaign.Topology{Kind: campaign.TopoSharded, Shards: 1, Workers: 2, Loss: 0.02, Dup: 0.01},
+		Attacks:  []campaign.AttackWindow{{Kind: campaign.AttackSubstitution, FromSec: 4}},
+		Digest:   campaign.DigestRequired,
+	}
+	manifests := make([]campaign.Manifest, 0, 2)
+	for _, shards := range []int{1, 3} {
+		c := base
+		c.Topology.Shards = shards
+		plan, err := c.Synthesize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan.Observe(campaign.ObserveConfig{
+			Telemetry:  telemetry.NewRegistry(),
+			Federation: federate.New(),
+		})
+		out, err := plan.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := plan.Manifest(out)
+		if len(m.Stations) != shards {
+			t.Fatalf("S=%d manifest lists %d stations", shards, len(m.Stations))
+		}
+		if m.FederationDrops != 0 {
+			t.Fatalf("S=%d manifest reports %d federation drops", shards, m.FederationDrops)
+		}
+		manifests = append(manifests, m)
+	}
+	if manifests[0].VerdictDigest != manifests[1].VerdictDigest {
+		t.Fatalf("shard count changed the manifest verdict digest: %s vs %s",
+			manifests[0].VerdictDigest, manifests[1].VerdictDigest)
+	}
+	if manifests[0].DeclDigest == manifests[1].DeclDigest {
+		t.Fatal("different topologies must have different decl digests")
+	}
+}

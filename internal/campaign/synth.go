@@ -48,6 +48,7 @@ type Plan struct {
 
 	gallery  bool
 	adaptive bool
+	obs      ObserveConfig
 }
 
 // Synthesize validates the declaration and lowers it into a Plan. The
@@ -103,13 +104,14 @@ func (c Campaign) runner() fleet.Runner {
 	switch c.Topology.Kind {
 	case TopoTCP:
 		return func(ctx context.Context, slot fleet.Slot, sc wiot.Scenario) (wiot.ScenarioResult, error) {
-			return wiot.RunScenarioOverTCP(ctx, sc, wiot.NetConfig{Seed: slot.Seed})
+			return wiot.RunScenarioOverTCP(ctx, sc, wiot.NetConfig{Seed: slot.Seed, TraceParent: slot.Trace})
 		}
 	case TopoChaos:
 		loss := c.Topology.Loss
 		return func(ctx context.Context, slot fleet.Slot, sc wiot.Scenario) (wiot.ScenarioResult, error) {
 			return wiot.RunScenarioOverTCP(ctx, sc, wiot.NetConfig{
-				Seed: slot.Seed,
+				Seed:        slot.Seed,
+				TraceParent: slot.Trace,
 				WrapListener: chaos.WrapListener(chaos.Config{
 					Seed:        slot.Seed,
 					CorruptProb: loss,
@@ -276,6 +278,10 @@ type Outcome struct {
 	Fleet    *fleet.FleetResult
 	Gallery  *GalleryOutcome
 	Adaptive *AdaptiveOutcome
+	// Shard carries the full sharded result (per-station rollups,
+	// failover accounting) when the plan ran a sharded topology; Fleet
+	// points at its embedded aggregate in that case.
+	Shard *shard.Result
 }
 
 // Run executes the plan to completion and wraps the result.
@@ -299,6 +305,7 @@ func (p *Plan) Run(ctx context.Context) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
+		out.Shard = &res
 		out.Fleet = &res.FleetResult
 	case p.Fleet != nil:
 		res, err := fleet.Run(ctx, *p.Fleet)

@@ -51,9 +51,13 @@ type Source func(index int, seed int64) (wiot.Scenario, error)
 
 // Slot identifies one fleet slot to a Runner: its index and the derived
 // seed (BaseSeed + index) that all slot-local randomness must flow from.
+// Trace is the span ID of the slot's scenario-run span (0 when tracing
+// is off); a transport-backed Runner propagates it so remote spans join
+// the fleet's trace tree.
 type Slot struct {
 	Index int
 	Seed  int64
+	Trace uint64
 }
 
 // Runner executes one scenario. The default (nil) runs the in-process

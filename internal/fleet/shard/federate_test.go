@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/wiot-security/sift/internal/obs/federate"
+	"github.com/wiot-security/sift/internal/obs/telemetry"
+)
+
+// TestShardFederatedMetricsSum is the federation acceptance claim: after
+// a sharded run — including one with a mid-run station kill — the
+// federator's merged view equals the result's own MergedMetrics (the sum
+// of per-station snapshots) exactly, field for field, and the federated
+// device rollups equal the merged telemetry registry.
+func TestShardFederatedMetricsSum(t *testing.T) {
+	const scenarios, seed = 12, 7
+	src := cohortSource(t, 3, 4)
+	fed := federate.New()
+	reg := telemetry.NewRegistry()
+	res, err := Run(context.Background(), Config{
+		Scenarios:     scenarios,
+		Shards:        3,
+		Workers:       2,
+		BaseSeed:      seed,
+		Source:        src,
+		Telemetry:     reg,
+		Federation:    fed,
+		FederateEvery: time.Millisecond,
+		Kill:          &KillPlan{Station: 1, AfterSlots: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deaths != 1 {
+		t.Fatalf("kill plan did not fire: %+v", res)
+	}
+
+	if got, want := fed.MergedFleet(), res.MergedMetrics(); !reflect.DeepEqual(got, want) {
+		t.Errorf("federated fleet view != sum of per-station snapshots:\n got: %+v\nwant: %+v", got, want)
+	}
+	if got, want := fed.MergedDevices(), reg.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("federated device rollups != merged telemetry:\n got: %+v\nwant: %+v", got, want)
+	}
+
+	sts := fed.Stations()
+	if len(sts) != 3 {
+		t.Fatalf("federator tracks %d stations, want 3", len(sts))
+	}
+	for _, st := range sts {
+		if !st.Final {
+			t.Errorf("station %s has no final snapshot", st.Station)
+		}
+		if wantDead := st.Station == "station-01"; st.Dead != wantDead {
+			t.Errorf("station %s dead=%v, want %v", st.Station, st.Dead, wantDead)
+		}
+	}
+	if fed.Absorbed() < 3 {
+		t.Errorf("absorbed %d snapshots, want at least one final per station", fed.Absorbed())
+	}
+}
+
+// TestShardFederationOffIsInert pins that a run without a federator
+// behaves identically (nil publishers, no extra goroutines) — the
+// zero-cost-when-off contract.
+func TestShardFederationOffIsInert(t *testing.T) {
+	const scenarios, seed = 6, 3
+	src := cohortSource(t, 2, 4)
+	want := oracle(t, scenarios, seed, src)
+	res, err := Run(context.Background(), Config{
+		Scenarios: scenarios,
+		Shards:    2,
+		Workers:   2,
+		BaseSeed:  seed,
+		Source:    src,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.FleetResult, want) {
+		t.Errorf("federation-off run diverged from oracle:\n got: %+v\nwant: %+v", res.FleetResult, want)
+	}
+}

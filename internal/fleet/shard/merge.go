@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 
 	"github.com/wiot-security/sift/internal/fleet"
+	"github.com/wiot-security/sift/internal/obs/federate"
+	"github.com/wiot-security/sift/internal/obs/logx"
 )
 
 // bitset tracks which cohort slots have merged a verdict — one bit per
@@ -43,7 +45,8 @@ type coordinator struct {
 
 	msgs     chan message
 	stations []*station
-	finished atomic.Bool // all slots merged; stations drain without running
+	pubs     []*federate.Publisher // per-station federation, nil when off
+	finished atomic.Bool           // all slots merged; stations drain without running
 
 	// Merge-loop-owned state.
 	acc          *fleet.Accumulator
@@ -123,6 +126,13 @@ func (c *coordinator) onDeath(k int) {
 	if c.cfg.Registry != nil {
 		c.cfg.Registry.MarkDead(st.id)
 	}
+	if c.pubs != nil {
+		// Flush what the dead station completed before marking it: its
+		// merged work is real and must keep contributing to the view.
+		c.pubs[k].Stop()
+		c.cfg.Federation.MarkDead(st.id)
+	}
+	logx.L().Warn("station died", "station", st.id)
 	for i, a := range c.alive {
 		if a == k {
 			c.alive = append(c.alive[:i], c.alive[i+1:]...)
@@ -164,6 +174,8 @@ func (c *coordinator) onDeath(k int) {
 		c.stats[t].Adopted += len(share)
 		c.rebalanced += len(share)
 		obsShardRebalanced.Add(int64(len(share)))
+		logx.L().Info("slots rebalanced to survivor",
+			"from", st.id, "to", c.stations[t].id, "slots", len(share))
 		// Buffered for the worst-case death count, so this send can
 		// never block the merge loop even if the survivor is itself
 		// mid-death.

@@ -26,9 +26,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"github.com/wiot-security/sift/internal/fleet"
 	"github.com/wiot-security/sift/internal/obs"
+	"github.com/wiot-security/sift/internal/obs/federate"
 	"github.com/wiot-security/sift/internal/obs/telemetry"
 	"github.com/wiot-security/sift/internal/wiot"
 )
@@ -102,6 +104,16 @@ type Config struct {
 	Telemetry *telemetry.Registry
 	Registry  *wiot.StationRegistry
 	Kill      *KillPlan // optional deterministic mid-run station kill
+
+	// Federation, when set, receives each station's cumulative
+	// observability snapshot on the FederateEvery cadence plus a final
+	// flush per station — at station death and again when the run ends —
+	// so a coordinator-side /metrics can present the live fleet-wide
+	// view. After Run returns, Federation.MergedFleet() equals
+	// Result.MergedMetrics() exactly. FederateEvery <= 0 ships only the
+	// final flushes (cadence never affects verdicts, only freshness).
+	Federation    *federate.Federator
+	FederateEvery time.Duration
 }
 
 // StationStats is one station's control-plane accounting. Completed
@@ -231,11 +243,33 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			cfg.Registry.SetSlots(c.stations[k].id, c.stats[k].Assigned)
 		}
 	}
+	if cfg.Federation != nil {
+		c.pubs = make([]*federate.Publisher, shards)
+		for k, st := range c.stations {
+			c.pubs[k] = federate.NewPublisher(federate.PublisherConfig{
+				Station:   st.id,
+				Metrics:   &st.metrics,
+				Telemetry: st.telem,
+				Into:      cfg.Federation,
+				Interval:  cfg.FederateEvery,
+			})
+		}
+	}
 	for _, st := range c.stations {
 		st.start(c)
 	}
+	for _, p := range c.pubs {
+		p.Start()
+	}
 
 	c.mergeLoop()
+
+	// Every station worker has exited (drained messages trail the last
+	// flush), so these final publishes carry each station's frozen
+	// totals: the federated view now equals MergedMetrics exactly.
+	for _, p := range c.pubs {
+		p.Stop()
+	}
 
 	if cfg.Telemetry != nil {
 		for _, st := range c.stations {

@@ -75,7 +75,7 @@ func RunSlot(ctx context.Context, cfg Config, index int, traceRoot uint64) SlotO
 			return wiot.RunScenarioContext(ctx, sc)
 		}
 	}
-	res, err := run(ctx, Slot{Index: index, Seed: seed}, sc)
+	res, err := run(ctx, Slot{Index: index, Seed: seed, Trace: runSpan.TraceID()}, sc)
 	runSpan.End()
 	elapsed := time.Since(start) //wiotlint:allow detrand
 	if err != nil {

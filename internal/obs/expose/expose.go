@@ -1,20 +1,29 @@
 // Package expose serves the observability layer over HTTP: Prometheus
 // text exposition of device telemetry and obs metrics at /metrics, the
 // flight recorder's Chrome trace at /debug/trace (and JSONL at
-// /debug/trace.jsonl), and a liveness probe at /healthz. It holds no
-// state of its own — every request renders the live registries, so a
-// scraper always sees the current fleet run.
+// /debug/trace.jsonl), a liveness probe at /healthz, and a readiness
+// probe at /readyz. It holds no state of its own — every request renders
+// the live registries, so a scraper always sees the current fleet run.
+//
+// With a Federator attached, /metrics additionally presents the
+// coordinator-side federated view of a sharded run: merged fleet
+// counters (exactly the sum of the latest per-station snapshots),
+// per-station counters labeled wiot_station, and the federation's own
+// absorption/staleness accounting.
 package expose
 
 import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 
 	"github.com/wiot-security/sift/internal/obs"
+	"github.com/wiot-security/sift/internal/obs/federate"
 	"github.com/wiot-security/sift/internal/obs/telemetry"
 	"github.com/wiot-security/sift/internal/obs/trace"
+	"github.com/wiot-security/sift/internal/wiot"
 )
 
 // Options selects which observability sources the handler exposes. Any
@@ -23,10 +32,21 @@ type Options struct {
 	Telemetry *telemetry.Registry // per-device series on /metrics
 	Sampler   *telemetry.Sampler  // time-series rollups on /metrics
 	Recorder  *trace.Recorder     // /debug/trace and drop counters
+
+	// Federator adds the federated (multi-station) sections to /metrics
+	// and feeds /readyz's staleness view.
+	Federator *federate.Federator
+	// Stations drives /readyz (at least one live station) and the
+	// per-station slot-assignment gauges.
+	Stations *wiot.StationRegistry
+	// Pprof mounts net/http/pprof under /debug/pprof/ — off by default
+	// since the profile endpoints are not free to expose.
+	Pprof bool
 }
 
 // Handler returns the observability mux: /metrics, /debug/trace,
-// /debug/trace.jsonl, and /healthz.
+// /debug/trace.jsonl, /healthz, /readyz, and (behind Options.Pprof)
+// /debug/pprof/*.
 func Handler(opts Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -62,9 +82,42 @@ func Handler(opts Options) http.Handler {
 		if !allowGet(w, r) {
 			return
 		}
+		// Liveness only: the process is up and serving. Readiness (are
+		// stations live, is the sampler running) is /readyz's job.
 		io.WriteString(w, "ok\n")
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		if reasons := notReady(opts); len(reasons) > 0 {
+			http.Error(w, "not ready: "+strings.Join(reasons, "; "), http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// notReady collects readiness failures: a configured station registry
+// with no live station, or a configured sampler that is not running.
+// With neither configured the process is ready by construction.
+func notReady(opts Options) []string {
+	var reasons []string
+	if opts.Stations != nil && opts.Stations.Live() == 0 {
+		reasons = append(reasons, "no live stations")
+	}
+	if opts.Sampler != nil && !opts.Sampler.Running() {
+		reasons = append(reasons, "sampler not running")
+	}
+	return reasons
 }
 
 func allowGet(w http.ResponseWriter, r *http.Request) bool {
@@ -108,8 +161,13 @@ func (f family) sample(w io.Writer, label, value string, v float64) {
 // writeMetrics renders everything the options expose in Prometheus text
 // exposition format (version 0.0.4).
 func writeMetrics(w io.Writer, opts Options) {
-	if opts.Telemetry != nil {
+	switch {
+	case opts.Telemetry != nil:
 		writeDevices(w, opts.Telemetry.Snapshot())
+	case opts.Federator != nil:
+		// No local registry: present the federated per-device rollups
+		// under the same families a single-process run would emit.
+		writeDevices(w, opts.Federator.MergedDevices())
 	}
 	writeObs(w, obs.TakeSnapshot())
 	if opts.Sampler != nil {
@@ -117,6 +175,85 @@ func writeMetrics(w io.Writer, opts Options) {
 	}
 	if opts.Recorder != nil {
 		writeRecorder(w, opts.Recorder)
+	}
+	if opts.Federator != nil {
+		writeFederation(w, opts.Federator)
+	}
+	if opts.Stations != nil {
+		writeStationRegistry(w, opts.Stations)
+	}
+}
+
+// writeFederation emits the coordinator-side view of a sharded run: the
+// merged fleet counters (sum of the latest per-station snapshots),
+// per-station counters labeled wiot_station, and the federator's
+// absorb/drop accounting.
+func writeFederation(w io.Writer, f *federate.Federator) {
+	merged := f.MergedFleet()
+	fleetFams := []struct {
+		family
+		v float64
+	}{
+		{family{"wiot_fleet_scenarios_started_total", "Scenarios started across all stations (federated).", "counter"}, float64(merged.ScenariosStarted)},
+		{family{"wiot_fleet_scenarios_completed_total", "Scenarios completed across all stations (federated).", "counter"}, float64(merged.ScenariosCompleted)},
+		{family{"wiot_fleet_scenarios_failed_total", "Scenarios failed across all stations (federated).", "counter"}, float64(merged.ScenariosFailed)},
+		{family{"wiot_fleet_windows_scored_total", "Windows scored across all stations (federated).", "counter"}, float64(merged.WindowsScored)},
+		{family{"wiot_fleet_alerts_raised_total", "Alerts raised across all stations (federated).", "counter"}, float64(merged.AlertsRaised)},
+		{family{"wiot_fleet_frames_delivered_total", "Frames delivered across all stations (federated).", "counter"}, float64(merged.FramesDelivered)},
+	}
+	for _, ff := range fleetFams {
+		ff.header(w)
+		ff.sample(w, "", "", ff.v)
+	}
+
+	stations := f.Stations()
+	if len(stations) > 0 {
+		stationFams := []struct {
+			family
+			value func(federate.StationStatus) float64
+		}{
+			{family{"wiot_station_scenarios_completed_total", "Scenarios completed on the station (latest snapshot).", "counter"},
+				func(s federate.StationStatus) float64 { return float64(s.Fleet.ScenariosCompleted) }},
+			{family{"wiot_station_scenarios_failed_total", "Scenarios failed on the station (latest snapshot).", "counter"},
+				func(s federate.StationStatus) float64 { return float64(s.Fleet.ScenariosFailed) }},
+			{family{"wiot_station_windows_scored_total", "Windows scored on the station (latest snapshot).", "counter"},
+				func(s federate.StationStatus) float64 { return float64(s.Fleet.WindowsScored) }},
+			{family{"wiot_station_snapshot_seq", "Sequence number of the station's latest absorbed snapshot.", "gauge"},
+				func(s federate.StationStatus) float64 { return float64(s.Seq) }},
+			{family{"wiot_station_up", "1 while the station is live, 0 once marked dead.", "gauge"},
+				func(s federate.StationStatus) float64 {
+					if s.Dead {
+						return 0
+					}
+					return 1
+				}},
+		}
+		for _, sf := range stationFams {
+			sf.header(w)
+			for _, s := range stations {
+				sf.sample(w, "wiot_station", s.Station, sf.value(s))
+			}
+		}
+	}
+
+	absorbed := family{"wiot_federation_snapshots_absorbed_total", "Station snapshots accepted by the federator.", "counter"}
+	absorbed.header(w)
+	absorbed.sample(w, "", "", float64(f.Absorbed()))
+	dropped := family{"wiot_federation_snapshots_dropped_total", "Station snapshots rejected as stale (reorder or replay).", "counter"}
+	dropped.header(w)
+	dropped.sample(w, "", "", float64(f.Dropped()))
+}
+
+// writeStationRegistry emits the control plane's station ledger: live
+// count plus per-station slot assignment.
+func writeStationRegistry(w io.Writer, reg *wiot.StationRegistry) {
+	live := family{"wiot_stations_live", "Stations currently live in the registry.", "gauge"}
+	live.header(w)
+	live.sample(w, "", "", float64(reg.Live()))
+	slots := family{"wiot_station_slots", "Cohort slots currently assigned to the station.", "gauge"}
+	slots.header(w)
+	for _, s := range reg.Snapshot() {
+		slots.sample(w, "wiot_station", s.ID, float64(s.Slots))
 	}
 }
 

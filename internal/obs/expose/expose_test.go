@@ -8,10 +8,14 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
+	"github.com/wiot-security/sift/internal/fleet"
 	"github.com/wiot-security/sift/internal/obs"
+	"github.com/wiot-security/sift/internal/obs/federate"
 	"github.com/wiot-security/sift/internal/obs/telemetry"
 	"github.com/wiot-security/sift/internal/obs/trace"
+	"github.com/wiot-security/sift/internal/wiot"
 )
 
 // sampleLine matches one Prometheus text-format sample:
@@ -166,5 +170,137 @@ func TestTraceEndpointWithoutRecorder(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("GET /debug/trace without recorder = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestReadyzStates walks /readyz through its gate conditions: ready with
+// nothing configured, gated on station liveness, gated on the sampler.
+func TestReadyzStates(t *testing.T) {
+	get := func(h http.Handler) (int, string) {
+		t.Helper()
+		srv := httptest.NewServer(h)
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, _ := get(Handler(Options{})); code != http.StatusOK {
+		t.Fatalf("bare handler not ready: %d", code)
+	}
+
+	stations := wiot.NewStationRegistry()
+	stations.Register("station-00", "inproc")
+	if code, body := get(Handler(Options{Stations: stations})); code != http.StatusOK {
+		t.Fatalf("live station not ready: %d %q", code, body)
+	}
+	stations.MarkDead("station-00")
+	if code, body := get(Handler(Options{Stations: stations})); code != http.StatusServiceUnavailable || !strings.Contains(body, "no live stations") {
+		t.Fatalf("dead stations reported ready: %d %q", code, body)
+	}
+
+	sampler := telemetry.NewSampler(time.Hour, 16, nil)
+	if code, body := get(Handler(Options{Sampler: sampler})); code != http.StatusServiceUnavailable || !strings.Contains(body, "sampler not running") {
+		t.Fatalf("stopped sampler reported ready: %d %q", code, body)
+	}
+	sampler.Start()
+	defer sampler.Stop()
+	if code, _ := get(Handler(Options{Sampler: sampler})); code != http.StatusOK {
+		t.Fatalf("running sampler not ready: %d", code)
+	}
+
+	// /healthz stays liveness-only: still ok with everything unready.
+	srv := httptest.NewServer(Handler(Options{Stations: stations}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz gated on readiness: %d", resp.StatusCode)
+	}
+}
+
+// TestFederatedMetricsExposition renders a federated /metrics and checks
+// the per-station labels, the merged sums, and format validity.
+func TestFederatedMetricsExposition(t *testing.T) {
+	fed := federate.New()
+	fed.Absorb(federate.StationSnapshot{
+		Station: "station-00", Seq: 2,
+		Fleet: fleet.Snapshot{ScenariosCompleted: 7, WindowsScored: 70},
+	})
+	fed.Absorb(federate.StationSnapshot{
+		Station: "station-01", Seq: 1,
+		Fleet: fleet.Snapshot{ScenariosCompleted: 5, WindowsScored: 50},
+	})
+	fed.Absorb(federate.StationSnapshot{Station: "station-01", Seq: 1}) // stale: dropped
+	fed.MarkDead("station-01")
+
+	stations := wiot.NewStationRegistry()
+	stations.Register("station-00", "inproc")
+
+	srv := httptest.NewServer(Handler(Options{Federator: fed, Stations: stations}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+
+	for _, want := range []string{
+		"wiot_fleet_scenarios_completed_total 12",
+		"wiot_fleet_windows_scored_total 120",
+		`wiot_station_scenarios_completed_total{wiot_station="station-00"} 7`,
+		`wiot_station_scenarios_completed_total{wiot_station="station-01"} 5`,
+		`wiot_station_up{wiot_station="station-00"} 1`,
+		`wiot_station_up{wiot_station="station-01"} 0`,
+		"wiot_federation_snapshots_dropped_total 1",
+		"wiot_stations_live 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in federated exposition", want)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("malformed sample line: %q", line)
+		}
+	}
+}
+
+// TestPprofGated checks /debug/pprof/ is absent by default and present
+// behind the flag.
+func TestPprofGated(t *testing.T) {
+	srv := httptest.NewServer(Handler(Options{}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof exposed without the flag: %d", resp.StatusCode)
+	}
+
+	srv2 := httptest.NewServer(Handler(Options{Pprof: true}))
+	defer srv2.Close()
+	resp2, err := http.Get(srv2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	if resp2.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index not served: %d", resp2.StatusCode)
 	}
 }

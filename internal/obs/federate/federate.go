@@ -1,0 +1,166 @@
+// Package federate merges per-station observability into one
+// coordinator-side view: each station periodically publishes a
+// StationSnapshot (its fleet metrics plus per-device telemetry), and a
+// Federator keeps the latest snapshot per station, folding them on
+// demand with the same Merge/Absorb algebra the shard result path uses.
+//
+// Snapshots are cumulative, not deltas: a station always ships its full
+// counters, and the federator keeps only the newest (highest-Seq)
+// snapshot per station. That makes absorption idempotent — a replayed or
+// reordered snapshot can never double-count — and means the merged view
+// equals the sum of the latest per-station snapshots exactly.
+//
+// The package is deterministic-by-construction where it matters: no
+// wall-clock timestamps enter the snapshots (staleness is sequence-based,
+// not time-based), so federated rollups in run manifests are
+// byte-reproducible.
+package federate
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/wiot-security/sift/internal/fleet"
+	"github.com/wiot-security/sift/internal/obs/logx"
+	"github.com/wiot-security/sift/internal/obs/telemetry"
+)
+
+// StationSnapshot is one station's cumulative observability state at a
+// publish point. Seq orders snapshots from the same station (later
+// publishes carry higher sequence numbers); Final marks the flush a
+// station sends when it finishes or dies.
+type StationSnapshot struct {
+	Station string
+	Seq     uint64
+	Final   bool
+	Fleet   fleet.Snapshot
+	Devices []telemetry.DeviceSnapshot
+}
+
+// StationStatus is the federator's per-station ledger entry.
+type StationStatus struct {
+	Station string
+	Seq     uint64
+	Final   bool
+	Dead    bool
+	Fleet   fleet.Snapshot
+}
+
+type stationState struct {
+	last StationSnapshot
+	has  bool
+	dead bool
+}
+
+// Federator accumulates the latest snapshot per station and merges them
+// into fleet-wide views. All methods are safe for concurrent use.
+type Federator struct {
+	mu       sync.Mutex
+	stations map[string]*stationState
+	absorbed int64
+	dropped  int64
+}
+
+// New returns an empty Federator.
+func New() *Federator {
+	return &Federator{stations: make(map[string]*stationState)}
+}
+
+// Absorb records a station snapshot, keeping only the newest per
+// station: a snapshot whose Seq does not advance past the one already
+// held is stale (a reorder or replay) and is counted and dropped.
+// It reports whether the snapshot was accepted.
+func (f *Federator) Absorb(s StationSnapshot) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.stations[s.Station]
+	if st == nil {
+		st = &stationState{}
+		f.stations[s.Station] = st
+	}
+	if st.has && s.Seq <= st.last.Seq {
+		f.dropped++
+		logx.L().Warn("federation snapshot dropped as stale",
+			"station", s.Station, "seq", s.Seq, "have", st.last.Seq)
+		return false
+	}
+	st.last = s
+	st.has = true
+	f.absorbed++
+	return true
+}
+
+// MarkDead flags a station dead in the ledger (its last snapshot keeps
+// contributing to the merged view — the work it completed is real).
+func (f *Federator) MarkDead(station string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.stations[station]
+	if st == nil {
+		st = &stationState{}
+		f.stations[station] = st
+	}
+	st.dead = true
+}
+
+// MergedFleet folds the latest per-station fleet snapshots into one,
+// using the same Snapshot.Merge the shard result path uses: the merged
+// counters are exactly the sum of the per-station snapshots.
+func (f *Federator) MergedFleet() fleet.Snapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out fleet.Snapshot
+	for _, st := range f.stations {
+		if st.has {
+			out = out.Merge(st.last.Fleet)
+		}
+	}
+	return out
+}
+
+// MergedDevices folds the latest per-station device telemetry through a
+// scratch registry (Absorb adds counters, maxes watermarks), returning
+// the combined per-device rollups sorted by name.
+func (f *Federator) MergedDevices() []telemetry.DeviceSnapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	reg := telemetry.NewRegistry()
+	for _, st := range f.stations {
+		for _, d := range st.last.Devices {
+			reg.Device(d.Name).Absorb(d)
+		}
+	}
+	return reg.Snapshot()
+}
+
+// Stations returns the per-station ledger sorted by station name.
+func (f *Federator) Stations() []StationStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]StationStatus, 0, len(f.stations))
+	for name, st := range f.stations {
+		out = append(out, StationStatus{
+			Station: name,
+			Seq:     st.last.Seq,
+			Final:   st.last.Final,
+			Dead:    st.dead,
+			Fleet:   st.last.Fleet,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Station < out[j].Station })
+	return out
+}
+
+// Absorbed returns how many snapshots were accepted.
+func (f *Federator) Absorbed() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.absorbed
+}
+
+// Dropped returns how many snapshots were rejected as stale.
+func (f *Federator) Dropped() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}

@@ -1,0 +1,141 @@
+package federate
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/wiot-security/sift/internal/fleet"
+	"github.com/wiot-security/sift/internal/obs/telemetry"
+)
+
+func snap(station string, seq uint64, completed int64) StationSnapshot {
+	return StationSnapshot{
+		Station: station,
+		Seq:     seq,
+		Fleet:   fleet.Snapshot{ScenariosCompleted: completed},
+	}
+}
+
+// TestAbsorbKeepLatest pins the federation algebra: cumulative
+// snapshots, keep-latest per station, merged view == sum of the latest.
+func TestAbsorbKeepLatest(t *testing.T) {
+	f := New()
+	if !f.Absorb(snap("s0", 1, 10)) || !f.Absorb(snap("s1", 1, 5)) {
+		t.Fatal("fresh snapshots rejected")
+	}
+	// A later cumulative snapshot replaces, never adds.
+	if !f.Absorb(snap("s0", 2, 12)) {
+		t.Fatal("newer snapshot rejected")
+	}
+	got := f.MergedFleet()
+	if got.ScenariosCompleted != 17 {
+		t.Fatalf("merged completed = %d, want 17 (12+5)", got.ScenariosCompleted)
+	}
+	// Stale and replayed snapshots are dropped and counted.
+	if f.Absorb(snap("s0", 2, 12)) || f.Absorb(snap("s0", 1, 10)) {
+		t.Fatal("stale snapshot accepted")
+	}
+	if f.Dropped() != 2 || f.Absorbed() != 3 {
+		t.Fatalf("counters = dropped %d absorbed %d, want 2/3", f.Dropped(), f.Absorbed())
+	}
+	if f.MergedFleet().ScenariosCompleted != 17 {
+		t.Fatal("stale snapshot changed the merged view")
+	}
+}
+
+func TestMergedDevicesFoldsAcrossStations(t *testing.T) {
+	f := New()
+	f.Absorb(StationSnapshot{Station: "s0", Seq: 1, Devices: []telemetry.DeviceSnapshot{
+		{Name: "subjA", Windows: 4, Cycles: 400, SRAMPeakBytes: 900},
+		{Name: "subjB", Windows: 1, Cycles: 90, SRAMPeakBytes: 500},
+	}})
+	f.Absorb(StationSnapshot{Station: "s1", Seq: 1, Devices: []telemetry.DeviceSnapshot{
+		{Name: "subjA", Windows: 2, Cycles: 200, SRAMPeakBytes: 1100},
+	}})
+	got := f.MergedDevices()
+	if len(got) != 2 || got[0].Name != "subjA" || got[1].Name != "subjB" {
+		t.Fatalf("merged devices = %+v", got)
+	}
+	if got[0].Windows != 6 || got[0].Cycles != 600 {
+		t.Fatalf("subjA counters did not add: %+v", got[0])
+	}
+	if got[0].SRAMPeakBytes != 1100 {
+		t.Fatalf("subjA SRAM watermark should max, got %d", got[0].SRAMPeakBytes)
+	}
+}
+
+func TestStationsLedger(t *testing.T) {
+	f := New()
+	f.Absorb(snap("s1", 3, 7))
+	f.Absorb(snap("s0", 2, 4))
+	f.MarkDead("s1")
+	got := f.Stations()
+	if len(got) != 2 || got[0].Station != "s0" || got[1].Station != "s1" {
+		t.Fatalf("ledger order: %+v", got)
+	}
+	if got[0].Dead || !got[1].Dead {
+		t.Fatalf("dead flags: %+v", got)
+	}
+	if got[1].Seq != 3 || got[1].Fleet.ScenariosCompleted != 7 {
+		t.Fatalf("ledger entry: %+v", got[1])
+	}
+}
+
+// TestPublisherFinalFlushMatchesStation is the sum-equality property in
+// miniature: after Stop, the federated view equals the station's own
+// snapshot exactly, field for field.
+func TestPublisherFinalFlushMatchesStation(t *testing.T) {
+	var m fleet.Metrics
+	reg := telemetry.NewRegistry()
+	f := New()
+	p := NewPublisher(PublisherConfig{
+		Station: "s0", Metrics: &m, Telemetry: reg, Into: f,
+	})
+	m.ScenarioStarted()
+	m.ScenarioCompleted(3 * time.Millisecond)
+	m.WindowsScored(12, 2)
+	reg.Device("subjA").ObserveScenario(12, 2, time.Millisecond)
+	p.Publish(false)
+	// More work lands after the mid-run publish; the final flush must
+	// still converge to the exact totals.
+	m.ScenarioStarted()
+	m.ScenarioFailed(time.Millisecond)
+	p.Stop()
+
+	if got, want := f.MergedFleet(), m.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("federated view diverged from station snapshot:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := f.MergedDevices(), reg.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("federated devices diverged:\n got %+v\nwant %+v", got, want)
+	}
+	sts := f.Stations()
+	if len(sts) != 1 || !sts[0].Final {
+		t.Fatalf("final flush not recorded: %+v", sts)
+	}
+}
+
+// TestPublisherTicker exercises the Start/Stop lifecycle: the ticker
+// publishes on cadence and Stop is idempotent.
+func TestPublisherTicker(t *testing.T) {
+	var m fleet.Metrics
+	f := New()
+	p := NewPublisher(PublisherConfig{
+		Station: "s0", Metrics: &m, Into: f, Interval: time.Millisecond,
+	})
+	p.Start()
+	p.Start() // double start is a no-op
+	deadline := time.Now().Add(2 * time.Second)
+	for f.Absorbed() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if f.Absorbed() < 2 {
+		t.Fatal("ticker never published")
+	}
+	p.Stop()
+	p.Stop()
+	sts := f.Stations()
+	if len(sts) != 1 || !sts[0].Final {
+		t.Fatalf("no final snapshot after Stop: %+v", sts)
+	}
+}

@@ -1,0 +1,112 @@
+package federate
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wiot-security/sift/internal/fleet"
+	"github.com/wiot-security/sift/internal/obs/logx"
+	"github.com/wiot-security/sift/internal/obs/telemetry"
+)
+
+// PublisherConfig wires one station's metrics into a Federator.
+type PublisherConfig struct {
+	// Station labels every snapshot (e.g. "s3").
+	Station string
+	// Metrics is the station's fleet counter block (required).
+	Metrics *fleet.Metrics
+	// Telemetry is the station's per-device registry; nil publishes
+	// fleet counters only.
+	Telemetry *telemetry.Registry
+	// Into receives every snapshot (required).
+	Into *Federator
+	// Interval is the ticker cadence for Start; <=0 disables the ticker
+	// (only explicit Publish/Stop calls ship snapshots).
+	Interval time.Duration
+}
+
+// Publisher ships a station's cumulative snapshots into a Federator: on
+// a ticker while running, and one final flush at Stop (station finish or
+// death), so the federated view converges to the exact station totals.
+type Publisher struct {
+	cfg PublisherConfig
+	seq atomic.Uint64
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewPublisher returns an idle publisher; nothing ships until Start,
+// Publish, or Stop.
+func NewPublisher(cfg PublisherConfig) *Publisher {
+	return &Publisher{cfg: cfg}
+}
+
+// Publish takes a cumulative snapshot and absorbs it into the target
+// federator. Each publish carries the next sequence number, so the
+// federator's keep-latest rule always prefers it over earlier ones.
+func (p *Publisher) Publish(final bool) {
+	if p.cfg.Metrics == nil || p.cfg.Into == nil {
+		return
+	}
+	s := StationSnapshot{
+		Station: p.cfg.Station,
+		Seq:     p.seq.Add(1),
+		Final:   final,
+		Fleet:   p.cfg.Metrics.Snapshot(),
+	}
+	if p.cfg.Telemetry != nil {
+		s.Devices = p.cfg.Telemetry.Snapshot()
+	}
+	p.cfg.Into.Absorb(s)
+	logx.L().Debug("federation publish",
+		"station", p.cfg.Station, "seq", s.Seq, "final", final,
+		"completed", s.Fleet.ScenariosCompleted)
+}
+
+// Start launches the ticker loop (a no-op when Interval <= 0 or already
+// running).
+func (p *Publisher) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cfg.Interval <= 0 || p.stop != nil {
+		return
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.loop(p.stop, p.done)
+}
+
+// loop publishes on the cadence until stopped. The ticker is operator
+// telemetry, not scenario state — federation cadence never influences a
+// run's verdicts, only when the coordinator's view refreshes.
+func (p *Publisher) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(p.cfg.Interval) //wiotlint:allow detrand
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			p.Publish(false)
+		}
+	}
+}
+
+// Stop halts the ticker (if running) and ships the final snapshot. It is
+// idempotent; every call after the first still publishes a fresh final
+// snapshot, which the federator accepts as the newest.
+func (p *Publisher) Stop() {
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	p.Publish(true)
+}

@@ -1,0 +1,64 @@
+package logx
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDefaultLoggerDiscards(t *testing.T) {
+	Set(nil)
+	l := L()
+	if l == nil {
+		t.Fatal("L() returned nil")
+	}
+	// Must not panic, must not write anywhere, and Enabled must be false
+	// so callers skip record assembly entirely.
+	l.Info("dropped", "k", "v")
+	if l.Enabled(nil, 0) { //nolint:staticcheck // nil ctx is fine for slog
+		t.Fatal("discard logger reports Enabled")
+	}
+}
+
+func TestConfigureJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Configure("json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	defer Set(nil)
+	L().Info("station up", "station", "s3", "slots", 42)
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("output is not one JSON object: %v (%q)", err, buf.String())
+	}
+	if m["msg"] != "station up" || m["station"] != "s3" {
+		t.Fatalf("unexpected record: %v", m)
+	}
+}
+
+func TestConfigureText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Configure("text", &buf); err != nil {
+		t.Fatal(err)
+	}
+	defer Set(nil)
+	L().Warn("station dead", "station", "s1")
+	if !strings.Contains(buf.String(), "station=s1") {
+		t.Fatalf("text handler output missing attr: %q", buf.String())
+	}
+}
+
+func TestConfigureOffAndUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Configure("off", &buf); err != nil {
+		t.Fatal(err)
+	}
+	L().Error("dropped")
+	if buf.Len() != 0 {
+		t.Fatalf("off logger wrote %q", buf.String())
+	}
+	if err := Configure("yaml", &buf); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -413,6 +413,15 @@ func (s *Sampler) Start() {
 	}()
 }
 
+// Running reports whether the sampling goroutine is live (started and
+// not yet stopped). The /readyz endpoint uses it: a serving process
+// whose sampler died or was never started is exposing stale series.
+func (s *Sampler) Running() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stop != nil
+}
+
 // Stop halts the sampling goroutine, takes one final sample so the
 // series always include the run's end state, and leaves the collected
 // series readable.

@@ -21,6 +21,10 @@ type NetConfig struct {
 	WrapListener func(net.Listener) net.Listener
 	// Seed derives per-sensor backoff-jitter seeds when Sink.Seed is 0.
 	Seed int64
+	// TraceParent, when nonzero, is copied into each sensor sink so every
+	// connection joins the caller's trace tree (see
+	// ReconnectConfig.TraceParent).
+	TraceParent uint64
 }
 
 // RunScenarioOverTCP drives the same end-to-end scenario as
@@ -76,6 +80,9 @@ func RunScenarioOverTCP(ctx context.Context, sc Scenario, nc NetConfig) (Scenari
 			cfg.Seed = nc.Seed*2 + offset
 		} else {
 			cfg.Seed += offset
+		}
+		if cfg.TraceParent == 0 {
+			cfg.TraceParent = nc.TraceParent
 		}
 		return NewReconnectSink(cfg)
 	}

@@ -17,6 +17,9 @@ import (
 //	0xA7  checksummed frame   — same layout, magic 0xA7, CRC32-C trailer
 //	                            over every preceding byte of the record
 //	0x5C  control record      — [magic, kind, sensor, seq u32 LE, crc u32 LE]
+//	                            (kind 5, trace context, is longer:
+//	                             [magic, kind, sensor, span u64 LE,
+//	                              parent u64 LE, crc u32 LE])
 //
 // The station→sensor direction carries only control records (acks and
 // nacks). A receiver that loses framing — a corrupted length field, a
@@ -31,6 +34,7 @@ const (
 	frameHeaderSize = 8 // magic, sensor, seq u32, count u16
 	crcSize         = 4
 	ctrlRecordSize  = 11
+	ctrlTraceSize   = 23 // magic, kind, sensor, span u64, parent u64, crc u32
 )
 
 // crcTable is the Castagnoli polynomial every v2 record is summed with.
@@ -60,39 +64,69 @@ const (
 	// ctrlHello (sensor→station): sent first on every connection by a
 	// reliable sender, latching the receiver into checksummed mode.
 	ctrlHello
+	// ctrlTrace (sensor→station): trace-context propagation — the sink's
+	// connection span ID and its fleet-side parent, sent once after hello
+	// so station-side spans can join the coordinator's trace tree. Uses
+	// the longer ctrlTraceSize layout (span/parent are u64s, no seq).
+	ctrlTrace
 )
 
-// ctrlRecord is one parsed control record.
+// ctrlRecord is one parsed control record. Span/Parent are populated only
+// for ctrlTrace records and stay zero for the classic ack/nack/gap/hello
+// kinds.
 type ctrlRecord struct {
 	Kind   ctrlKind
 	Sensor SensorID
 	Seq    uint32
+	Span   uint64
+	Parent uint64
 }
 
-// appendCtrl serializes a control record, CRC included.
+// appendCtrl serializes a control record, CRC included. ctrlTrace records
+// use the wide layout; everything else the classic 11-byte one.
 func appendCtrl(buf []byte, c ctrlRecord) []byte {
 	start := len(buf)
 	buf = append(buf, ctrlMagic, byte(c.Kind), byte(c.Sensor))
-	buf = binary.LittleEndian.AppendUint32(buf, c.Seq)
+	if c.Kind == ctrlTrace {
+		buf = binary.LittleEndian.AppendUint64(buf, c.Span)
+		buf = binary.LittleEndian.AppendUint64(buf, c.Parent)
+	} else {
+		buf = binary.LittleEndian.AppendUint32(buf, c.Seq)
+	}
 	sum := crc32.Checksum(buf[start:], crcTable)
 	return binary.LittleEndian.AppendUint32(buf, sum)
 }
 
-// decodeCtrl parses one control record from exactly ctrlRecordSize bytes.
+// decodeCtrl parses one control record. The buffer must hold exactly the
+// record for its kind: ctrlTraceSize bytes for ctrlTrace, ctrlRecordSize
+// otherwise (PeekRecord sizes it before the scanner slices).
 func decodeCtrl(buf []byte) (ctrlRecord, error) {
 	if len(buf) < ctrlRecordSize || buf[0] != ctrlMagic {
 		return ctrlRecord{}, ErrBadControl
 	}
-	if sum := crc32.Checksum(buf[:ctrlRecordSize-crcSize], crcTable); sum != binary.LittleEndian.Uint32(buf[ctrlRecordSize-crcSize:]) {
+	kind := ctrlKind(buf[1])
+	if kind < ctrlAck || kind > ctrlTrace {
+		return ctrlRecord{}, fmt.Errorf("%w: kind %d", ErrBadControl, buf[1])
+	}
+	size := ctrlRecordSize
+	if kind == ctrlTrace {
+		size = ctrlTraceSize
+	}
+	if len(buf) < size {
+		return ctrlRecord{}, ErrBadControl
+	}
+	if sum := crc32.Checksum(buf[:size-crcSize], crcTable); sum != binary.LittleEndian.Uint32(buf[size-crcSize:]) {
 		return ctrlRecord{}, fmt.Errorf("%w: %v", ErrBadControl, ErrBadChecksum)
 	}
 	c := ctrlRecord{
-		Kind:   ctrlKind(buf[1]),
+		Kind:   kind,
 		Sensor: SensorID(buf[2]),
-		Seq:    binary.LittleEndian.Uint32(buf[3:]),
 	}
-	if c.Kind < ctrlAck || c.Kind > ctrlHello {
-		return ctrlRecord{}, fmt.Errorf("%w: kind %d", ErrBadControl, buf[1])
+	if kind == ctrlTrace {
+		c.Span = binary.LittleEndian.Uint64(buf[3:])
+		c.Parent = binary.LittleEndian.Uint64(buf[11:])
+	} else {
+		c.Seq = binary.LittleEndian.Uint32(buf[3:])
 	}
 	return c, nil
 }
@@ -158,8 +192,12 @@ func PeekRecord(buf []byte) (RecordInfo, error) {
 		if len(buf) < 2 {
 			return RecordInfo{}, ErrShortFrame
 		}
-		if k := ctrlKind(buf[1]); k < ctrlAck || k > ctrlHello {
+		k := ctrlKind(buf[1])
+		if k < ctrlAck || k > ctrlTrace {
 			return RecordInfo{}, fmt.Errorf("%w: kind %d", ErrBadControl, buf[1])
+		}
+		if k == ctrlTrace {
+			return RecordInfo{Kind: RecordControl, Len: ctrlTraceSize}, nil
 		}
 		return RecordInfo{Kind: RecordControl, Len: ctrlRecordSize}, nil
 	default:

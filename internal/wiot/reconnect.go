@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/wiot-security/sift/internal/obs"
+	"github.com/wiot-security/sift/internal/obs/logx"
 	"github.com/wiot-security/sift/internal/obs/trace"
 )
 
@@ -81,6 +82,14 @@ type ReconnectConfig struct {
 	// phantom record — at the cost of duplicates the station drops as
 	// stale.
 	RetransmitTimeout time.Duration
+
+	// TraceParent, when nonzero, is the fleet-side span ID every
+	// connection of this sink parents under: each (re)connect opens a
+	// wiot.sink.conn region as its child and announces both IDs to the
+	// station in a ctrlTrace record, so station-side spans join the same
+	// trace tree across the TCP boundary. Zero disables propagation (no
+	// extra record, no extra work on the wire).
+	TraceParent uint64
 }
 
 func (c ReconnectConfig) withDefaults() ReconnectConfig {
@@ -293,12 +302,28 @@ func (r *ReconnectSink) run() {
 			_ = conn.Close()
 			continue
 		}
+		// Trace-context propagation: the connection interval is a child of
+		// the fleet-side parent, and the station learns both IDs from the
+		// ctrlTrace record so its own spans parent under this connection.
+		// The region spans the connection's lifetime, so it ends at the
+		// bottom of the loop body rather than via defer.
+		var connRegion trace.Region
+		if r.cfg.TraceParent != 0 {
+			connRegion = trace.BeginChildOf("wiot.sink.conn", r.cfg.TraceParent) //wiotlint:allow spanend
+			rec := ctrlRecord{Kind: ctrlTrace, Span: connRegion.TraceID(), Parent: r.cfg.TraceParent}
+			if err := r.writeRaw(conn, appendCtrl(nil, rec)); err != nil {
+				connRegion.End()
+				_ = conn.Close()
+				continue
+			}
+		}
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
 			r.readAcks(conn, gen)
 		}()
 		r.writeLoop(conn, gen)
+		connRegion.End()
 		_ = conn.Close()
 	}
 }
@@ -324,11 +349,13 @@ func (r *ReconnectSink) connect(rng *rand.Rand) (net.Conn, error) {
 			r.connects.Add(1)
 			obsSinkConnects.Add(1)
 			trace.Instant("wiot.sink.connect")
+			logx.L().Debug("sink connected", "addr", r.cfg.Addr, "attempt", attempt)
 			return conn, nil
 		}
 		r.dialRetries.Add(1)
 		obsSinkDialRetries.Add(1)
 		trace.Instant("wiot.sink.retry")
+		logx.L().Debug("sink dial failed", "addr", r.cfg.Addr, "attempt", attempt, "err", err)
 		if isTimeout(err) {
 			err = fmt.Errorf("wiot: dial station %s after %v: %w", r.cfg.Addr, r.cfg.DialTimeout, ErrDialTimeout)
 		}
@@ -562,6 +589,7 @@ func (r *ReconnectSink) declareGapLocked(sensor SensorID) {
 // fail marks the sink terminally failed (dial attempts exhausted):
 // buffered and future frames are undeliverable.
 func (r *ReconnectSink) fail(err error) {
+	logx.L().Warn("sink failed terminally", "addr", r.cfg.Addr, "err", err)
 	r.mu.Lock()
 	r.failedErr = err
 	r.cond.Broadcast()

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/wiot-security/sift/internal/obs"
+	"github.com/wiot-security/sift/internal/obs/logx"
 	"github.com/wiot-security/sift/internal/obs/trace"
 )
 
@@ -211,6 +212,7 @@ func (s *TCPStation) acceptLoop() {
 		s.conns64.Add(1)
 		obsTCPConns.Add(1)
 		trace.Instant("wiot.tcp.conn")
+		logx.L().Debug("station accepted conn", "remote", conn.RemoteAddr().String())
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -258,8 +260,19 @@ func (d deadlineReader) Read(p []byte) (int, error) {
 // serveConn runs one sensor connection to completion. Corrupt bytes are
 // scanned past, HandleFrame errors are recorded and survived; only I/O
 // failure (including the read deadline) ends the connection.
+//
+// If the sensor announces trace context (ctrlTrace), the connection's
+// lifetime is recorded as a wiot.station.conn region parented under the
+// sink-side connection span, joining the coordinator's trace tree across
+// the TCP boundary. The deferred End covers every exit path — including
+// the teardown of a mid-run reconnect — so no station-side span is left
+// open across reconnects.
 func (s *TCPStation) serveConn(conn net.Conn) {
 	sc := newFrameScanner(deadlineReader{conn, s.cfg.ReadIdleTimeout}, !s.cfg.RequireChecksums)
+	var connRegion trace.Region
+	defer func() {
+		connRegion.End()
+	}()
 	var lastResyncs, lastSkipped int64
 	for {
 		rec, err := sc.next()
@@ -278,6 +291,18 @@ func (s *TCPStation) serveConn(conn net.Conn) {
 			return
 		}
 		switch {
+		case rec.isCtrl && rec.ctrl.Kind == ctrlTrace:
+			// Adopt the announced context once per connection: parent under
+			// the sink's connection span when it recorded one, else directly
+			// under the fleet-side parent (the sink may have no recorder
+			// attached while the station side does).
+			if connRegion.TraceID() == 0 {
+				parent := rec.ctrl.Span
+				if parent == 0 {
+					parent = rec.ctrl.Parent
+				}
+				connRegion = trace.BeginChildOf("wiot.station.conn", parent) //wiotlint:allow spanend
+			}
 		case rec.isCtrl:
 			s.handleCtrl(rec.ctrl)
 		case rec.checked:
