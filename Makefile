@@ -7,7 +7,7 @@ GO ?= go
 # Coverage floor (percent) enforced on the packages PR 1 race-proofed.
 COVER_FLOOR ?= 85.0
 
-.PHONY: check vet build test race chaos shard shard-smoke shard-smoke-1m fuzz fuzz-verify fuzz-jit fleet-demo lint lint-custom campaigns vuln cover bench bench-check
+.PHONY: check vet build test race chaos shard shard-smoke shard-smoke-1m auth fuzz fuzz-verify fuzz-jit fuzz-auth fleet-demo lint lint-custom campaigns vuln cover bench bench-check
 
 check: vet build race
 
@@ -64,6 +64,19 @@ shard-smoke:
 shard-smoke-1m:
 	$(GO) run ./cmd/wiotsim -fleet 1000000 -shards 4 -stream -train 60 -live 6 -attack-at 3 -max-heap-mib 256
 
+# The authenticated-wire suite under the race detector: the handshake
+# and session machinery, serial-arithmetic seq comparisons across the
+# u32 wrap, the scheduled byzantine adversary (every forgery must be
+# rejected while honest verdicts converge with plain v2), the wire
+# attack campaigns (impersonation, frame replay, session hijack — zero
+# forged frames accepted, every attempt accounted for in the reject
+# counters), and the declarative auth-adversary campaign.
+auth:
+	$(GO) test -race -count=2 ./internal/wiot/ -run 'Auth|Session|Serial|SeqWrap|DeriveSensorKey|KeyStore|CMAC'
+	$(GO) test -race -count=1 ./internal/wiot/chaos/ -run 'Adversary'
+	$(GO) test -race -count=1 ./internal/attack/
+	$(GO) test -race -count=1 ./internal/campaign/ -run 'AuthAdversary|AuthParity'
+
 # Short coverage-guided session on the frame codec (beyond the seed
 # corpus that `go test` always runs).
 fuzz:
@@ -80,6 +93,11 @@ fuzz-verify:
 # must agree at randomized cycle budgets.
 fuzz-jit:
 	$(GO) test ./internal/amulet/jit/ -run '^$$' -fuzz FuzzJITVsInterp -fuzztime 30s -fuzzminimizetime 2s
+
+# Fuzz the v3 auth control-record codec: every auth handshake record
+# must round-trip or be rejected, never crash the frame scanner.
+fuzz-auth:
+	$(GO) test ./internal/wiot/ -run '^$$' -fuzz FuzzAuthRecordRoundTrip -fuzztime 30s -fuzzminimizetime 2s
 
 # The acceptance demo: 12 wearers streaming concurrently over a lossy
 # link, with the metrics snapshot printed at the end.

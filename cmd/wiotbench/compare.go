@@ -63,7 +63,47 @@ func compareReports(old, cur Report, thresholdPct float64, w io.Writer) int {
 	regressions += gateJITSpeedup(cur, w)
 	regressions += gateShardOverhead(cur, w)
 	regressions += gateFederateOverhead(cur, w)
+	regressions += gateAuthOverhead(cur, w)
 	return regressions
+}
+
+// authOverheadCeilingPct bounds what wire v3 authentication may cost on
+// an end-to-end stream: auth/hmac (HMAC onboarding plus a truncated
+// per-frame MAC on both ends) versus auth/off over the identical
+// scenario. The MAC is a fixed-size compute per 384-byte frame on a
+// path dominated by signal scoring and real TCP round trips, so
+// authentication that shows up beyond a modest ceiling means the seal
+// or verify path regressed onto the hot path.
+const authOverheadCeilingPct = 15.0
+
+// gateAuthOverhead enforces the authentication overhead ceiling inside
+// the new report. Like the other intra-report gates it is an absolute
+// property of the build under test and silently skips when either suite
+// is absent.
+func gateAuthOverhead(cur Report, w io.Writer) int {
+	byName := make(map[string]Result, len(cur.Suites))
+	for _, s := range cur.Suites {
+		byName[s.Name] = s
+	}
+	base, okBase := byName["auth/off"]
+	authed, okAuthed := byName["auth/hmac"]
+	if !okBase || !okAuthed {
+		return 0
+	}
+	baseNS, authNS := compared(base), compared(authed)
+	if baseNS <= 0 {
+		return 0
+	}
+	overhead := (authNS - baseNS) / baseNS * 100
+	verdict := "within ceiling"
+	fail := 0
+	if overhead > authOverheadCeilingPct {
+		verdict = "OVER CEILING"
+		fail = 1
+	}
+	fmt.Fprintf(w, "auth overhead: auth/hmac %+.1f%% vs auth/off (ceiling %.1f%%) — %s\n",
+		overhead, authOverheadCeilingPct, verdict)
+	return fail
 }
 
 // shardOverheadCeilingPct bounds what the sharded control plane may

@@ -53,6 +53,8 @@ func allSuites() []suite {
 	}
 	suites = append(suites, traceSuite(false), traceSuite(true), telemetrySuite())
 	suites = append(suites, federateSuite(false), federateSuite(true))
+	suites = append(suites, authScenarioSuite(false), authScenarioSuite(true))
+	suites = append(suites, authFrameSuite(wiot.MACHMAC), authFrameSuite(wiot.MACCMAC))
 	return suites
 }
 

@@ -165,6 +165,22 @@ func runCampaign(c campaign.Campaign, manifestPath string, out, errOut io.Writer
 	elapsed := time.Since(start).Round(time.Millisecond)
 
 	switch {
+	case o.Auth != nil:
+		a := o.Auth
+		fmt.Fprintf(out, "baseline %s\nauthed   %s\n", a.BaselineDigest[:16], a.AuthedDigest[:16])
+		if a.Converged {
+			fmt.Fprintf(out, "verdicts converged under %d/%d/%d tampered/replayed/spliced forgeries\n",
+				a.Tampered, a.Replayed, a.Spliced)
+		}
+		for _, w := range a.Wire {
+			fmt.Fprintf(out, "  %-22s sent=%d accepted=%d rejected=%d honest=%d\n",
+				w.Name, w.ForgedSent, w.ForgedAccepted, w.Rejected, w.HonestAccepted)
+		}
+		if !a.Converged || a.ForgedAccepted != 0 {
+			fmt.Fprintf(errOut, "wiotsim build: auth-adversary failed: converged=%t forged_accepted=%d\n",
+				a.Converged, a.ForgedAccepted)
+			return 1
+		}
 	case o.Fleet != nil:
 		fmt.Fprintf(out, "%s", o.Fleet)
 		if plan.Shard != nil {

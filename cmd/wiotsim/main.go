@@ -63,6 +63,7 @@ func run() error {
 	loss := flag.Float64("loss", 0.02, "fleet mode: frame loss probability on the wireless link")
 	dup := flag.Float64("dup", 0.01, "fleet mode: frame duplication probability")
 	chaosMode := flag.Bool("chaos", false, "fleet mode: stream every scenario over real TCP through a fault injector (-loss becomes the frame corruption probability, half of it the mid-frame cut probability)")
+	authMode := flag.Bool("auth", false, "chaos fleet mode: run the TCP transport over authenticated wire v3 — HMAC session onboarding plus per-frame MACs from a seed-derived master secret (needs -chaos)")
 	shards := flag.Int("shards", 0, "fleet mode: partition the cohort across N stations via the sharded control plane (-workers becomes the per-station pool)")
 	stream := flag.Bool("stream", false, "sharded fleet mode: streamed smoke run — one shared detector, short per-wearer spans, no per-subject state, bounded memory (requires -shards)")
 	maxHeapMiB := flag.Int("max-heap-mib", 0, "stream mode: fail if the sampled heap watermark exceeds this many MiB (0 = report only)")
@@ -104,7 +105,7 @@ func run() error {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := validateFlags(*fleetN, *workers, *loss, *dup, *trainSec, *liveSec, *attackAt, *serve, *tracePath, *chaosMode, *shards, *stream, *maxHeapMiB); err != nil {
+	if err := validateFlags(*fleetN, *workers, *loss, *dup, *trainSec, *liveSec, *attackAt, *serve, *tracePath, *chaosMode, *authMode, *shards, *stream, *maxHeapMiB); err != nil {
 		fmt.Fprintln(os.Stderr, "wiotsim:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -125,6 +126,7 @@ func run() error {
 			loss:       *loss,
 			dup:        *dup,
 			chaos:      *chaosMode,
+			auth:       *authMode,
 			shards:     *shards,
 			maxHeapMiB: *maxHeapMiB,
 			version:    version,
@@ -223,8 +225,9 @@ type fleetOptions struct {
 	loss       float64
 	dup        float64
 	chaos      bool
-	shards     int // >0: run through the sharded control plane
-	maxHeapMiB int // stream mode: heap-watermark ceiling, 0 = report only
+	auth       bool // chaos mode: authenticated wire v3 on the TCP transport
+	shards     int  // >0: run through the sharded control plane
+	maxHeapMiB int  // stream mode: heap-watermark ceiling, 0 = report only
 	version    features.Version
 	serve      string // addr for the live observability endpoint; "" = off
 	tracePath  string // Chrome trace dump path; "" = off
@@ -232,12 +235,14 @@ type fleetOptions struct {
 }
 
 // chaosTCPRunner dials every scenario out over loopback TCP through the
-// chaos fault injector, per-slot seeded.
-func chaosTCPRunner(loss float64) fleet.Runner {
+// chaos fault injector, per-slot seeded; a non-nil auth provision runs
+// the wire under v3 session authentication.
+func chaosTCPRunner(loss float64, auth *wiot.AuthProvision) fleet.Runner {
 	return func(ctx context.Context, slot fleet.Slot, sc wiot.Scenario) (wiot.ScenarioResult, error) {
 		return wiot.RunScenarioOverTCP(ctx, sc, wiot.NetConfig{
 			Seed:        slot.Seed,
 			TraceParent: slot.Trace,
+			Auth:        auth,
 			WrapListener: chaos.WrapListener(chaos.Config{
 				Seed:        slot.Seed,
 				CorruptProb: loss,
@@ -245,6 +250,17 @@ func chaosTCPRunner(loss float64) fleet.Runner {
 			}),
 		})
 	}
+}
+
+// authProvision resolves -auth into the wire's key material: the same
+// seed-derived master the declarative campaign layer provisions with,
+// so a flag-driven authenticated run and a declared one negotiate
+// identical per-sensor keys.
+func (opt fleetOptions) authProvision() *wiot.AuthProvision {
+	if !opt.auth {
+		return nil
+	}
+	return &wiot.AuthProvision{Master: campaign.AuthMaster(opt.seed)}
 }
 
 // fleetCampaign lowers the CLI's fleet flags into a declared campaign,
@@ -261,12 +277,15 @@ func fleetCampaign(opt fleetOptions) campaign.Campaign {
 	if opt.chaos {
 		topo.Kind = campaign.TopoChaos
 		topo.Dup = 0 // the chaos wire corrupts; it does not duplicate
+		topo.Auth = opt.auth
 	}
 	if opt.shards > 0 {
 		// The chaos+sharded combination keeps the sharded plan and gets
-		// its chaos runner reattached below: Topology expresses one kind.
+		// its chaos runner (with any auth provision) reattached below:
+		// Topology expresses one kind.
 		topo.Kind = campaign.TopoSharded
 		topo.Shards = opt.shards
+		topo.Auth = false
 	}
 	return campaign.Campaign{
 		Name:     "cli-fleet",
@@ -298,6 +317,9 @@ func runFleet(opt fleetOptions) error {
 	if opt.chaos {
 		fmt.Printf("transport: TCP + chaos injector (corrupt %.1f%%, mid-frame cut %.1f%%); MITM hijacks ECG at t=%.0f s\n",
 			100*opt.loss, 100*opt.loss/2, opt.attackAt)
+		if opt.auth {
+			fmt.Printf("wire: authenticated v3 (HMAC session onboarding, per-frame MACs from the seed-derived master)\n")
+		}
 	} else {
 		fmt.Printf("channel: loss %.1f%%, dup %.1f%%; MITM hijacks ECG at t=%.0f s\n",
 			100*opt.loss, 100*opt.dup, opt.attackAt)
@@ -323,7 +345,7 @@ func runFleet(opt fleetOptions) error {
 	if plan.Shard != nil {
 		scfg := plan.Shard
 		if opt.chaos {
-			scfg.Runner = chaosTCPRunner(opt.loss)
+			scfg.Runner = chaosTCPRunner(opt.loss, opt.authProvision())
 			scfg.AddrFor = func(int) string { return "tcp+chaos" }
 		}
 		if obsv != nil {
@@ -376,12 +398,14 @@ func runFleet(opt fleetOptions) error {
 }
 
 // validateFlags rejects out-of-domain flag values before any work runs.
-func validateFlags(fleetN, workers int, loss, dup, trainSec, liveSec, attackAt float64, serve, tracePath string, chaosMode bool, shards int, stream bool, maxHeapMiB int) error {
+func validateFlags(fleetN, workers int, loss, dup, trainSec, liveSec, attackAt float64, serve, tracePath string, chaosMode, authMode bool, shards int, stream bool, maxHeapMiB int) error {
 	switch {
 	case fleetN < 0:
 		return fmt.Errorf("-fleet %d: subject count cannot be negative", fleetN)
 	case chaosMode && fleetN == 0:
 		return fmt.Errorf("-chaos: fault-injected transport needs a fleet run (-fleet N)")
+	case authMode && !chaosMode:
+		return fmt.Errorf("-auth: the authenticated v3 wire needs the TCP transport (-chaos)")
 	case shards < 0:
 		return fmt.Errorf("-shards %d: station count cannot be negative", shards)
 	case shards > 0 && fleetN == 0:

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/wiot-security/sift/internal/campaign"
 	"github.com/wiot-security/sift/internal/features"
 )
 
@@ -18,7 +19,7 @@ func TestRunFleetRejectsTinyCohorts(t *testing.T) {
 
 func TestValidateFlags(t *testing.T) {
 	ok := func(fleetN, workers int, loss, dup, trainSec, liveSec, attackAt float64) error {
-		return validateFlags(fleetN, workers, loss, dup, trainSec, liveSec, attackAt, "", "", false, 0, false, 0)
+		return validateFlags(fleetN, workers, loss, dup, trainSec, liveSec, attackAt, "", "", false, false, 0, false, 0)
 	}
 	if err := ok(0, 4, 0.02, 0.01, 300, 120, 60); err != nil {
 		t.Errorf("default-shaped flags rejected: %v", err)
@@ -26,7 +27,7 @@ func TestValidateFlags(t *testing.T) {
 	if err := ok(12, 1, 0, 1, 1, 1, 0); err != nil {
 		t.Errorf("boundary values rejected: %v", err)
 	}
-	if err := validateFlags(1000, 2, 0.02, 0.01, 60, 6, 3, "", "", false, 4, true, 256); err != nil {
+	if err := validateFlags(1000, 2, 0.02, 0.01, 60, 6, 3, "", "", false, false, 4, true, 256); err != nil {
 		t.Errorf("sharded stream flags rejected: %v", err)
 	}
 	bad := []struct {
@@ -41,16 +42,17 @@ func TestValidateFlags(t *testing.T) {
 		{"-train", ok(4, 4, 0.02, 0.01, 0, 120, 60)},
 		{"-live", ok(4, 4, 0.02, 0.01, 300, -5, 60)},
 		{"-attack-at", ok(4, 4, 0.02, 0.01, 300, 120, -1)},
-		{"-serve", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, ":9090", "", false, 0, false, 0)},
-		{"-trace", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, "", "out.json", false, 0, false, 0)},
-		{"-chaos", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, "", "", true, 0, false, 0)},
-		{"-shards negative", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", false, -1, false, 0)},
-		{"-shards without-fleet", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, "", "", false, 4, false, 0)},
-		{"-stream without-shards", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", false, 0, true, 0)},
-		{"-stream with-chaos", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", true, 4, true, 0)},
-		{"-stream with-serve", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, ":9090", "", false, 4, true, 0)},
-		{"-max-heap-mib negative", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", false, 4, true, -1)},
-		{"-max-heap-mib without-stream", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", false, 4, false, 64)},
+		{"-serve", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, ":9090", "", false, false, 0, false, 0)},
+		{"-trace", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, "", "out.json", false, false, 0, false, 0)},
+		{"-chaos", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, "", "", true, false, 0, false, 0)},
+		{"-auth without-chaos", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", false, true, 0, false, 0)},
+		{"-shards negative", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", false, false, -1, false, 0)},
+		{"-shards without-fleet", validateFlags(0, 4, 0.02, 0.01, 300, 120, 60, "", "", false, false, 4, false, 0)},
+		{"-stream without-shards", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", false, false, 0, true, 0)},
+		{"-stream with-chaos", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", true, false, 4, true, 0)},
+		{"-stream with-serve", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, ":9090", "", false, false, 4, true, 0)},
+		{"-max-heap-mib negative", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", false, false, 4, true, -1)},
+		{"-max-heap-mib without-stream", validateFlags(12, 4, 0.02, 0.01, 300, 120, 60, "", "", false, false, 4, false, 64)},
 	}
 	for _, c := range bad {
 		if c.err == nil {
@@ -58,6 +60,40 @@ func TestValidateFlags(t *testing.T) {
 		} else if !strings.Contains(c.err.Error(), strings.Fields(c.name)[0]) {
 			t.Errorf("%s: error %q does not name the offending flag", c.name, c.err)
 		}
+	}
+}
+
+// TestFleetCampaignAuthTopology pins how -auth lowers into the
+// declarative layer: the chaos topology carries Topology.Auth, while a
+// sharded plan keeps auth out of the declaration (the CLI reattaches it
+// through the chaos runner's provision) — and both declarations stay
+// valid.
+func TestFleetCampaignAuthTopology(t *testing.T) {
+	opt := fleetOptions{
+		subjects: 4, workers: 2, seed: 9, trainSec: 60, liveSec: 12,
+		attackAt: 6, loss: 0.02, chaos: true, auth: true, version: features.Original,
+	}
+	c := fleetCampaign(opt)
+	if c.Topology.Kind != campaign.TopoChaos || !c.Topology.Auth {
+		t.Fatalf("chaos+auth lowered to %+v", c.Topology)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("chaos+auth campaign invalid: %v", err)
+	}
+	opt.shards = 2
+	c = fleetCampaign(opt)
+	if c.Topology.Auth {
+		t.Fatal("sharded topology must not carry Auth (it is reattached via the runner)")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("sharded chaos+auth campaign invalid: %v", err)
+	}
+	if p := opt.authProvision(); p == nil || len(p.Master) == 0 {
+		t.Fatal("authProvision returned no master despite -auth")
+	}
+	opt.auth = false
+	if opt.authProvision() != nil {
+		t.Fatal("authProvision without -auth must be nil")
 	}
 }
 

@@ -1,0 +1,320 @@
+// Wire-level attack campaigns against the authenticated v3 transport.
+//
+// The window attacks in this package model an adversary who already
+// owns the sensor's data path; the campaigns here model the network
+// adversary the v3 wire was built against: an attacker on the link who
+// forges, captures, and replays records. Each campaign drives real
+// traffic at a live station and reports what the station accepted —
+// harnesses assert that forged acceptance is exactly zero and that the
+// station's wiot.auth.reject.* taxonomy accounts for every attempt.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/wiot-security/sift/internal/wiot"
+)
+
+// WireReport is one campaign's outcome, computed from the station's
+// transport counter deltas across the campaign run.
+type WireReport struct {
+	Name string
+	// ForgedSent counts forged records (frames and control) delivered to
+	// the station's socket.
+	ForgedSent int
+	// ForgedAccepted counts forged frames the station accepted into the
+	// pipeline. The v3 wire's contract is that this is always zero.
+	ForgedAccepted int64
+	// Rejected counts station-side rejections attributed to the
+	// campaign, summed across the auth-reject taxonomy.
+	Rejected int64
+	// HonestAccepted counts genuinely authenticated frames the campaign
+	// sent to prove its credentials were otherwise valid (session
+	// hijack); zero for campaigns with no valid key.
+	HonestAccepted int64
+}
+
+// WireCampaign drives one attack pattern against a live station.
+type WireCampaign interface {
+	Name() string
+	// Run executes the campaign against the station listening on addr.
+	// The station handle is the measurement tap: campaigns compare its
+	// counters before and after to attribute acceptance and rejection.
+	Run(addr string, st *wiot.TCPStation) (WireReport, error)
+}
+
+// Compile-time interface checks.
+var (
+	_ WireCampaign = (*WireImpersonation)(nil)
+	_ WireCampaign = (*WireFrameReplay)(nil)
+	_ WireCampaign = (*WireSessionHijack)(nil)
+)
+
+const wireDialTimeout = 2 * time.Second
+
+// rejectTotal sums the rejection taxonomy of a stats snapshot.
+func rejectTotal(s wiot.TCPStats) int64 {
+	return s.AuthRejectHandshake + s.AuthRejectNoSession + s.AuthRejectSession +
+		s.AuthRejectMAC + s.AuthRejectPlain
+}
+
+// waitForRejects polls the station until its rejection total has grown
+// by at least n over base, or the deadline passes.
+func waitForRejects(st *wiot.TCPStation, base wiot.TCPStats, n int64) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if rejectTotal(st.Stats())-rejectTotal(base) >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("attack: station counted %d rejections, want >= %d",
+				rejectTotal(st.Stats())-rejectTotal(base), n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func wireFrame(sensor wiot.SensorID, seq uint32) wiot.Frame {
+	return wiot.FrameFromFloats(sensor, seq, []float64{0.25, -0.5, 1, 0})
+}
+
+// WireImpersonation models an attacker with no key material: it guesses
+// a PSK for the onboarding handshake and, when refused, falls back to
+// sessionless v3 frames sealed under a fabricated session.
+type WireImpersonation struct {
+	// Sensor is the identity to impersonate.
+	Sensor wiot.SensorID
+	// Key is the attacker's PSK guess.
+	Key []byte
+	// Frames is how many fabricated-session frames to push after the
+	// handshake is refused (default 4).
+	Frames int
+}
+
+// Name implements WireCampaign.
+func (a *WireImpersonation) Name() string { return "wire-impersonation" }
+
+// Run implements WireCampaign.
+func (a *WireImpersonation) Run(addr string, st *wiot.TCPStation) (WireReport, error) {
+	frames := a.Frames
+	if frames <= 0 {
+		frames = 4
+	}
+	rep := WireReport{Name: a.Name()}
+	base := st.Stats()
+
+	conn, err := net.DialTimeout("tcp", addr, wireDialTimeout)
+	if err != nil {
+		return rep, err
+	}
+	defer conn.Close()
+	_, err = wiot.Handshake(conn, wiot.AuthConfig{Key: a.Key, Sensor: a.Sensor, Timeout: wireDialTimeout})
+	switch {
+	case err == nil:
+		return rep, errors.New("attack: impersonation handshake succeeded — the station accepted a guessed key")
+	case errors.Is(err, wiot.ErrAuthRejected):
+		rep.ForgedSent++ // the refused handshake attempt
+	default:
+		return rep, fmt.Errorf("attack: impersonation handshake: %w", err)
+	}
+
+	// The handshake was refused; push frames under a fabricated session
+	// on a fresh connection anyway.
+	forged, err := net.DialTimeout("tcp", addr, wireDialTimeout)
+	if err != nil {
+		return rep, err
+	}
+	defer forged.Close()
+	sess := wiot.ForgeSession(7, a.Sensor, wiot.MACHMAC, a.Key)
+	for seq := uint32(0); seq < uint32(frames); seq++ {
+		f := wireFrame(a.Sensor, seq)
+		payload, err := sess.SealFrame(&f)
+		if err != nil {
+			return rep, err
+		}
+		if _, err := forged.Write(payload); err != nil {
+			return rep, err
+		}
+		rep.ForgedSent++
+	}
+	if err := waitForRejects(st, base, int64(rep.ForgedSent)); err != nil {
+		return rep, err
+	}
+	after := st.Stats()
+	rep.ForgedAccepted = after.AuthFrames - base.AuthFrames
+	rep.Rejected = rejectTotal(after) - rejectTotal(base)
+	return rep, nil
+}
+
+// WireFrameReplay models a passive attacker replaying captured traffic:
+// it records the sealed frames of a legitimate session (which it
+// produces itself, holding the real key — the bytes are identical to a
+// wire capture), then replays them verbatim on a new connection that
+// never completed a handshake.
+type WireFrameReplay struct {
+	// Key is the victim sensor's real PSK, used only to produce the
+	// "captured" legitimate traffic.
+	Key []byte
+	// Sensor is the victim identity.
+	Sensor wiot.SensorID
+	// Frames is how many frames to capture and replay (default 4).
+	Frames int
+}
+
+// Name implements WireCampaign.
+func (a *WireFrameReplay) Name() string { return "wire-frame-replay" }
+
+// Run implements WireCampaign.
+func (a *WireFrameReplay) Run(addr string, st *wiot.TCPStation) (WireReport, error) {
+	frames := a.Frames
+	if frames <= 0 {
+		frames = 4
+	}
+	rep := WireReport{Name: a.Name()}
+	base := st.Stats()
+
+	// The legitimate flow being captured.
+	victim, err := net.DialTimeout("tcp", addr, wireDialTimeout)
+	if err != nil {
+		return rep, err
+	}
+	defer victim.Close()
+	sess, err := wiot.Handshake(victim, wiot.AuthConfig{Key: a.Key, Sensor: a.Sensor, Timeout: wireDialTimeout})
+	if err != nil {
+		return rep, fmt.Errorf("attack: replay victim handshake: %w", err)
+	}
+	var captured []byte
+	for seq := uint32(0); seq < uint32(frames); seq++ {
+		f := wireFrame(a.Sensor, seq)
+		payload, err := sess.SealFrame(&f)
+		if err != nil {
+			return rep, err
+		}
+		if _, err := victim.Write(payload); err != nil {
+			return rep, err
+		}
+		captured = append(captured, payload...)
+	}
+	// Wait for the legitimate frames to land so counter deltas separate
+	// the honest flow from the replay.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Stats().AuthFrames-base.AuthFrames < int64(frames) {
+		if time.Now().After(deadline) {
+			return rep, errors.New("attack: victim traffic never landed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	rep.HonestAccepted = int64(frames)
+
+	// The replay: captured bytes verbatim on a fresh connection.
+	replay, err := net.DialTimeout("tcp", addr, wireDialTimeout)
+	if err != nil {
+		return rep, err
+	}
+	defer replay.Close()
+	if _, err := replay.Write(captured); err != nil {
+		return rep, err
+	}
+	rep.ForgedSent = frames
+	if err := waitForRejects(st, base, int64(frames)); err != nil {
+		return rep, err
+	}
+	after := st.Stats()
+	rep.ForgedAccepted = after.AuthFrames - base.AuthFrames - rep.HonestAccepted
+	rep.Rejected = rejectTotal(after) - rejectTotal(base)
+	return rep, nil
+}
+
+// WireSessionHijack models an attacker who legitimately owns one
+// sensor's key (a compromised node) and tries to parlay it into control
+// of another stream: cross-sensor frames under its own session, frames
+// under a guessed session id, and a forged gap declaration for the
+// victim sensor. Authentication success must not grant any of it.
+type WireSessionHijack struct {
+	// Key is the compromised sensor's real PSK.
+	Key []byte
+	// Sensor is the compromised identity the attacker can authenticate as.
+	Sensor wiot.SensorID
+	// Victim is the stream the attacker tries to take over.
+	Victim wiot.SensorID
+}
+
+// Name implements WireCampaign.
+func (a *WireSessionHijack) Name() string { return "wire-session-hijack" }
+
+// Run implements WireCampaign.
+func (a *WireSessionHijack) Run(addr string, st *wiot.TCPStation) (WireReport, error) {
+	rep := WireReport{Name: a.Name()}
+	base := st.Stats()
+
+	conn, err := net.DialTimeout("tcp", addr, wireDialTimeout)
+	if err != nil {
+		return rep, err
+	}
+	defer conn.Close()
+	sess, err := wiot.Handshake(conn, wiot.AuthConfig{Key: a.Key, Sensor: a.Sensor, Timeout: wireDialTimeout})
+	if err != nil {
+		return rep, fmt.Errorf("attack: hijack handshake with the real key: %w", err)
+	}
+
+	// Forgery 1: the victim's stream under the attacker's valid session.
+	cross := wireFrame(a.Victim, 0)
+	payload, err := sess.SealFrame(&cross)
+	if err != nil {
+		return rep, err
+	}
+	if _, err := conn.Write(payload); err != nil {
+		return rep, err
+	}
+	rep.ForgedSent++
+
+	// Forgery 2: the attacker's own stream under a guessed session id
+	// (self-consistent MAC, wrong negotiated id).
+	guessed := wiot.ForgeSession(sess.ID+1, a.Sensor, sess.Alg, a.Key)
+	own := wireFrame(a.Sensor, 0)
+	payload, err = guessed.SealFrame(&own)
+	if err != nil {
+		return rep, err
+	}
+	if _, err := conn.Write(payload); err != nil {
+		return rep, err
+	}
+	rep.ForgedSent++
+
+	// Forgery 3: a gap declaration for the victim's sensor — accepted,
+	// it would make the station discard victim frames still in flight.
+	if _, err := conn.Write(wiot.EncodeGapRecord(a.Victim, 1_000_000)); err != nil {
+		return rep, err
+	}
+	rep.ForgedSent++
+
+	if err := waitForRejects(st, base, int64(rep.ForgedSent)); err != nil {
+		return rep, err
+	}
+
+	// The credentials themselves still work: an honest frame under the
+	// negotiated session is accepted.
+	honest := wireFrame(a.Sensor, 0)
+	payload, err = sess.SealFrame(&honest)
+	if err != nil {
+		return rep, err
+	}
+	if _, err := conn.Write(payload); err != nil {
+		return rep, err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Stats().AuthFrames-base.AuthFrames < 1 {
+		if time.Now().After(deadline) {
+			return rep, errors.New("attack: the attacker's honest frame never landed — rejection is over-broad")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	after := st.Stats()
+	rep.HonestAccepted = after.AuthFrames - base.AuthFrames
+	rep.ForgedAccepted = rep.HonestAccepted - 1 // anything beyond the one honest frame
+	rep.Rejected = rejectTotal(after) - rejectTotal(base)
+	return rep, nil
+}

@@ -43,6 +43,13 @@ const (
 	// KindAdaptive simulates a full battery discharge with the adaptive
 	// engine switching detector versions as energy drains.
 	KindAdaptive
+	// KindAuthAdversary proves the authenticated wire v3 claim: the same
+	// honest cohort runs once over plain v2 TCP and once over v3 with a
+	// scheduled byzantine peer tampering, replaying, and splicing
+	// CRC-valid records, and the verdicts must match byte for byte while
+	// the wire-level attack campaigns (impersonation, frame replay,
+	// session hijack) are rejected with zero forged frames accepted.
+	KindAuthAdversary
 )
 
 // String implements fmt.Stringer.
@@ -54,6 +61,8 @@ func (k Kind) String() string {
 		return "gallery"
 	case KindAdaptive:
 		return "adaptive"
+	case KindAuthAdversary:
+		return "auth-adversary"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -213,6 +222,13 @@ type Topology struct {
 	Loss float64
 	// Dup is the in-process frame duplication probability.
 	Dup float64
+	// Auth runs the campaign over authenticated wire v3: every station
+	// is provisioned with per-sensor PSKs derived from the campaign's
+	// deterministic master secret (AuthMaster of BaseSeed) and every
+	// sensor onboards with the HMAC handshake before streaming. Only
+	// meaningful on real-wire topologies (tcp, chaos); the in-process
+	// paths have no wire to authenticate.
+	Auth bool
 }
 
 // AttackWindow declares one attack arm: what the adversary does and
@@ -399,6 +415,23 @@ func (c Campaign) Validate() error {
 		if c.Topology.Loss < 0 || c.Topology.Loss > 1 || c.Topology.Dup < 0 || c.Topology.Dup > 1 {
 			report("campaign %q: channel probabilities (%g, %g) outside [0,1]", c.Name, c.Topology.Loss, c.Topology.Dup)
 		}
+	case KindAuthAdversary:
+		if c.Topology.Kind != TopoTCP && c.Topology.Kind != TopoChaos {
+			report("campaign %q: auth-adversary campaigns need a real wire to attack: Topology.Kind must be %s or %s (got %s)",
+				c.Name, TopoTCP, TopoChaos, c.Topology.Kind)
+		}
+		if !c.Topology.Auth {
+			report("campaign %q: auth-adversary campaigns run the authenticated wire: set Topology.Auth", c.Name)
+		}
+		if len(c.Attacks) > 0 {
+			report("campaign %q: auth-adversary campaigns take no attack windows: the scheduled byzantine peer is the adversary (got %d arms)", c.Name, len(c.Attacks))
+		}
+		if len(c.Faults) > 0 {
+			report("campaign %q: auth-adversary campaigns take no fault windows: the baseline/authed comparison must see identical channels (got %d)", c.Name, len(c.Faults))
+		}
+		if c.Topology.Loss < 0 || c.Topology.Loss > 1 {
+			report("campaign %q: chaos corruption probability %g outside [0,1]", c.Name, c.Topology.Loss)
+		}
 	case KindGallery, KindAdaptive:
 		if c.Topology != (Topology{}) {
 			report("campaign %q: %s campaigns run in-process: leave Topology zero", c.Name, c.Kind)
@@ -408,6 +441,10 @@ func (c Campaign) Validate() error {
 	}
 	if c.Kind == KindGallery && len(c.Attacks) == 0 {
 		report("campaign %q: gallery campaigns need at least one attack arm", c.Name)
+	}
+	if c.Topology.Auth && c.Topology.Kind != TopoTCP && c.Topology.Kind != TopoChaos {
+		report("campaign %q: Topology.Auth needs a real wire to authenticate: only %s and %s topologies support it (got %s)",
+			c.Name, TopoTCP, TopoChaos, c.Topology.Kind)
 	}
 
 	return errors.Join(errs...)

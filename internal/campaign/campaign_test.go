@@ -68,6 +68,27 @@ func TestValidateFindings(t *testing.T) {
 		{"sharded needs shards", func(c *Campaign) { c.Topology.Kind = TopoSharded }, "Shards > 0"},
 		{"cycle budget unsatisfiable", func(c *Campaign) { c.Budget.MaxCyclesPerWindow = 10 }, "campbudget"},
 		{"sram budget unsatisfiable", func(c *Campaign) { c.Budget.MaxSRAMBytes = 8 }, "campbudget"},
+		{"auth without a wire", func(c *Campaign) { c.Topology.Auth = true }, "real wire to authenticate"},
+		{"auth-adversary on inproc", func(c *Campaign) {
+			c.Kind = KindAuthAdversary
+			c.Attacks = nil
+			c.Topology = Topology{Kind: TopoInProcess, Auth: true}
+		}, "real wire to attack"},
+		{"auth-adversary without auth", func(c *Campaign) {
+			c.Kind = KindAuthAdversary
+			c.Attacks = nil
+			c.Topology = Topology{Kind: TopoTCP}
+		}, "set Topology.Auth"},
+		{"auth-adversary with attack arms", func(c *Campaign) {
+			c.Kind = KindAuthAdversary
+			c.Topology = Topology{Kind: TopoTCP, Auth: true}
+		}, "no attack windows"},
+		{"auth-adversary with faults", func(c *Campaign) {
+			c.Kind = KindAuthAdversary
+			c.Attacks = nil
+			c.Topology = Topology{Kind: TopoTCP, Auth: true}
+			c.Faults = []FaultWindow{{Kind: FaultPartition, FromSec: 1, ToSec: 3}}
+		}, "no fault windows"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -118,6 +139,13 @@ func TestCanonicalRoundTrip(t *testing.T) {
 				{Kind: FaultPartition, FromSec: 6, ToSec: 12},
 			},
 		},
+		{
+			Name: "authed", Description: "byzantine wire", Kind: KindAuthAdversary,
+			Cohort:   Cohort{Subjects: 2, BaseSeed: 17, TrainSec: 60, LiveSec: 12},
+			Detector: Detector{Version: "Reduced"},
+			Topology: Topology{Kind: TopoTCP, Workers: 2, Auth: true},
+			Digest:   DigestRequired,
+		},
 	}
 	for _, c := range cases {
 		t.Run(c.Name, func(t *testing.T) {
@@ -162,6 +190,7 @@ func TestDeclDigestSensitivity(t *testing.T) {
 		func(c *Campaign) { c.Cohort.LiveSec += 0.5 },
 		func(c *Campaign) { c.Attacks[0].FromSec++ },
 		func(c *Campaign) { c.Topology.Loss = 0.03 },
+		func(c *Campaign) { c.Topology.Auth = true },
 		func(c *Campaign) { c.Detector.Version = "Original" },
 		func(c *Campaign) { c.Digest = DigestOff },
 	}

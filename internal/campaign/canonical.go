@@ -34,6 +34,7 @@ func (c Campaign) Canonical() string {
 	putI("topology.workers", int64(c.Topology.Workers))
 	putF("topology.loss", c.Topology.Loss)
 	putF("topology.dup", c.Topology.Dup)
+	put("topology.auth", strconv.FormatBool(c.Topology.Auth))
 	for i, a := range c.Attacks {
 		p := fmt.Sprintf("attack[%d].", i)
 		put(p+"kind", a.Kind.String())
@@ -64,7 +65,7 @@ func (c Campaign) DeclDigest() string {
 // kindNames / topoNames / attackNames / faultNames / digestNames invert
 // the String forms for ParseCanonical.
 var (
-	kindNames   = map[string]Kind{"fleet": KindFleet, "gallery": KindGallery, "adaptive": KindAdaptive}
+	kindNames   = map[string]Kind{"fleet": KindFleet, "gallery": KindGallery, "adaptive": KindAdaptive, "auth-adversary": KindAuthAdversary}
 	topoNames   = map[string]TopologyKind{"inproc": TopoInProcess, "tcp": TopoTCP, "chaos": TopoChaos, "sharded": TopoSharded}
 	attackNames = map[string]AttackKind{"substitution": AttackSubstitution, "replay": AttackReplay, "flatline": AttackFlatline, "noise": AttackNoise, "timeshift": AttackTimeShift}
 	faultNames  = map[string]FaultKind{"partition": FaultPartition}
@@ -108,6 +109,13 @@ func ParseCanonical(text string) (Campaign, error) {
 		}
 		return v
 	}
+	getB := func(key string) bool {
+		v, err := strconv.ParseBool(fields[key])
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("campaign: canonical key %s: %v", key, err)
+		}
+		return v
+	}
 
 	c.Name = get("name")
 	c.Description = get("description")
@@ -133,6 +141,7 @@ func ParseCanonical(text string) (Campaign, error) {
 	c.Topology.Workers = int(getI("topology.workers"))
 	c.Topology.Loss = getF("topology.loss")
 	c.Topology.Dup = getF("topology.dup")
+	c.Topology.Auth = getB("topology.auth")
 
 	// Attack and fault arms are indexed keys; counting kind keys in
 	// order recovers the slices.

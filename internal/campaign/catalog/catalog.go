@@ -99,6 +99,22 @@ var ShardedSmoke = campaign.Campaign{
 	Digest: campaign.DigestRequired,
 }
 
+// AuthAdversary proves the authenticated wire's security claim end to
+// end: the honest cohort's verdicts must be byte-identical over plain
+// v2 and over v3 with a scheduled byzantine peer forging CRC-valid
+// records, while the wire-level impersonation, replay, and
+// session-hijack campaigns are rejected with zero forged frames
+// accepted.
+var AuthAdversary = campaign.Campaign{
+	Name:        "auth-adversary",
+	Description: "v3 wire under a byzantine peer: verdicts converge, forgeries rejected",
+	Kind:        campaign.KindAuthAdversary,
+	Cohort:      campaign.Cohort{Subjects: 2, BaseSeed: 17, TrainSec: 60, LiveSec: 12},
+	Detector:    campaign.Detector{Version: "Reduced"},
+	Topology:    campaign.Topology{Kind: campaign.TopoTCP, Workers: 2, Auth: true},
+	Digest:      campaign.DigestRequired,
+}
+
 // Catalog lists every declared campaign in registration order.
 var Catalog = []campaign.Campaign{
 	AttackGallery,
@@ -106,6 +122,7 @@ var Catalog = []campaign.Campaign{
 	FleetBaseline,
 	ChaosSoak,
 	ShardedSmoke,
+	AuthAdversary,
 }
 
 func init() {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/wiot-security/sift/internal/fleet"
 	"github.com/wiot-security/sift/internal/obs/federate"
 	"github.com/wiot-security/sift/internal/obs/telemetry"
 )
@@ -32,6 +33,7 @@ type Manifest struct {
 	Fleet    *ManifestFleet    `json:"fleet,omitempty"`
 	Gallery  *ManifestGallery  `json:"gallery,omitempty"`
 	Adaptive *ManifestAdaptive `json:"adaptive,omitempty"`
+	Auth     *ManifestAuth     `json:"auth,omitempty"`
 
 	// Stations is the per-station rollup for sharded topologies; empty
 	// otherwise. Deaths/Rebalanced summarize failover activity.
@@ -92,6 +94,26 @@ type ManifestAdaptive struct {
 type ManifestAdaptiveWindow struct {
 	Version string `json:"version"`
 	Windows int    `json:"windows"`
+}
+
+// ManifestAuth mirrors an auth-adversary verdict: the baseline-vs-authed
+// fleet comparison plus the wire campaigns' rejection accounting.
+type ManifestAuth struct {
+	Converged      bool                   `json:"converged"`
+	BaselineDigest string                 `json:"baselineDigest"`
+	AuthedDigest   string                 `json:"authedDigest"`
+	ForgedAccepted int64                  `json:"forgedAccepted"`
+	Fleet          ManifestFleet          `json:"fleet"`
+	Wire           []ManifestWireCampaign `json:"wire"`
+}
+
+// ManifestWireCampaign is one wire-level attack campaign's accounting.
+type ManifestWireCampaign struct {
+	Name           string `json:"name"`
+	ForgedSent     int    `json:"forgedSent"`
+	ForgedAccepted int64  `json:"forgedAccepted"`
+	Rejected       int64  `json:"rejected"`
+	HonestAccepted int64  `json:"honestAccepted"`
 }
 
 // ManifestStation is one station's control-plane rollup.
@@ -157,14 +179,25 @@ func (p *Plan) Manifest(o *Outcome) Manifest {
 		VerdictDigest: o.VerdictDigest(),
 	}
 	switch {
-	case o.Fleet != nil:
-		r := o.Fleet
-		m.Fleet = &ManifestFleet{
-			Scenarios: r.Scenarios, Completed: r.Completed, Failed: r.Failed,
-			Skipped: r.Skipped, Windows: r.Windows,
-			TruePos: r.TruePos, FalseNeg: r.FalseNeg, FalsePos: r.FalsePos, TrueNeg: r.TrueNeg,
-			SeqErrors: r.SeqErrors,
+	case o.Auth != nil:
+		a := o.Auth
+		ma := &ManifestAuth{
+			Converged:      a.Converged,
+			BaselineDigest: a.BaselineDigest,
+			AuthedDigest:   a.AuthedDigest,
+			ForgedAccepted: a.ForgedAccepted,
+			Fleet:          manifestFleet(a.Authed),
 		}
+		for _, w := range a.Wire {
+			ma.Wire = append(ma.Wire, ManifestWireCampaign{
+				Name: w.Name, ForgedSent: w.ForgedSent, ForgedAccepted: w.ForgedAccepted,
+				Rejected: w.Rejected, HonestAccepted: w.HonestAccepted,
+			})
+		}
+		m.Auth = ma
+	case o.Fleet != nil:
+		f := manifestFleet(o.Fleet)
+		m.Fleet = &f
 	case o.Gallery != nil:
 		g := &ManifestGallery{Clean: o.Gallery.Clean, Windows: o.Gallery.Windows}
 		for _, a := range o.Gallery.Arms {
@@ -202,6 +235,16 @@ func (p *Plan) Manifest(o *Outcome) Manifest {
 		m.FederationDrops = p.obs.Federation.Dropped()
 	}
 	return m
+}
+
+// manifestFleet flattens a fleet result's deterministic scalars.
+func manifestFleet(r *fleet.FleetResult) ManifestFleet {
+	return ManifestFleet{
+		Scenarios: r.Scenarios, Completed: r.Completed, Failed: r.Failed,
+		Skipped: r.Skipped, Windows: r.Windows,
+		TruePos: r.TruePos, FalseNeg: r.FalseNeg, FalsePos: r.FalsePos, TrueNeg: r.TrueNeg,
+		SeqErrors: r.SeqErrors,
+	}
 }
 
 // Encode renders the manifest as canonical JSON: two-space indent,

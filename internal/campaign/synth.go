@@ -48,6 +48,7 @@ type Plan struct {
 
 	gallery  bool
 	adaptive bool
+	authAdv  bool
 	obs      ObserveConfig
 }
 
@@ -68,6 +69,11 @@ func (c Campaign) Synthesize(opts ...SynthOption) (*Plan, error) {
 		return &Plan{Campaign: c, gallery: true}, nil
 	case KindAdaptive:
 		return &Plan{Campaign: c, adaptive: true}, nil
+	case KindAuthAdversary:
+		// The baseline and authed fleets are built at run time (like the
+		// gallery path) so the declaration stays the single source of
+		// truth for both arms.
+		return &Plan{Campaign: c, authAdv: true}, nil
 	}
 
 	src, err := c.fleetSource(so.wrap)
@@ -101,10 +107,11 @@ func (c Campaign) Synthesize(opts ...SynthOption) (*Plan, error) {
 // semantics identical to wiotsim: Loss is the corruption probability and
 // half of it the mid-frame cut probability).
 func (c Campaign) runner() fleet.Runner {
+	auth := c.authProvision()
 	switch c.Topology.Kind {
 	case TopoTCP:
 		return func(ctx context.Context, slot fleet.Slot, sc wiot.Scenario) (wiot.ScenarioResult, error) {
-			return wiot.RunScenarioOverTCP(ctx, sc, wiot.NetConfig{Seed: slot.Seed, TraceParent: slot.Trace})
+			return wiot.RunScenarioOverTCP(ctx, sc, wiot.NetConfig{Seed: slot.Seed, TraceParent: slot.Trace, Auth: auth})
 		}
 	case TopoChaos:
 		loss := c.Topology.Loss
@@ -112,6 +119,7 @@ func (c Campaign) runner() fleet.Runner {
 			return wiot.RunScenarioOverTCP(ctx, sc, wiot.NetConfig{
 				Seed:        slot.Seed,
 				TraceParent: slot.Trace,
+				Auth:        auth,
 				WrapListener: chaos.WrapListener(chaos.Config{
 					Seed:        slot.Seed,
 					CorruptProb: loss,
@@ -121,6 +129,16 @@ func (c Campaign) runner() fleet.Runner {
 		}
 	}
 	return nil
+}
+
+// authProvision resolves Topology.Auth into the wire's key material:
+// nil for plain v2, or a provision rooted in the campaign's
+// deterministic master secret.
+func (c Campaign) authProvision() *wiot.AuthProvision {
+	if !c.Topology.Auth {
+		return nil
+	}
+	return &wiot.AuthProvision{Master: AuthMaster(c.Cohort.BaseSeed)}
 }
 
 // fleetSource builds the per-slot scenario source. The construction is
@@ -278,6 +296,9 @@ type Outcome struct {
 	Fleet    *fleet.FleetResult
 	Gallery  *GalleryOutcome
 	Adaptive *AdaptiveOutcome
+	// Auth is the auth-adversary payload: the baseline-vs-authed fleet
+	// comparison and the wire campaign reports.
+	Auth *AuthOutcome
 	// Shard carries the full sharded result (per-station rollups,
 	// failover accounting) when the plan ran a sharded topology; Fleet
 	// points at its embedded aggregate in that case.
@@ -300,6 +321,12 @@ func (p *Plan) Run(ctx context.Context) (*Outcome, error) {
 			return nil, err
 		}
 		out.Adaptive = a
+	case p.authAdv:
+		a, err := p.Campaign.runAuthAdversary(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out.Auth = a
 	case p.Shard != nil:
 		res, err := shard.Run(ctx, *p.Shard)
 		if err != nil {
@@ -326,14 +353,22 @@ func (o *Outcome) VerdictCanonical() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "verdicts/1 campaign=%s\n", o.Campaign)
 	switch {
-	case o.Fleet != nil:
-		r := o.Fleet
-		fmt.Fprintf(&sb, "fleet scenarios=%d completed=%d failed=%d skipped=%d windows=%d tp=%d fn=%d fp=%d tn=%d seqerr=%d\n",
-			r.Scenarios, r.Completed, r.Failed, r.Skipped, r.Windows, r.TruePos, r.FalseNeg, r.FalsePos, r.TrueNeg, r.SeqErrors)
-		for _, s := range r.PerSubject {
-			fmt.Fprintf(&sb, "subject %s scenarios=%d windows=%d tp=%d fn=%d fp=%d tn=%d seqerr=%d\n",
-				s.Subject, s.Scenarios, s.Windows, s.TruePos, s.FalseNeg, s.FalsePos, s.TrueNeg, s.SeqErrors)
+	case o.Auth != nil:
+		a := o.Auth
+		// Adversary fire counts are deliberately absent: retransmitted
+		// frames pass through the byzantine peer again, so how often each
+		// forgery fires depends on recovery timing. The digest covers only
+		// what the declaration fully determines — convergence, the two
+		// fleet digests, and the wire campaigns' exact accounting.
+		fmt.Fprintf(&sb, "auth converged=%t forged_accepted=%d baseline=%s authed=%s\n",
+			a.Converged, a.ForgedAccepted, a.BaselineDigest, a.AuthedDigest)
+		fleetStanza(&sb, a.Authed)
+		for _, w := range a.Wire {
+			fmt.Fprintf(&sb, "wire %s sent=%d accepted=%d rejected=%d honest=%d\n",
+				w.Name, w.ForgedSent, w.ForgedAccepted, w.Rejected, w.HonestAccepted)
 		}
+	case o.Fleet != nil:
+		fleetStanza(&sb, o.Fleet)
 	case o.Gallery != nil:
 		fmt.Fprintf(&sb, "gallery clean=%d/%d\n", o.Gallery.Clean, o.Gallery.Windows)
 		for _, a := range o.Gallery.Arms {
@@ -347,6 +382,16 @@ func (o *Outcome) VerdictCanonical() string {
 		}
 	}
 	return sb.String()
+}
+
+// fleetStanza renders a fleet result's canonical verdict lines.
+func fleetStanza(sb *strings.Builder, r *fleet.FleetResult) {
+	fmt.Fprintf(sb, "fleet scenarios=%d completed=%d failed=%d skipped=%d windows=%d tp=%d fn=%d fp=%d tn=%d seqerr=%d\n",
+		r.Scenarios, r.Completed, r.Failed, r.Skipped, r.Windows, r.TruePos, r.FalseNeg, r.FalsePos, r.TrueNeg, r.SeqErrors)
+	for _, s := range r.PerSubject {
+		fmt.Fprintf(sb, "subject %s scenarios=%d windows=%d tp=%d fn=%d fp=%d tn=%d seqerr=%d\n",
+			s.Subject, s.Scenarios, s.Windows, s.TruePos, s.FalseNeg, s.FalsePos, s.TrueNeg, s.SeqErrors)
+	}
 }
 
 // VerdictDigest fingerprints the outcome: hex SHA-256 of the canonical

@@ -8,8 +8,10 @@
 // Faults are frame-aware: the injector reassembles wire records with
 // wiot.PeekRecord and decides per frame, so a "5% corruption" setting
 // means 5% of frames, not 5% of bytes. Control records (acks, hellos,
-// gap declarations) pass through unfaulted — chaos models a noisy data
-// link, not a byzantine peer.
+// gap declarations) pass through unfaulted — the noise knobs model a
+// noisy data link, not a byzantine peer. The Adversary schedule is the
+// byzantine peer: scheduled (not random) forgeries with repaired CRCs,
+// which only the authenticated v3 wire can reject.
 //
 // Determinism: all randomness comes from rand.New over the configured
 // seed (per connection), and the only clock use is time.Sleep for
@@ -18,9 +20,11 @@
 package chaos
 
 import (
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +39,9 @@ var (
 	obsChaosCorrupted  = obs.NewCounter("wiot.chaos.corrupted")
 	obsChaosCuts       = obs.NewCounter("wiot.chaos.cuts")
 	obsChaosPartitions = obs.NewCounter("wiot.chaos.partitions")
+	obsChaosTampered   = obs.NewCounter("wiot.chaos.tampered")
+	obsChaosReplayed   = obs.NewCounter("wiot.chaos.replayed")
+	obsChaosSpliced    = obs.NewCounter("wiot.chaos.spliced")
 )
 
 // Config tunes the fault mix. The zero value injects nothing.
@@ -55,6 +62,44 @@ type Config struct {
 	// PartitionEvery severs the link after every Nth frame across the
 	// listener's lifetime (0 = never) — reconnect storms on a schedule.
 	PartitionEvery int
+	// Adversary schedules active in-path attacks on top of the noise
+	// faults. Unlike the probabilistic knobs above, the adversary fires
+	// on fixed frame indices — attack campaigns need the exact same
+	// forgeries on every run, not a coin-flip distribution.
+	Adversary Adversary
+}
+
+// Adversary is a scheduled man-in-the-middle: each knob fires on every
+// Nth data frame (0 = never), counted across the listener's lifetime.
+// Every forgery it emits carries a valid CRC (wiot.RepairRecordCRC), so
+// the checksum layer cannot catch it — only the v3 session MAC can.
+// Routing an authenticated scenario through a nonzero Adversary must
+// still produce clean-run verdicts: the station rejects each forgery
+// without feedback and go-back-N retransmission repairs the stream.
+//
+// Content forgeries (tamper, splice) fire at most once per distinct
+// (sensor, seq) across the listener's lifetime: the adversary models an
+// integrity attacker, not a persistent jammer. Without that bound a
+// retransmit burst whose length divides the schedule period could be
+// forged at the same position every round and starve go-back-N forever.
+// Replays carry no such bound — a duplicate is sequence-stale and can
+// never block progress.
+type Adversary struct {
+	// TamperEvery flips a payload byte of every Nth frame and repairs
+	// the CRC — a forged measurement the v2 wire accepts silently.
+	TamperEvery int
+	// ReplayEvery re-delivers every Nth frame verbatim immediately after
+	// itself, modelling a captured-and-replayed record.
+	ReplayEvery int
+	// SpliceEvery rewrites the sensor id of every Nth frame (CRC
+	// repaired), splicing one stream's record into the other — a
+	// cross-stream forgery only the session binding can reject.
+	SpliceEvery int
+}
+
+// active reports whether any adversary knob is armed.
+func (a Adversary) active() bool {
+	return a.TamperEvery > 0 || a.ReplayEvery > 0 || a.SpliceEvery > 0
 }
 
 // Stats counts injected faults across a listener's lifetime.
@@ -63,6 +108,9 @@ type Stats struct {
 	corrupted  atomic.Int64
 	cuts       atomic.Int64
 	partitions atomic.Int64
+	tampered   atomic.Int64
+	replayed   atomic.Int64
+	spliced    atomic.Int64
 }
 
 // Frames returns how many data frames passed through the injector.
@@ -77,18 +125,55 @@ func (s *Stats) Cuts() int64 { return s.cuts.Load() }
 // Partitions returns how many scheduled severs fired.
 func (s *Stats) Partitions() int64 { return s.partitions.Load() }
 
+// Tampered returns how many frames were forged in place (CRC repaired).
+func (s *Stats) Tampered() int64 { return s.tampered.Load() }
+
+// Replayed returns how many frames were re-delivered verbatim.
+func (s *Stats) Replayed() int64 { return s.replayed.Load() }
+
+// Spliced returns how many frames were rewritten onto the other stream.
+func (s *Stats) Spliced() int64 { return s.spliced.Load() }
+
 // Listener wraps a net.Listener so every accepted connection reads its
 // sensor traffic through the fault injector.
 type Listener struct {
 	net.Listener
 	cfg     Config
 	stats   Stats
+	adv     advState
 	connSeq atomic.Int64
 }
 
 // Wrap builds a fault-injecting listener around lis.
 func Wrap(lis net.Listener, cfg Config) *Listener {
-	return &Listener{Listener: lis, cfg: cfg}
+	return &Listener{
+		Listener: lis,
+		cfg:      cfg,
+		adv: advState{
+			tampered: make(map[uint64]struct{}),
+			spliced:  make(map[uint64]struct{}),
+		},
+	}
+}
+
+// advState remembers which records the adversary already content-forged,
+// shared across every connection the listener accepts (retransmissions
+// may arrive on a fresh connection after a sever).
+type advState struct {
+	mu       sync.Mutex
+	tampered map[uint64]struct{}
+	spliced  map[uint64]struct{}
+}
+
+// claim marks key in set, reporting false when it was already claimed.
+func (s *advState) claim(set map[uint64]struct{}, key uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := set[key]; dup {
+		return false
+	}
+	set[key] = struct{}{}
+	return true
 }
 
 // WrapListener returns a middleware closure for hooks that take
@@ -112,6 +197,7 @@ func (l *Listener) Accept() (net.Conn, error) {
 		Conn:  conn,
 		cfg:   l.cfg,
 		stats: &l.stats,
+		adv:   &l.adv,
 		rng:   rand.New(rand.NewSource(l.cfg.Seed*1000003 + id)),
 	}, nil
 }
@@ -122,6 +208,7 @@ type faultConn struct {
 	net.Conn
 	cfg   Config
 	stats *Stats
+	adv   *advState
 	rng   *rand.Rand
 
 	raw []byte // bytes off the wire, not yet record-complete
@@ -227,5 +314,54 @@ func (c *faultConn) deliverFrame(rec []byte) {
 		c.stats.corrupted.Add(1)
 		obsChaosCorrupted.Add(1)
 	}
+	if c.cfg.Adversary.active() {
+		rec = c.applyAdversary(rec, total)
+	}
 	c.out = append(c.out, rec...)
+	if adv := c.cfg.Adversary; adv.ReplayEvery > 0 && total%int64(adv.ReplayEvery) == 0 {
+		// Deliver the record a second time, back to back: a captured and
+		// immediately replayed frame.
+		c.out = append(c.out, rec...)
+		c.stats.replayed.Add(1)
+		obsChaosReplayed.Add(1)
+	}
+}
+
+// applyAdversary runs the scheduled in-place forgeries for frame number
+// total. Forgeries keep a valid CRC so only MAC verification can reject
+// them; records without a repairable CRC trailer (legacy v1 frames) pass
+// through untouched. Each forgery type claims a record's (sensor, seq)
+// identity before striking, so a retransmitted frame is forged at most
+// once per type and delivery always makes progress.
+func (c *faultConn) applyAdversary(rec []byte, total int64) []byte {
+	adv := c.cfg.Adversary
+	key, keyed := frameIdentity(rec)
+	if adv.TamperEvery > 0 && total%int64(adv.TamperEvery) == 0 && keyed && c.adv.claim(c.adv.tampered, key) {
+		forged := append([]byte(nil), rec...)
+		forged[len(forged)/2] ^= 0x55 // lands in the sample payload for any realistic frame
+		if wiot.RepairRecordCRC(forged) {
+			rec = forged
+			c.stats.tampered.Add(1)
+			obsChaosTampered.Add(1)
+		}
+	}
+	if adv.SpliceEvery > 0 && total%int64(adv.SpliceEvery) == 0 && keyed && c.adv.claim(c.adv.spliced, key) {
+		forged := append([]byte(nil), rec...)
+		forged[1] ^= 3 // SensorECG (1) <-> SensorABP (2): cross-stream splice
+		if wiot.RepairRecordCRC(forged) {
+			rec = forged
+			c.stats.spliced.Add(1)
+			obsChaosSpliced.Add(1)
+		}
+	}
+	return rec
+}
+
+// frameIdentity extracts a data frame record's (sensor, seq) key. Every
+// frame layout shares the [magic, sensor, seq u32 LE] header prefix.
+func frameIdentity(rec []byte) (uint64, bool) {
+	if len(rec) < 6 {
+		return 0, false
+	}
+	return uint64(rec[1])<<32 | uint64(binary.LittleEndian.Uint32(rec[2:6])), true
 }

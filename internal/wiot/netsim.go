@@ -25,6 +25,22 @@ type NetConfig struct {
 	// connection joins the caller's trace tree (see
 	// ReconnectConfig.TraceParent).
 	TraceParent uint64
+	// Auth, when set, runs the scenario over authenticated wire v3: the
+	// station is provisioned with per-sensor keys derived from Master,
+	// and each sensor sink onboards with its own derived PSK before
+	// streaming. Honest-cohort verdicts must match a v2 run byte for
+	// byte — the auth layer may reject forgeries, never reorder or drop
+	// honest traffic.
+	Auth *AuthProvision
+}
+
+// AuthProvision describes a scenario's v3 key material.
+type AuthProvision struct {
+	// Master is the deployment secret both ends derive per-sensor PSKs
+	// from (DeriveSensorKey).
+	Master []byte
+	// Alg picks the per-frame MAC primitive; zero means MACHMAC.
+	Alg MACAlg
 }
 
 // RunScenarioOverTCP drives the same end-to-end scenario as
@@ -67,13 +83,16 @@ func RunScenarioOverTCP(ctx context.Context, sc Scenario, nc NetConfig) (Scenari
 	}
 	stCfg := nc.Station
 	stCfg.RequireChecksums = true
+	if nc.Auth != nil && stCfg.Keys == nil {
+		stCfg.Keys = KeyStoreFromMaster(nc.Auth.Master, SensorECG, SensorABP)
+	}
 	st, err := ServeTCPConfig(ctx, wrapped, station, stCfg)
 	if err != nil {
 		_ = lis.Close()
 		return ScenarioResult{}, err
 	}
 
-	mkSink := func(offset int64) (*ReconnectSink, error) {
+	mkSink := func(offset int64, sensor SensorID) (*ReconnectSink, error) {
 		cfg := nc.Sink
 		cfg.Addr = addr
 		if cfg.Seed == 0 {
@@ -84,14 +103,21 @@ func RunScenarioOverTCP(ctx context.Context, sc Scenario, nc NetConfig) (Scenari
 		if cfg.TraceParent == 0 {
 			cfg.TraceParent = nc.TraceParent
 		}
+		if nc.Auth != nil && cfg.Auth == nil {
+			cfg.Auth = &AuthConfig{
+				Key:    DeriveSensorKey(nc.Auth.Master, sensor),
+				Sensor: sensor,
+				Alg:    nc.Auth.Alg,
+			}
+		}
 		return NewReconnectSink(cfg)
 	}
-	ecgSink, err := mkSink(1)
+	ecgSink, err := mkSink(1, SensorECG)
 	if err != nil {
 		_ = st.Close()
 		return ScenarioResult{}, err
 	}
-	abpSink, err := mkSink(2)
+	abpSink, err := mkSink(2, SensorABP)
 	if err != nil {
 		ecgSink.abort()
 		_ = ecgSink.Close()

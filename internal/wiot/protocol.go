@@ -16,25 +16,33 @@ import (
 //	0xA5  legacy frame        — the original unchecksummed encoding
 //	0xA7  checksummed frame   — same layout, magic 0xA7, CRC32-C trailer
 //	                            over every preceding byte of the record
+//	0xA9  authenticated frame — v3: the checksummed layout followed by
+//	                            [sid u32 LE, mac u64 LE] before the CRC
+//	                            trailer; the truncated MAC covers every
+//	                            byte up to and including the session id
 //	0x5C  control record      — [magic, kind, sensor, seq u32 LE, crc u32 LE]
-//	                            (kind 5, trace context, is longer:
-//	                             [magic, kind, sensor, span u64 LE,
-//	                              parent u64 LE, crc u32 LE])
+//	                            (kinds 5–9 use wider layouts, sized below)
 //
-// The station→sensor direction carries only control records (acks and
-// nacks). A receiver that loses framing — a corrupted length field, a
-// mid-frame cut followed by a reconnect replay — scans forward to the
-// next plausible magic byte instead of dropping the connection; the CRC
-// trailers make a phantom record (a magic byte inside payload data)
-// vanishingly unlikely to be accepted once a peer speaks v2.
+// The station→sensor direction carries only control records (acks,
+// nacks, and the station's half of the auth handshake). A receiver that
+// loses framing — a corrupted length field, a mid-frame cut followed by
+// a reconnect replay — scans forward to the next plausible magic byte
+// instead of dropping the connection; the CRC trailers make a phantom
+// record (a magic byte inside payload data) vanishingly unlikely to be
+// accepted once a peer speaks v2.
 const (
 	frameMagicV2 = 0xA7
+	frameMagicV3 = 0xA9
 	ctrlMagic    = 0x5C
 
 	frameHeaderSize = 8 // magic, sensor, seq u32, count u16
 	crcSize         = 4
 	ctrlRecordSize  = 11
 	ctrlTraceSize   = 23 // magic, kind, sensor, span u64, parent u64, crc u32
+
+	ctrlAuthHelloSize     = 16 // magic, kind, sensor, alg u8, nonce u64, crc u32
+	ctrlAuthChallengeSize = 19 // magic, kind, sensor, sid u32, nonce u64, crc u32
+	ctrlAuthProofSize     = 27 // magic, kind, sensor, sid u32, mac [16], crc u32
 )
 
 // crcTable is the Castagnoli polynomial every v2 record is summed with.
@@ -69,28 +77,86 @@ const (
 	// so station-side spans can join the coordinator's trace tree. Uses
 	// the longer ctrlTraceSize layout (span/parent are u64s, no seq).
 	ctrlTrace
+	// ctrlAuthHello (sensor→station): opens the v3 handshake — announces
+	// the sensor, the frame-MAC algorithm, and a client nonce.
+	// Layout: [magic, kind, sensor, alg u8, nonce u64 LE, crc].
+	ctrlAuthHello
+	// ctrlAuthChallenge (station→sensor): the station's reply — the
+	// allocated session id and a station nonce.
+	// Layout: [magic, kind, sensor, sid u32 LE, nonce u64 LE, crc].
+	ctrlAuthChallenge
+	// ctrlAuthResponse (sensor→station): the client's proof —
+	// HMAC-SHA256(psk, transcript) truncated to 16 bytes.
+	// Layout: [magic, kind, sensor, sid u32 LE, mac [16], crc].
+	ctrlAuthResponse
+	// ctrlAuthOK (station→sensor): the station's own proof over the same
+	// transcript (mutual authentication); the session is live once the
+	// client verifies it. Same layout as ctrlAuthResponse.
+	ctrlAuthOK
+	// ctrlAuthReject (station→sensor): the handshake failed; Seq carries
+	// a reject code. Classic 11-byte layout.
+	ctrlAuthReject
 )
 
+// ctrlSize returns the wire size of a control record of the given kind,
+// or 0 for an unknown kind.
+func ctrlSize(k ctrlKind) int {
+	switch k {
+	case ctrlAck, ctrlNack, ctrlGap, ctrlHello, ctrlAuthReject:
+		return ctrlRecordSize
+	case ctrlTrace:
+		return ctrlTraceSize
+	case ctrlAuthHello:
+		return ctrlAuthHelloSize
+	case ctrlAuthChallenge:
+		return ctrlAuthChallengeSize
+	case ctrlAuthResponse, ctrlAuthOK:
+		return ctrlAuthProofSize
+	}
+	return 0
+}
+
 // ctrlRecord is one parsed control record. Span/Parent are populated only
-// for ctrlTrace records and stay zero for the classic ack/nack/gap/hello
-// kinds.
+// for ctrlTrace records; Alg/SID/Nonce/Mac only for the auth kinds. The
+// classic ack/nack/gap/hello kinds use Seq alone (ctrlAuthReject reuses
+// Seq for its reject code).
 type ctrlRecord struct {
 	Kind   ctrlKind
 	Sensor SensorID
 	Seq    uint32
 	Span   uint64
 	Parent uint64
+	Alg    MACAlg
+	SID    uint32
+	Nonce  uint64
+	Mac    [authProofSize]byte
 }
 
-// appendCtrl serializes a control record, CRC included. ctrlTrace records
-// use the wide layout; everything else the classic 11-byte one.
+// appendCRC seals a record with its CRC32-C trailer over every byte so
+// far.
+func appendCRC(buf []byte) []byte {
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+// appendCtrl serializes a control record, CRC included, in the layout of
+// its kind.
 func appendCtrl(buf []byte, c ctrlRecord) []byte {
 	start := len(buf)
 	buf = append(buf, ctrlMagic, byte(c.Kind), byte(c.Sensor))
-	if c.Kind == ctrlTrace {
+	switch c.Kind {
+	case ctrlTrace:
 		buf = binary.LittleEndian.AppendUint64(buf, c.Span)
 		buf = binary.LittleEndian.AppendUint64(buf, c.Parent)
-	} else {
+	case ctrlAuthHello:
+		buf = append(buf, byte(c.Alg))
+		buf = binary.LittleEndian.AppendUint64(buf, c.Nonce)
+	case ctrlAuthChallenge:
+		buf = binary.LittleEndian.AppendUint32(buf, c.SID)
+		buf = binary.LittleEndian.AppendUint64(buf, c.Nonce)
+	case ctrlAuthResponse, ctrlAuthOK:
+		buf = binary.LittleEndian.AppendUint32(buf, c.SID)
+		buf = append(buf, c.Mac[:]...)
+	default:
 		buf = binary.LittleEndian.AppendUint32(buf, c.Seq)
 	}
 	sum := crc32.Checksum(buf[start:], crcTable)
@@ -98,19 +164,15 @@ func appendCtrl(buf []byte, c ctrlRecord) []byte {
 }
 
 // decodeCtrl parses one control record. The buffer must hold exactly the
-// record for its kind: ctrlTraceSize bytes for ctrlTrace, ctrlRecordSize
-// otherwise (PeekRecord sizes it before the scanner slices).
+// record for its kind (PeekRecord sizes it before the scanner slices).
 func decodeCtrl(buf []byte) (ctrlRecord, error) {
 	if len(buf) < ctrlRecordSize || buf[0] != ctrlMagic {
 		return ctrlRecord{}, ErrBadControl
 	}
 	kind := ctrlKind(buf[1])
-	if kind < ctrlAck || kind > ctrlTrace {
+	size := ctrlSize(kind)
+	if size == 0 {
 		return ctrlRecord{}, fmt.Errorf("%w: kind %d", ErrBadControl, buf[1])
-	}
-	size := ctrlRecordSize
-	if kind == ctrlTrace {
-		size = ctrlTraceSize
 	}
 	if len(buf) < size {
 		return ctrlRecord{}, ErrBadControl
@@ -122,10 +184,20 @@ func decodeCtrl(buf []byte) (ctrlRecord, error) {
 		Kind:   kind,
 		Sensor: SensorID(buf[2]),
 	}
-	if kind == ctrlTrace {
+	switch kind {
+	case ctrlTrace:
 		c.Span = binary.LittleEndian.Uint64(buf[3:])
 		c.Parent = binary.LittleEndian.Uint64(buf[11:])
-	} else {
+	case ctrlAuthHello:
+		c.Alg = MACAlg(buf[3])
+		c.Nonce = binary.LittleEndian.Uint64(buf[4:])
+	case ctrlAuthChallenge:
+		c.SID = binary.LittleEndian.Uint32(buf[3:])
+		c.Nonce = binary.LittleEndian.Uint64(buf[7:])
+	case ctrlAuthResponse, ctrlAuthOK:
+		c.SID = binary.LittleEndian.Uint32(buf[3:])
+		copy(c.Mac[:], buf[7:7+authProofSize])
+	default:
 		c.Seq = binary.LittleEndian.Uint32(buf[3:])
 	}
 	return c, nil
@@ -152,8 +224,11 @@ const (
 	RecordFrame RecordKind = iota + 1
 	// RecordFrameChecksummed is a v2 frame with a CRC32-C trailer.
 	RecordFrameChecksummed
-	// RecordControl is an ack/nack/gap/hello control record.
+	// RecordControl is an ack/nack/gap/hello/auth control record.
 	RecordControl
+	// RecordFrameAuth is a v3 frame: the checksummed layout plus a
+	// session id and truncated MAC before the CRC trailer.
+	RecordFrameAuth
 )
 
 // RecordInfo describes the record starting at the head of a byte stream.
@@ -173,7 +248,7 @@ func PeekRecord(buf []byte) (RecordInfo, error) {
 		return RecordInfo{}, ErrShortFrame
 	}
 	switch buf[0] {
-	case frameMagic, frameMagicV2:
+	case frameMagic, frameMagicV2, frameMagicV3:
 		if len(buf) < frameHeaderSize {
 			return RecordInfo{}, ErrShortFrame
 		}
@@ -184,22 +259,22 @@ func PeekRecord(buf []byte) (RecordInfo, error) {
 		if n > MaxFrameSamples {
 			return RecordInfo{}, fmt.Errorf("%w: %d samples", ErrFrameSize, n)
 		}
-		if buf[0] == frameMagic {
+		switch buf[0] {
+		case frameMagic:
 			return RecordInfo{Kind: RecordFrame, Len: EncodedSize(n)}, nil
+		case frameMagicV3:
+			return RecordInfo{Kind: RecordFrameAuth, Len: EncodedSize(n) + authTrailerSize}, nil
 		}
 		return RecordInfo{Kind: RecordFrameChecksummed, Len: EncodedSize(n) + crcSize}, nil
 	case ctrlMagic:
 		if len(buf) < 2 {
 			return RecordInfo{}, ErrShortFrame
 		}
-		k := ctrlKind(buf[1])
-		if k < ctrlAck || k > ctrlTrace {
+		size := ctrlSize(ctrlKind(buf[1]))
+		if size == 0 {
 			return RecordInfo{}, fmt.Errorf("%w: kind %d", ErrBadControl, buf[1])
 		}
-		if k == ctrlTrace {
-			return RecordInfo{Kind: RecordControl, Len: ctrlTraceSize}, nil
-		}
-		return RecordInfo{Kind: RecordControl, Len: ctrlRecordSize}, nil
+		return RecordInfo{Kind: RecordControl, Len: size}, nil
 	default:
 		return RecordInfo{}, ErrBadMagic
 	}
@@ -210,9 +285,18 @@ func PeekRecord(buf []byte) (RecordInfo, error) {
 type wireRecord struct {
 	frame   Frame
 	isFrame bool
-	checked bool // the frame carried a verified CRC (v2)
+	checked bool // the frame carried a verified CRC (v2 or v3)
 	ctrl    ctrlRecord
 	isCtrl  bool
+
+	// v3 fields: the claimed session id, the truncated MAC, and the raw
+	// bytes the MAC covers. The scanner verifies only the CRC — the MAC
+	// needs the session key, which lives with the station's per-conn
+	// state.
+	authed bool
+	sid    uint32
+	mac    uint64
+	macMsg []byte
 }
 
 // frameScanner reads wire records from a byte stream, resynchronizing
@@ -335,6 +419,30 @@ func (s *frameScanner) next() (wireRecord, error) {
 			s.consume(info.Len)
 			s.sawChecksum = true
 			return wireRecord{frame: f, isFrame: true, checked: true}, nil
+		case RecordFrameAuth:
+			body := raw[:info.Len-crcSize]
+			if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(raw[info.Len-crcSize:]) {
+				s.skipByte()
+				continue
+			}
+			// body = frame bytes ‖ sid ‖ mac; the MAC covers everything
+			// through the sid. Copy before consume: raw aliases s.buf.
+			msg := append([]byte(nil), body[:len(body)-authTagSize]...)
+			mac := binary.LittleEndian.Uint64(body[len(body)-authTagSize:])
+			sid := binary.LittleEndian.Uint32(msg[len(msg)-authSIDSize:])
+			dec := append([]byte(nil), msg[:len(msg)-authSIDSize]...)
+			dec[0] = frameMagic
+			f, _, err := DecodeFrame(dec)
+			if err != nil {
+				s.skipByte()
+				continue
+			}
+			s.consume(info.Len)
+			s.sawChecksum = true
+			return wireRecord{
+				frame: f, isFrame: true, checked: true,
+				authed: true, sid: sid, mac: mac, macMsg: msg,
+			}, nil
 		case RecordFrame:
 			if !s.allowLegacy || s.sawChecksum {
 				s.skipByte()
@@ -356,4 +464,28 @@ func (s *frameScanner) next() (wireRecord, error) {
 func (s *frameScanner) consume(n int) {
 	s.buf = s.buf[n:]
 	s.inJunk = false
+}
+
+// RepairRecordCRC recomputes the CRC32-C trailer of a complete
+// checksummed record in place, so stream middleware (the chaos
+// adversary) can tamper with record bytes and still present a
+// CRC-valid record — the class of forgery only a v3 MAC catches.
+// Legacy (unchecksummed) records are left untouched. Returns false when
+// the buffer is not a single well-formed record of a checksummed kind.
+func RepairRecordCRC(rec []byte) bool {
+	info, err := PeekRecord(rec)
+	if err != nil || len(rec) != info.Len || info.Kind == RecordFrame {
+		return false
+	}
+	binary.LittleEndian.PutUint32(rec[info.Len-crcSize:], crc32.Checksum(rec[:info.Len-crcSize], crcTable))
+	return true
+}
+
+// EncodeGapRecord encodes a sensor→station gap declaration ("drop
+// everything below seq"). Exported for attack tooling: a forged gap is
+// the cheapest way to make a station skip frames it could still
+// receive, which is exactly what the authenticated wire must refuse
+// from a peer that has not established a session for that sensor.
+func EncodeGapRecord(sensor SensorID, seq uint32) []byte {
+	return appendCtrl(nil, ctrlRecord{Kind: ctrlGap, Sensor: sensor, Seq: seq})
 }

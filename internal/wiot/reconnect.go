@@ -22,6 +22,7 @@ var (
 	obsSinkFramesDropped = obs.NewCounter("wiot.sink.framesDropped")
 	obsSinkWriteTimeouts = obs.NewCounter("wiot.sink.writeTimeouts")
 	obsSinkGapsDeclared  = obs.NewCounter("wiot.sink.gapsDeclared")
+	obsSinkHandshakes    = obs.NewCounter("wiot.sink.handshakes")
 )
 
 // Reconnect-layer errors.
@@ -90,6 +91,16 @@ type ReconnectConfig struct {
 	// trace tree across the TCP boundary. Zero disables propagation (no
 	// extra record, no extra work on the wire).
 	TraceParent uint64
+
+	// Auth, when set, upgrades the sink to wire v3: every (re)connection
+	// runs the onboarding handshake before any frame bytes, and buffered
+	// frames are sealed under the live session at transmit time — so a
+	// frame buffered before a reconnect is re-MAC'd under the new
+	// session's id and key, preserving go-back-N retransmit semantics
+	// across session changes. A rejected handshake (wrong key, unknown
+	// sensor) fails the sink terminally; an I/O failure mid-handshake is
+	// an ordinary reconnect.
+	Auth *AuthConfig
 }
 
 func (c ReconnectConfig) withDefaults() ReconnectConfig {
@@ -131,6 +142,7 @@ type ReconnectStats struct {
 	FramesDropped int64 // frames evicted or rejected at capacity
 	WriteTimeouts int64 // writes cut short by the deadline
 	GapsDeclared  int64 // gap announcements sent after drops
+	Handshakes    int64 // v3 sessions established (one per authenticated connect)
 }
 
 // sinkEntry is one buffered frame, pre-encoded so retransmits cost no
@@ -160,6 +172,15 @@ type ReconnectSink struct {
 	hasAck  map[SensorID]bool
 	nextSeq map[SensorID]uint32
 	gapPend map[SensorID]bool
+	// holes tracks frames dropped before they were ever buffered
+	// (DropNewest, DropBlock timeout): the value is the exclusive serial
+	// bound the station's want cursor must reach. The gap is declared as
+	// soon as no buffered frame below the hole remains (eagerly at drop
+	// time when possible, re-armed from onAck otherwise) — converging on
+	// acks alone, without waiting for the station to discover the miss
+	// via a nack round-trip.
+	holes map[SensorID]uint32
+	sess  *Session // live v3 session, nil when unauthenticated
 
 	conn        net.Conn
 	connGen     uint64
@@ -178,6 +199,7 @@ type ReconnectSink struct {
 	framesDropped atomic.Int64
 	writeTimeouts atomic.Int64
 	gapsDeclared  atomic.Int64
+	handshakes    atomic.Int64
 }
 
 // NewReconnectSink starts the sink's connection supervisor. The sink is
@@ -192,6 +214,7 @@ func NewReconnectSink(cfg ReconnectConfig) (*ReconnectSink, error) {
 		hasAck:  make(map[SensorID]bool),
 		nextSeq: make(map[SensorID]uint32),
 		gapPend: make(map[SensorID]bool),
+		holes:   make(map[SensorID]uint32),
 		abortCh: make(chan struct{}),
 	}
 	r.cond = sync.NewCond(&r.mu)
@@ -248,6 +271,7 @@ func (r *ReconnectSink) HandleFrame(f Frame) error {
 					return r.failedErr
 				}
 				if !time.Now().Before(deadline) {
+					r.recordHoleLocked(f.Sensor, f.Seq)
 					r.framesDropped.Add(1)
 					obsSinkFramesDropped.Add(1)
 					trace.Instant("wiot.sink.drop")
@@ -267,9 +291,16 @@ func (r *ReconnectSink) HandleFrame(f Frame) error {
 			obsSinkFramesDropped.Add(1)
 			trace.Instant("wiot.sink.drop")
 		default: // DropNewest
+			// The rejected frame was never buffered, so the station would
+			// otherwise wait at its sequence until a nack round-trip
+			// discovered the loss. Record the hole so the gap is declared
+			// proactively (immediately if nothing older is still buffered,
+			// else as soon as the older frames drain).
+			r.recordHoleLocked(f.Sensor, f.Seq)
 			r.framesDropped.Add(1)
 			obsSinkFramesDropped.Add(1)
 			trace.Instant("wiot.sink.drop")
+			r.cond.Broadcast()
 			return ErrBufferFull
 		}
 	}
@@ -302,6 +333,28 @@ func (r *ReconnectSink) run() {
 			_ = conn.Close()
 			continue
 		}
+		// One scanner serves both the handshake replies and the ack
+		// stream: handing the connection to a second reader would strand
+		// any station bytes buffered in the first.
+		sc := newFrameScanner(conn, false)
+		if r.cfg.Auth != nil {
+			sess, err := r.handshake(conn, sc)
+			if err != nil {
+				_ = conn.Close()
+				if errors.Is(err, ErrAuthRejected) || errors.Is(err, ErrAuthFailed) {
+					// The station heard us and said no — redialing with the
+					// same credentials cannot succeed.
+					r.fail(err)
+					return
+				}
+				// I/O failure mid-handshake (station killed mid-dial, read
+				// deadline): an ordinary reconnect.
+				continue
+			}
+			r.mu.Lock()
+			r.sess = sess
+			r.mu.Unlock()
+		}
 		// Trace-context propagation: the connection interval is a child of
 		// the fleet-side parent, and the station learns both IDs from the
 		// ctrlTrace record so its own spans parent under this connection.
@@ -320,7 +373,7 @@ func (r *ReconnectSink) run() {
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
-			r.readAcks(conn, gen)
+			r.readAcks(conn, gen, sc)
 		}()
 		r.writeLoop(conn, gen)
 		connRegion.End()
@@ -451,7 +504,14 @@ func (r *ReconnectSink) writeLoop(conn net.Conn, gen uint64) {
 				}
 			}
 			delete(r.gapPend, sensor)
-			payload = appendCtrl(nil, ctrlRecord{Kind: ctrlGap, Sensor: sensor, Seq: r.gapTargetLocked(sensor)})
+			target := r.gapTargetLocked(sensor)
+			if h, ok := r.holes[sensor]; ok && !seqBefore(target, h) {
+				// This announcement carries the hole's bound (or past it):
+				// once sent, the station stops waiting below it, so the
+				// hole is resolved and onAck stops re-arming the gap.
+				delete(r.holes, sensor)
+			}
+			payload = appendCtrl(nil, ctrlRecord{Kind: ctrlGap, Sensor: sensor, Seq: target})
 			r.gapsDeclared.Add(1)
 			obsSinkGapsDeclared.Add(1)
 			trace.Instant("wiot.sink.gap")
@@ -461,6 +521,12 @@ func (r *ReconnectSink) writeLoop(conn net.Conn, gen uint64) {
 			retransmit = e.sent
 			e.sent = true
 			r.cursor++
+			if r.sess != nil {
+				// Seal at transmit time, not enqueue time: a frame buffered
+				// across a reconnect must carry the new session's id and
+				// MAC when it is (re)transmitted.
+				payload = r.sess.sealV2Payload(payload)
+			}
 		}
 		r.mu.Unlock()
 
@@ -505,9 +571,28 @@ func (r *ReconnectSink) writeRaw(conn net.Conn, payload []byte) error {
 	return nil
 }
 
+// handshake runs the v3 onboarding exchange on a fresh connection,
+// bounding the reads with DialTimeout unless the AuthConfig sets its
+// own.
+func (r *ReconnectSink) handshake(conn net.Conn, sc *frameScanner) (*Session, error) {
+	ac := *r.cfg.Auth
+	if ac.Timeout <= 0 {
+		ac.Timeout = r.cfg.DialTimeout
+	}
+	sess, err := clientHandshake(conn, sc, ac, r.cfg.WriteTimeout)
+	if err != nil {
+		return nil, err
+	}
+	obsSinkHandshakes.Add(1)
+	r.handshakes.Add(1)
+	trace.Instant("wiot.sink.handshake")
+	logx.L().Debug("sink established v3 session",
+		"addr", r.cfg.Addr, "sid", sess.ID, "alg", sess.Alg.String())
+	return sess, nil
+}
+
 // readAcks consumes the station's control stream for one connection.
-func (r *ReconnectSink) readAcks(conn net.Conn, gen uint64) {
-	sc := newFrameScanner(conn, false)
+func (r *ReconnectSink) readAcks(conn net.Conn, gen uint64, sc *frameScanner) {
 	for {
 		rec, err := sc.next()
 		if err != nil {
@@ -530,19 +615,31 @@ func (r *ReconnectSink) readAcks(conn net.Conn, gen uint64) {
 func (r *ReconnectSink) onAck(sensor SensorID, seq uint32) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if !r.hasAck[sensor] || seq > r.acked[sensor] {
+	if !r.hasAck[sensor] || seqAfter(seq, r.acked[sensor]) {
 		r.hasAck[sensor] = true
 		r.acked[sensor] = seq
 	}
 	for len(r.queue) > 0 {
 		e := r.queue[0]
-		if !r.hasAck[e.sensor] || e.seq > r.acked[e.sensor] {
+		if !r.hasAck[e.sensor] || seqAfter(e.seq, r.acked[e.sensor]) {
 			break
 		}
 		r.queue[0] = sinkEntry{}
 		r.queue = r.queue[1:]
 		if r.cursor > 0 {
 			r.cursor--
+		}
+	}
+	if h, ok := r.holes[sensor]; ok {
+		switch {
+		case r.hasAck[sensor] && !seqBefore(r.acked[sensor], h-1):
+			// The station advanced past the hole on its own (a later gap
+			// or retransmit covered it); nothing left to announce.
+			delete(r.holes, sensor)
+		case !r.holeBlockedLocked(sensor):
+			// The frames buffered below the hole have drained — the gap
+			// can now go out without skipping deliverable frames.
+			r.declareGapLocked(sensor)
 		}
 	}
 	r.cond.Broadcast()
@@ -554,7 +651,7 @@ func (r *ReconnectSink) onAck(sensor SensorID, seq uint32) {
 func (r *ReconnectSink) onNack(sensor SensorID, seq uint32) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.hasAck[sensor] && seq <= r.acked[sensor] {
+	if r.hasAck[sensor] && !seqAfter(seq, r.acked[sensor]) {
 		return // stale nack from before an ack the station already sent
 	}
 	for i := range r.queue {
@@ -584,6 +681,42 @@ func (r *ReconnectSink) declareGapLocked(sensor SensorID) {
 			break
 		}
 	}
+}
+
+// recordHoleLocked notes that the sensor's frame seq was dropped without
+// ever being buffered. The hole's bound (seq+1) is the sequence the
+// station must eventually skip to; the gap is declared immediately when
+// nothing below it is still buffered, otherwise onAck re-arms it once
+// the older frames drain. Callers hold mu.
+func (r *ReconnectSink) recordHoleLocked(sensor SensorID, seq uint32) {
+	bound := seq + 1
+	if h, ok := r.holes[sensor]; ok {
+		bound = seqMax(h, bound)
+	}
+	r.holes[sensor] = bound
+	if seqAfter(bound, r.nextSeq[sensor]) {
+		r.nextSeq[sensor] = bound
+	}
+	if !r.holeBlockedLocked(sensor) {
+		r.declareGapLocked(sensor)
+	}
+}
+
+// holeBlockedLocked reports whether a buffered frame below the sensor's
+// hole still awaits delivery — declaring the gap while one exists would
+// make the station skip frames the sink can still deliver. Callers hold
+// mu.
+func (r *ReconnectSink) holeBlockedLocked(sensor SensorID) bool {
+	h, ok := r.holes[sensor]
+	if !ok {
+		return false
+	}
+	for _, e := range r.queue {
+		if e.sensor == sensor && seqBefore(e.seq, h) {
+			return true
+		}
+	}
+	return false
 }
 
 // fail marks the sink terminally failed (dial attempts exhausted):
@@ -619,6 +752,7 @@ func (r *ReconnectSink) Stats() ReconnectStats {
 		FramesDropped: r.framesDropped.Load(),
 		WriteTimeouts: r.writeTimeouts.Load(),
 		GapsDeclared:  r.gapsDeclared.Load(),
+		Handshakes:    r.handshakes.Load(),
 	}
 }
 

@@ -81,6 +81,7 @@ type BaseStation struct {
 	ecg       []float64
 	abp       []float64
 	nextSeq   map[SensorID]uint32
+	seqSynced map[SensorID]bool // first frame seen; nextSeq is meaningful
 	lastVal   map[SensorID]float64
 	seqErrors int
 	concealed int // samples synthesized to cover lost frames
@@ -110,10 +111,11 @@ func NewBaseStation(cfg StationConfig) (*BaseStation, error) {
 		return nil, fmt.Errorf("wiot: degenerate window of %d samples", wlen)
 	}
 	return &BaseStation{
-		cfg:     cfg,
-		wlen:    wlen,
-		nextSeq: make(map[SensorID]uint32),
-		lastVal: make(map[SensorID]float64),
+		cfg:       cfg,
+		wlen:      wlen,
+		nextSeq:   make(map[SensorID]uint32),
+		seqSynced: make(map[SensorID]bool),
+		lastVal:   make(map[SensorID]float64),
 	}, nil
 }
 
@@ -164,13 +166,21 @@ func (b *BaseStation) HandleFrame(f Frame) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 
-	want, seen := b.nextSeq[f.Sensor], f.Seq
+	want, synced := b.nextSeq[f.Sensor], b.seqSynced[f.Sensor]
+	seen := f.Seq
 	switch {
-	case seen < want:
-		// Duplicate or reordered-late frame: already accounted for.
+	case !synced:
+		// First frame from this sensor: adopt its sequence as the stream
+		// origin. Treating an arbitrary starting point as a gap from zero
+		// would synthesize up to 2^32 frames of concealment.
+		b.seqSynced[f.Sensor] = true
+	case seqBefore(seen, want):
+		// Duplicate or reordered-late frame: already accounted for. The
+		// comparison is serial (RFC 1982): after the u32 sequence space
+		// wraps, post-wrap frames are later than pre-wrap ones, not stale.
 		b.stale++
 		return nil
-	case seen > want:
+	case seqAfter(seen, want):
 		gap := int(seen - want)
 		b.seqErrors += gap
 		fill := gap * len(f.Samples)

@@ -2,6 +2,7 @@ package wiot
 
 import (
 	"context"
+	"crypto/hmac"
 	"errors"
 	"fmt"
 	"io"
@@ -25,6 +26,17 @@ var (
 	obsTCPAcceptErrors = obs.NewCounter("wiot.tcp.acceptErrors")
 	obsTCPAcks         = obs.NewCounter("wiot.tcp.acks")
 	obsTCPNacks        = obs.NewCounter("wiot.tcp.nacks")
+
+	// Auth-layer counters: every handshake and every rejected attempt is
+	// accounted for, so an attack campaign can prove zero forged frames
+	// were accepted by summing the reject buckets against its attempts.
+	obsAuthHandshakes      = obs.NewCounter("wiot.auth.handshakes")
+	obsAuthFrames          = obs.NewCounter("wiot.auth.frames")
+	obsAuthRejectHandshake = obs.NewCounter("wiot.auth.reject.handshake")
+	obsAuthRejectNoSession = obs.NewCounter("wiot.auth.reject.nosession")
+	obsAuthRejectSession   = obs.NewCounter("wiot.auth.reject.session")
+	obsAuthRejectMAC       = obs.NewCounter("wiot.auth.reject.mac")
+	obsAuthRejectPlain     = obs.NewCounter("wiot.auth.reject.plain")
 )
 
 // Transport timeout defaults, shared by the station and DialSensor.
@@ -62,6 +74,12 @@ type TCPConfig struct {
 	// it when every sensor speaks the v2 reliable protocol (the chaos
 	// harness does, since corruption can forge legacy headers).
 	RequireChecksums bool
+	// Keys enables authenticated wire v3: every connection must complete
+	// the onboarding handshake against a provisioned per-sensor PSK, and
+	// every frame must carry the live session's id and a verifying MAC.
+	// Unauthenticated (v2/legacy) frames are rejected outright. Nil
+	// leaves the station in v2 mode.
+	Keys *KeyStore
 }
 
 func (c TCPConfig) withDefaults() TCPConfig {
@@ -94,6 +112,14 @@ type TCPStats struct {
 	Acks          int64 // acks sent on reliable connections
 	Nacks         int64 // nacks sent on reliable connections
 	DroppedErrors int64 // errors evicted from the bounded ring
+
+	AuthHandshakes      int64 // v3 sessions established
+	AuthFrames          int64 // v3 frames accepted (MAC verified)
+	AuthRejectHandshake int64 // handshake attempts refused
+	AuthRejectNoSession int64 // v3 frames on a conn with no live session
+	AuthRejectSession   int64 // sid/sensor mismatches (splice, hijack, forged gap)
+	AuthRejectMAC       int64 // MAC verification failures
+	AuthRejectPlain     int64 // v2/legacy records refused while auth is required
 }
 
 // TCPStation exposes a base station over a TCP listener: each sensor
@@ -134,6 +160,15 @@ type TCPStation struct {
 	acks      atomic.Int64
 	nacks     atomic.Int64
 	dropped   atomic.Int64
+
+	sids           atomic.Uint32 // session-id allocator (v3)
+	authHandshakes atomic.Int64
+	authFrames     atomic.Int64
+	authRejHS      atomic.Int64
+	authRejNoSess  atomic.Int64
+	authRejSession atomic.Int64
+	authRejMAC     atomic.Int64
+	authRejPlain   atomic.Int64
 }
 
 // ServeTCP starts accepting sensor connections on lis until Close (or
@@ -273,6 +308,9 @@ func (s *TCPStation) serveConn(conn net.Conn) {
 	defer func() {
 		connRegion.End()
 	}()
+	// sess is this connection's v3 handshake state. It is owned by this
+	// goroutine: only serveConn's dispatch mutates it.
+	var sess stationSession
 	var lastResyncs, lastSkipped int64
 	for {
 		rec, err := sc.next()
@@ -303,11 +341,28 @@ func (s *TCPStation) serveConn(conn net.Conn) {
 				}
 				connRegion = trace.BeginChildOf("wiot.station.conn", parent) //wiotlint:allow spanend
 			}
+		case rec.isCtrl && rec.ctrl.Kind >= ctrlAuthHello:
+			s.handleAuth(conn, rec.ctrl, &sess)
 		case rec.isCtrl:
-			s.handleCtrl(rec.ctrl)
+			s.handleCtrl(rec.ctrl, &sess)
+		case rec.authed:
+			s.handleAuthFrame(conn, rec, &sess)
 		case rec.checked:
+			if s.cfg.Keys != nil {
+				// Auth is required on this station: a v2 frame — however
+				// well-formed — carries no proof of origin. No ack, no
+				// nack: an unauthenticated peer gets no protocol feedback.
+				s.authRejPlain.Add(1)
+				obsAuthRejectPlain.Add(1)
+				continue
+			}
 			s.handleReliable(conn, rec.frame)
 		default:
+			if s.cfg.Keys != nil {
+				s.authRejPlain.Add(1)
+				obsAuthRejectPlain.Add(1)
+				continue
+			}
 			// Legacy fire-and-forget path: a handler failure is a fact
 			// about one frame, not the connection — record it and move on.
 			s.handleMu.Lock()
@@ -322,15 +377,140 @@ func (s *TCPStation) serveConn(conn net.Conn) {
 	}
 }
 
+// stationSession is the station half of one connection's v3 handshake.
+type stationSession struct {
+	state        int // 0 idle, 1 challenged, 2 established
+	sensor       SensorID
+	alg          MACAlg
+	sid          uint32
+	key          []byte // session key once established
+	psk          []byte
+	clientNonce  uint64
+	stationNonce uint64
+}
+
+// reset tears the session down; subsequent frames on the connection are
+// rejected until a fresh handshake completes.
+func (ss *stationSession) reset() { *ss = stationSession{} }
+
+// rejectAuth refuses a handshake attempt with a typed reject record and
+// resets any in-progress session state.
+func (s *TCPStation) rejectAuth(conn net.Conn, sensor SensorID, code uint32, ss *stationSession) {
+	ss.reset()
+	s.authRejHS.Add(1)
+	obsAuthRejectHandshake.Add(1)
+	s.sendCtrl(conn, ctrlRecord{Kind: ctrlAuthReject, Sensor: sensor, Seq: code})
+}
+
+// handleAuth runs the station side of the onboarding exchange. Any
+// out-of-order or malformed step resets the session: an attacker cannot
+// leave a half-open handshake in a state that accepts frames.
+func (s *TCPStation) handleAuth(conn net.Conn, c ctrlRecord, ss *stationSession) {
+	switch c.Kind {
+	case ctrlAuthHello:
+		if s.cfg.Keys == nil {
+			s.rejectAuth(conn, c.Sensor, authRejectNoKeys, ss)
+			return
+		}
+		psk, ok := s.cfg.Keys.Key(c.Sensor)
+		if !ok {
+			s.rejectAuth(conn, c.Sensor, authRejectUnknown, ss)
+			return
+		}
+		if !c.Alg.valid() {
+			s.rejectAuth(conn, c.Sensor, authRejectProto, ss)
+			return
+		}
+		// A hello always restarts the exchange — including a hello
+		// replayed into an established session, which forfeits that
+		// session rather than coexisting with it.
+		ss.reset()
+		ss.state = 1
+		ss.sensor = c.Sensor
+		ss.alg = c.Alg
+		ss.sid = s.sids.Add(1)
+		ss.psk = psk
+		ss.clientNonce = c.Nonce
+		ss.stationNonce = deriveNonce(psk, "wiot-snonce-v3")
+		s.sendCtrl(conn, ctrlRecord{
+			Kind:   ctrlAuthChallenge,
+			Sensor: c.Sensor,
+			SID:    ss.sid,
+			Nonce:  ss.stationNonce,
+		})
+	case ctrlAuthResponse:
+		if ss.state != 1 || c.Sensor != ss.sensor || c.SID != ss.sid {
+			s.rejectAuth(conn, c.Sensor, authRejectProto, ss)
+			return
+		}
+		transcript := authTranscript(ss.sensor, ss.alg, ss.sid, ss.clientNonce, ss.stationNonce)
+		want := authHandshakeMAC(ss.psk, "wiot-resp-v3", transcript)
+		if !hmac.Equal(c.Mac[:], want[:]) {
+			s.rejectAuth(conn, c.Sensor, authRejectBadMAC, ss)
+			return
+		}
+		ss.state = 2
+		ss.key = deriveSessionKey(ss.psk, transcript)
+		s.authHandshakes.Add(1)
+		obsAuthHandshakes.Add(1)
+		trace.Instant("wiot.auth.session")
+		logx.L().Debug("station established v3 session",
+			"sensor", ss.sensor.String(), "sid", ss.sid, "alg", ss.alg.String())
+		proof := authHandshakeMAC(ss.psk, "wiot-ok-v3", transcript)
+		s.sendCtrl(conn, ctrlRecord{
+			Kind:   ctrlAuthOK,
+			Sensor: ss.sensor,
+			SID:    ss.sid,
+			Mac:    proof,
+		})
+	default:
+		// ctrlAuthChallenge / ctrlAuthOK / ctrlAuthReject are
+		// station→sensor records; a client sending one is off-protocol.
+		s.rejectAuth(conn, c.Sensor, authRejectProto, ss)
+	}
+}
+
+// handleAuthFrame verifies a v3 frame against the connection's session
+// before it reaches the go-back-N path. Authentication success does not
+// grant blanket acceptance: every frame must name the live session and
+// carry a MAC over its exact bytes (sequence number included), so a
+// replayed, spliced, or cross-sensor frame dies here even on an
+// authenticated connection. Rejected frames get no ack and no nack.
+func (s *TCPStation) handleAuthFrame(conn net.Conn, rec wireRecord, ss *stationSession) {
+	switch {
+	case ss.state != 2:
+		s.authRejNoSess.Add(1)
+		obsAuthRejectNoSession.Add(1)
+	case rec.sid != ss.sid || rec.frame.Sensor != ss.sensor:
+		s.authRejSession.Add(1)
+		obsAuthRejectSession.Add(1)
+	case frameMACWith(ss.key, ss.alg, rec.macMsg) != rec.mac:
+		s.authRejMAC.Add(1)
+		obsAuthRejectMAC.Add(1)
+	default:
+		s.authFrames.Add(1)
+		obsAuthFrames.Add(1)
+		s.handleReliable(conn, rec.frame)
+	}
+}
+
 // handleCtrl processes sensor→station control traffic.
-func (s *TCPStation) handleCtrl(c ctrlRecord) {
+func (s *TCPStation) handleCtrl(c ctrlRecord, ss *stationSession) {
 	switch c.Kind {
 	case ctrlGap:
 		// The sender dropped everything below c.Seq; stop waiting for it.
 		// The next frame's sequence jump drives the base station's own
-		// gap concealment.
+		// gap concealment. When auth is required, only an established
+		// session may declare gaps, and only for its own sensor — a
+		// forged gap record would otherwise skip the cursor past frames
+		// the real sensor still holds.
+		if s.cfg.Keys != nil && (ss.state != 2 || c.Sensor != ss.sensor) {
+			s.authRejSession.Add(1)
+			obsAuthRejectSession.Add(1)
+			return
+		}
 		s.handleMu.Lock()
-		if c.Seq > s.want[c.Sensor] {
+		if seqAfter(c.Seq, s.want[c.Sensor]) {
 			s.want[c.Sensor] = c.Seq
 		}
 		s.handleMu.Unlock()
@@ -361,7 +541,7 @@ func (s *TCPStation) handleReliable(conn net.Conn, f Frame) {
 		s.sendCtrl(conn, ctrlRecord{Kind: ctrlAck, Sensor: f.Sensor, Seq: f.Seq})
 		s.acks.Add(1)
 		obsTCPAcks.Add(1)
-	case f.Seq < want:
+	case seqBefore(f.Seq, want):
 		s.handleMu.Unlock()
 		// Duplicate from a retransmit overlap; re-ack so the sender's
 		// window advances.
@@ -437,6 +617,14 @@ func (s *TCPStation) Stats() TCPStats {
 		Acks:          s.acks.Load(),
 		Nacks:         s.nacks.Load(),
 		DroppedErrors: s.dropped.Load(),
+
+		AuthHandshakes:      s.authHandshakes.Load(),
+		AuthFrames:          s.authFrames.Load(),
+		AuthRejectHandshake: s.authRejHS.Load(),
+		AuthRejectNoSession: s.authRejNoSess.Load(),
+		AuthRejectSession:   s.authRejSession.Load(),
+		AuthRejectMAC:       s.authRejMAC.Load(),
+		AuthRejectPlain:     s.authRejPlain.Load(),
 	}
 }
 

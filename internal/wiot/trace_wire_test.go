@@ -57,8 +57,8 @@ func TestPeekRecordTraceControl(t *testing.T) {
 	if info.Kind != RecordControl || info.Len != ctrlTraceSize {
 		t.Fatalf("info = %+v, want control/%d", info, ctrlTraceSize)
 	}
-	if _, err := PeekRecord([]byte{ctrlMagic, byte(ctrlTrace) + 1}); !errors.Is(err, ErrBadControl) {
-		t.Fatalf("kind past ctrlTrace: err = %v, want ErrBadControl", err)
+	if _, err := PeekRecord([]byte{ctrlMagic, byte(ctrlAuthReject) + 1}); !errors.Is(err, ErrBadControl) {
+		t.Fatalf("kind past ctrlAuthReject: err = %v, want ErrBadControl", err)
 	}
 }
 
